@@ -1,0 +1,74 @@
+// Reproduces Figure 9: overlapping vs horizontal partitioning over a
+// workload of 30 Q30 queries (small selectivity, heavy skew) whose
+// selection midpoints jump from 20,000 (Q30_1..10) to 40,000
+// (Q30_11..20) to 60,000 (Q30_21..30) over the item_sk domain
+// [0, 400000] — the regime-shift pattern observed in SDSS.
+//
+// Paper result: overlapping partitioning is more robust to the shifts
+// because it avoids rewriting the large fragment that extends from the
+// current selection bound to the end of the (unqueried) domain.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+
+using namespace deepsea;
+
+int main() {
+  bench::Banner("Figure 9",
+                "Horizontal vs overlapping partitioning (Q30_1..Q30_30), 100GB");
+  ExperimentRunner runner(bench::Dataset(100.0, /*sdss_distribution=*/false));
+
+  std::vector<WorkloadQuery> workload;
+  for (double center : {20000.0, 40000.0, 60000.0}) {
+    RangeGenerator::Config cfg;
+    cfg.domain = bench::ItemSkDomain();
+    cfg.selectivity_fraction = 0.01;
+    cfg.skew = Skew::kHeavy;
+    cfg.center = center;
+    RangeGenerator gen(cfg, /*seed=*/static_cast<uint64_t>(center));
+    auto part = bench::TemplateWorkload("Q30", 10, &gen);
+    workload.insert(workload.end(), part.begin(), part.end());
+  }
+
+  StrategySpec horizontal = bench::DeepSea();
+  horizontal.label = "Horizontal";
+  horizontal.options.overlapping_fragments = false;
+  horizontal.options.benefit_cost_threshold = 0.0;
+  // The experiment studies the cost of splitting the large fragment
+  // that runs to the end of the yet-unqueried domain; the phi bound
+  // would pre-split it and mask the effect.
+  horizontal.options.max_fragment_fraction = 0.0;
+  StrategySpec overlapping = bench::DeepSea();
+  overlapping.label = "Overlapping";
+  overlapping.options.overlapping_fragments = true;
+  overlapping.options.benefit_cost_threshold = 0.0;
+  overlapping.options.max_fragment_fraction = 0.0;
+
+  TablePrinter table;
+  table.Header({"strategy", "cum @Q10 (s)", "cum @Q20 (s)", "cum @Q30 (s)",
+                "frags", "bytes written"});
+  std::vector<double> totals;
+  for (const StrategySpec& spec : {horizontal, overlapping}) {
+    auto result = runner.Run(spec, workload);
+    if (!result.ok()) {
+      std::printf("run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    totals.push_back(result->total_seconds);
+    table.Row({result->label, FmtSeconds(result->CumulativeAt(10)),
+               FmtSeconds(result->CumulativeAt(20)),
+               FmtSeconds(result->CumulativeAt(30)),
+               std::to_string(result->totals.fragments_created),
+               StrFormat("%.1f GB", result->totals.fragments_created >= 0
+                                        ? result->final_pool_bytes / 1e9
+                                        : 0.0)});
+  }
+  std::printf("\nOverlapping/Horizontal cumulative ratio: %.2f\n",
+              totals[1] / std::max(totals[0], 1.0));
+  std::printf(
+      "Paper: overlapping partitioning accumulates less time after the"
+      " midpoint shifts at Q30_11 and Q30_21.\n");
+  return 0;
+}

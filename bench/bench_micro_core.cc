@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the DeepSea
+// core: interval algebra, histogram estimation, signature computation
+// and matching, filter-tree lookup, greedy partition matching, MLE
+// smoothing, and end-to-end ProcessQuery throughput of the simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/histogram.h"
+#include "core/engine.h"
+#include "core/mle_model.h"
+#include "core/partition_match.h"
+#include "plan/signature.h"
+#include "rewrite/filter_tree.h"
+#include "workload/bigbench.h"
+#include "workload/range_generator.h"
+
+namespace deepsea {
+namespace {
+
+void BM_IntervalIntersect(benchmark::State& state) {
+  const Interval a(0, 1000, true, false);
+  const Interval b(500, 1500, false, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b));
+  }
+}
+BENCHMARK(BM_IntervalIntersect);
+
+void BM_FragmentationCovers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fragmentation frags(Interval(0, 1e6).SplitEqual(n));
+  const Interval domain(0, 1e6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frags.Covers(domain));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FragmentationCovers)->Range(4, 256)->Complexity();
+
+void BM_HistogramFractionInRange(benchmark::State& state) {
+  AttributeHistogram hist(Interval(0, 400000), static_cast<int>(state.range(0)));
+  hist.AddRange(Interval(0, 400000), 1e9);
+  const Interval query(120000, 180000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.FractionInRange(query));
+  }
+}
+BENCHMARK(BM_HistogramFractionInRange)->Arg(64)->Arg(420)->Arg(2048);
+
+void BM_PartitionMatchGreedy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Interval> frags = Interval(0, 400000).SplitEqual(n);
+  // Overlap noise.
+  for (int i = 0; i < n / 4; ++i) {
+    frags.push_back(Interval(i * 1000.0, i * 1000.0 + 5000.0));
+  }
+  const Interval query(100000, 300000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionMatch(frags, query));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PartitionMatchGreedy)->Range(8, 512)->Complexity();
+
+void BM_MleAdjust(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<FragmentStats> frags;
+  for (const Interval& iv : Interval(0, 400000).SplitEqual(n)) {
+    FragmentStats f;
+    f.interval = iv;
+    f.size_bytes = 1e9;
+    for (int h = 0; h < 5; ++h) f.RecordHit(100 + h);
+    frags.push_back(std::move(f));
+  }
+  MleFragmentModel model;
+  DecayFunction dec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Adjust(frags, Interval(0, 400000), 200, dec));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MleAdjust)->Range(4, 128)->Complexity();
+
+class WorkloadFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (catalog_.Contains("store_sales")) return;
+    BigBenchDataset::Options o;
+    o.total_bytes = 100e9;
+    o.sample_rows_per_fact = 64;
+    o.sample_rows_per_dim = 32;
+    (void)BigBenchDataset::Generate(o, &catalog_);
+  }
+
+ protected:
+  Catalog catalog_;
+};
+
+BENCHMARK_F(WorkloadFixture, BM_ComputeSignature)(benchmark::State& state) {
+  auto plan = BigBenchTemplates::Build("Q30", 10000, 14000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSignature(*plan, catalog_));
+  }
+}
+
+BENCHMARK_F(WorkloadFixture, BM_SignatureSubsumes)(benchmark::State& state) {
+  auto view = BigBenchTemplates::Build("Q30", 0, 400000);
+  auto query = BigBenchTemplates::Build("Q30", 10000, 14000);
+  const PlanSignature vsig = *ComputeSignature((*view)->child(0)->child(0), catalog_);
+  const PlanSignature qsig = *ComputeSignature((*query)->child(0), catalog_);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SignatureSubsumes(vsig, qsig));
+  }
+}
+
+BENCHMARK_F(WorkloadFixture, BM_FilterTreeLookup)(benchmark::State& state) {
+  FilterTree tree;
+  // Populate with many aggregate signatures (distinct range constants).
+  for (int i = 0; i < 512; ++i) {
+    auto plan = BigBenchTemplates::Build("Q30", i * 100.0, i * 100.0 + 4000.0);
+    auto sig = ComputeSignature(*plan, catalog_);
+    tree.Insert(*sig, "v" + std::to_string(i));
+  }
+  auto probe = ComputeSignature(*BigBenchTemplates::Build("Q30", 777, 4777),
+                                catalog_);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(*probe));
+  }
+}
+
+BENCHMARK_F(WorkloadFixture, BM_ProcessQueryThroughput)(benchmark::State& state) {
+  EngineOptions opts;
+  opts.benefit_cost_threshold = 0.02;
+  DeepSeaEngine engine(&catalog_, opts);
+  RangeGenerator gen(Interval(0, 400000), Selectivity::kSmall, Skew::kHeavy, 3);
+  for (auto _ : state) {
+    const Interval r = gen.Next();
+    auto plan = BigBenchTemplates::Build("Q30", r.lo, r.hi);
+    benchmark::DoNotOptimize(engine.ProcessQuery(*plan));
+  }
+}
+
+}  // namespace
+}  // namespace deepsea
+
+BENCHMARK_MAIN();

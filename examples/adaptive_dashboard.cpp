@@ -1,0 +1,115 @@
+// Adaptive dashboard: a BI-dashboard-style scenario. A fixed panel of
+// dashboard widgets (category revenue, click counts, customer-age
+// breakdowns — templates Q30, Q5, Q7) refreshes periodically, each time
+// focused on the currently "trending" item range, which drifts from
+// week to week. The example contrasts the DeepSea engine with a
+// no-materialization baseline on identical refresh sequences and prints
+// a running savings report — the kind of sizing exercise a platform
+// team would run before adopting adaptive view materialization.
+//
+// Run:  ./examples/adaptive_dashboard
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/bigbench.h"
+#include "workload/range_generator.h"
+
+using namespace deepsea;
+
+namespace {
+
+struct Refresh {
+  std::string widget;
+  std::string tmpl;
+  Interval range;
+};
+
+// One dashboard refresh = three widget queries around the trend center.
+std::vector<Refresh> MakeRefresh(double trend_center, Rng* rng) {
+  std::vector<Refresh> out;
+  auto jitter = [&](double width) {
+    const double mid = trend_center + rng->Gaussian(0.0, 1500.0);
+    return Interval(std::max(0.0, mid - width / 2.0),
+                    std::min(400000.0, mid + width / 2.0));
+  };
+  out.push_back({"revenue-by-category", "Q30", jitter(20000)});
+  out.push_back({"click-volume", "Q5", jitter(20000)});
+  out.push_back({"demographics", "Q7", jitter(20000)});
+  return out;
+}
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  BigBenchDataset::Options data;
+  data.total_bytes = 100e9;
+  data.sample_rows_per_fact = 512;
+  data.sample_rows_per_dim = 128;
+  (void)BigBenchDataset::Generate(data, &catalog);
+  return catalog;
+}
+
+}  // namespace
+
+int main() {
+  Catalog ds_catalog = MakeCatalog();
+  Catalog hive_catalog = MakeCatalog();
+
+  EngineOptions ds_options;
+  ds_options.benefit_cost_threshold = 0.05;
+  ds_options.pool_limit_bytes = 25e9;
+  // Trend jitter is ~1.5k; a coarser snap grid makes one fragment serve
+  // a whole trend instead of one per jitter cell.
+  ds_options.candidate_snap_fraction = 0.0125;
+  DeepSeaEngine deepsea_engine(&ds_catalog, ds_options);
+
+  EngineOptions hive_options;
+  hive_options.strategy = StrategyKind::kHive;
+  DeepSeaEngine hive_engine(&hive_catalog, hive_options);
+
+  Rng rng(99);
+  std::printf("%-6s %-12s %14s %14s %12s %s\n", "week", "trend", "DeepSea (s)",
+              "no views (s)", "saved", "pool");
+  double ds_total = 0.0, hive_total = 0.0;
+  // Eight "weeks", trend drifting across the catalog.
+  const double trend_centers[] = {60000,  60000,  90000,  90000,
+                                  220000, 220000, 250000, 340000};
+  int week = 0;
+  for (double center : trend_centers) {
+    ++week;
+    double ds_week = 0.0, hive_week = 0.0;
+    for (int refresh = 0; refresh < 6; ++refresh) {  // 6 refreshes per week
+      for (const Refresh& r : MakeRefresh(center, &rng)) {
+        auto plan = BigBenchTemplates::Build(r.tmpl, r.range.lo, r.range.hi);
+        if (!plan.ok()) return 1;
+        auto ds = deepsea_engine.ProcessQuery(*plan);
+        auto hv = hive_engine.ProcessQuery(*plan);
+        if (!ds.ok() || !hv.ok()) {
+          std::printf("query failed\n");
+          return 1;
+        }
+        ds_week += ds->total_seconds;
+        hive_week += hv->total_seconds;
+      }
+    }
+    ds_total += ds_week;
+    hive_total += hive_week;
+    std::printf("%-6d %-12.0f %14.0f %14.0f %11.0f%% %6.1f GB\n", week, center,
+                ds_week, hive_week,
+                100.0 * (1.0 - ds_week / std::max(hive_week, 1.0)),
+                deepsea_engine.PoolBytes() / 1e9);
+  }
+  std::printf("\nseason total: DeepSea %.0f s vs %.0f s without views"
+              " (%.0f%% saved)\n",
+              ds_total, hive_total,
+              100.0 * (1.0 - ds_total / std::max(hive_total, 1.0)));
+  std::printf("views created: %ld, fragments: %ld (evicted %ld)\n",
+              deepsea_engine.totals().views_created,
+              deepsea_engine.totals().fragments_created,
+              deepsea_engine.totals().fragments_evicted);
+  std::printf(
+      "\nWeeks repeating a trend are nearly free once the hot fragments are"
+      "\nmaterialized; a trend jump costs one repartitioning, then pays off.\n");
+  return 0;
+}

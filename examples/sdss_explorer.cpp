@@ -1,0 +1,116 @@
+// SDSS explorer: an exploratory-astronomy-style session (the workload
+// family that motivated DeepSea, Section 1). A scientist sweeps
+// different parts of the sky: queries first concentrate on one right-
+// ascension band, then interest shifts to another. The example shows
+// how the engine's partitioned views follow the interest: hot regions
+// get covered by small fragments, the pool adapts after the shift, and
+// an ASCII "sky map" visualizes which parts of the attribute domain are
+// finely fragmented at each stage.
+//
+// Run:  ./examples/sdss_explorer
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "workload/bigbench.h"
+#include "workload/sdss.h"
+
+using namespace deepsea;
+
+namespace {
+
+// Draws the materialized fragmentation of the busiest partition as a
+// 100-character strip over the item_sk domain: deeper fragmentation
+// (smaller fragments) shows as denser ticks.
+void DrawFragmentMap(const DeepSeaEngine& engine, const Interval& domain) {
+  const PartitionState* best = nullptr;
+  for (const ViewInfo* view : engine.views().AllViews()) {
+    for (const auto& [attr, part] : view->partitions) {
+      if (!part.AnyMaterialized()) continue;
+      if (best == nullptr ||
+          part.MaterializedIntervals().size() >
+              best->MaterializedIntervals().size()) {
+        best = &part;
+      }
+    }
+  }
+  if (best == nullptr) {
+    std::printf("  (no partitioned views in the pool yet)\n");
+    return;
+  }
+  std::string strip(100, '.');
+  for (const Interval& iv : best->MaterializedIntervals()) {
+    const int a = static_cast<int>(Clamp(
+        (iv.lo - domain.lo) / domain.Width() * 100.0, 0.0, 99.0));
+    const int b = static_cast<int>(Clamp(
+        (iv.hi - domain.lo) / domain.Width() * 100.0, 0.0, 99.0));
+    strip[static_cast<size_t>(a)] = '|';
+    strip[static_cast<size_t>(b)] = '|';
+    for (int i = a + 1; i < b; ++i) {
+      if (strip[static_cast<size_t>(i)] == '.') strip[static_cast<size_t>(i)] = '-';
+    }
+  }
+  std::printf("  [%s]\n", strip.c_str());
+  std::printf("  %zu materialized fragments; '|' marks fragment boundaries\n",
+              best->MaterializedIntervals().size());
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  BigBenchDataset::Options data;
+  data.total_bytes = 100e9;
+  data.sample_rows_per_fact = 1000;
+  data.sample_rows_per_dim = 200;
+  // Sky-survey access patterns shape the data distribution too (the
+  // paper samples item_sk from the SDSS ra histogram).
+  SdssTraceModel sky_model(SdssTraceModel::Config{}, 2017);
+  data.item_sk_distribution = sky_model.AccessDensity(420);
+  if (Status s = BigBenchDataset::Generate(data, &catalog); !s.ok()) {
+    std::printf("dataset generation failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  EngineOptions options;
+  options.benefit_cost_threshold = 0.05;
+  DeepSeaEngine engine(&catalog, options);
+
+  const Interval ra_domain(-20.0, 400.0);
+  const Interval sk_domain(0.0, 400000.0);
+  const auto trace = sky_model.GenerateTrace(120);
+
+  double cumulative = 0.0, cumulative_base = 0.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Interval range =
+        SdssTraceModel::MapRange(trace[i], ra_domain, sk_domain);
+    auto plan = BigBenchTemplates::Build("Q30", range.lo, range.hi);
+    if (!plan.ok()) return 1;
+    auto report = engine.ProcessQuery(*plan);
+    if (!report.ok()) {
+      std::printf("query failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    cumulative += report->total_seconds;
+    cumulative_base += report->base_seconds;
+    if ((i + 1) % 30 == 0) {
+      std::printf("\nafter %zu queries (interest %s):\n", i + 1,
+                  i < trace.size() * 0.3 ? "on the 200-300 deg band"
+                                         : "shifted toward 100 deg");
+      std::printf("  cumulative: %.0f s vs %.0f s without views (%.0f%% saved)\n",
+                  cumulative, cumulative_base,
+                  100.0 * (1.0 - cumulative / std::max(cumulative_base, 1.0)));
+      std::printf("  pool: %.2f GB, %ld fragments created, %ld evicted\n",
+                  engine.PoolBytes() / 1e9, engine.totals().fragments_created,
+                  engine.totals().fragments_evicted);
+      DrawFragmentMap(engine, sk_domain);
+    }
+  }
+  std::printf(
+      "\nThe fragment map is denser around the hot right-ascension bands and"
+      "\nfollows the interest shift — the progressive, workload-aware"
+      "\npartitioning of the paper in action.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#ifndef DEEPSEA_CATALOG_TABLE_H_
+#define DEEPSEA_CATALOG_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/histogram.h"
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace deepsea {
+
+/// A base table or materialized intermediate result.
+///
+/// Tables separate two scales (see DESIGN.md "Engine scale vs cost
+/// scale"): the *physical sample* (`rows()`) drives executor correctness
+/// at laptop scale, while `logical_row_count()` / `logical_bytes()`
+/// describe the full-size dataset (e.g. 500 GB BigBench) and drive the
+/// cluster cost model. Generators keep the two consistent: the sample is
+/// drawn from the same distribution whose total mass equals the logical
+/// row count.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  // --- physical sample ---
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  void ReserveRows(size_t n) { rows_.reserve(n); }
+
+  // --- logical (cost-model) scale ---
+  uint64_t logical_row_count() const { return logical_row_count_; }
+  void set_logical_row_count(uint64_t n) { logical_row_count_ = n; }
+  double avg_row_bytes() const { return avg_row_bytes_; }
+  void set_avg_row_bytes(double b) { avg_row_bytes_ = b; }
+  double logical_bytes() const {
+    return static_cast<double>(logical_row_count_) * avg_row_bytes_;
+  }
+
+  // --- statistics ---
+  /// Histogram of a numeric column's value distribution, used for
+  /// selectivity and fragment-size estimation. Returns nullptr when no
+  /// histogram was attached/built for the column.
+  const AttributeHistogram* GetHistogram(const std::string& column) const;
+  void SetHistogram(const std::string& column, AttributeHistogram hist);
+
+  /// Builds an equi-width histogram with `num_bins` bins from the
+  /// physical sample of numeric column `column`, scaled so that total
+  /// mass equals the logical row count. Fails when the column is absent
+  /// or non-numeric across sampled rows.
+  Status BuildHistogram(const std::string& column, int num_bins);
+
+  /// Min/max over the physical sample of a numeric column.
+  Result<Interval> SampleMinMax(const std::string& column) const;
+
+  /// Number of distinct values of a column at logical scale (set by
+  /// generators; used for group-by cardinality estimation). Returns 0
+  /// when unknown.
+  double ndv(const std::string& column) const;
+  void set_ndv(const std::string& column, double v);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  uint64_t logical_row_count_ = 0;
+  double avg_row_bytes_ = 100.0;
+  std::map<std::string, AttributeHistogram> histograms_;
+  std::map<std::string, double> ndv_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// Name -> table registry shared by the planner, executor and DeepSea
+/// core. Not thread-safe (the simulator is single-threaded by design for
+/// determinism).
+class Catalog {
+ public:
+  /// Registers a table; fails with AlreadyExists on name collision.
+  Status Register(TablePtr table);
+
+  /// Replaces or inserts a table unconditionally (used for materialized
+  /// view sample tables, which may be refreshed).
+  void Put(TablePtr table);
+
+  /// Fails with NotFound when absent.
+  Result<TablePtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Status Drop(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Total logical bytes across all registered tables.
+  double TotalLogicalBytes() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CATALOG_TABLE_H_

@@ -1,0 +1,69 @@
+#ifndef DEEPSEA_COMMON_RESULT_H_
+#define DEEPSEA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace deepsea {
+
+/// Result<T> carries either a value of type T or an error Status.
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise binds
+/// the unwrapped value to `lhs`. Usable in functions returning Status or
+/// Result<U>.
+#define DEEPSEA_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto DEEPSEA_CONCAT_(_res_, __LINE__) = (expr);          \
+  if (!DEEPSEA_CONCAT_(_res_, __LINE__).ok())              \
+    return DEEPSEA_CONCAT_(_res_, __LINE__).status();      \
+  lhs = std::move(DEEPSEA_CONCAT_(_res_, __LINE__)).value()
+
+#define DEEPSEA_CONCAT_INNER_(a, b) a##b
+#define DEEPSEA_CONCAT_(a, b) DEEPSEA_CONCAT_INNER_(a, b)
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_COMMON_RESULT_H_

@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace deepsea {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  // Rejection-inversion sampling (W. Hormann, G. Derflinger) is overkill
+  // here; we use the classic inverse transform on the generalized
+  // harmonic CDF with on-the-fly partial sums for small n, falling back
+  // to an approximate continuous inversion for large n.
+  if (n <= 1024) {
+    double norm = 0.0;
+    for (int64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(static_cast<double>(k), s);
+    double u = NextDouble() * norm;
+    double acc = 0.0;
+    for (int64_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s);
+      if (u <= acc) return k;
+    }
+    return n;
+  }
+  // Continuous approximation: integral of x^-s from 1 to n.
+  const double u = NextDouble();
+  if (s == 1.0) {
+    const double ln_n = std::log(static_cast<double>(n));
+    return static_cast<int64_t>(std::exp(u * ln_n));
+  }
+  const double one_minus_s = 1.0 - s;
+  const double t = std::pow(static_cast<double>(n), one_minus_s);
+  const double x = std::pow(u * (t - 1.0) + 1.0, 1.0 / one_minus_s);
+  int64_t k = static_cast<int64_t>(x);
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace deepsea

@@ -1,0 +1,87 @@
+#ifndef DEEPSEA_COMMON_STATUS_H_
+#define DEEPSEA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace deepsea {
+
+/// Error codes used across the DeepSea library. Library code never throws
+/// exceptions across API boundaries; fallible operations return a Status
+/// (or Result<T>, see result.h) in the style of RocksDB / Arrow.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A Status holds the outcome of an operation: either success (OK) or an
+/// error code plus a message. Statuses are cheap to copy for the OK case
+/// and small otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status.
+#define DEEPSEA_RETURN_IF_ERROR(expr)           \
+  do {                                          \
+    ::deepsea::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_COMMON_STATUS_H_

@@ -1,0 +1,193 @@
+// SaveState / LoadState: persistence of the engine's adaptive state
+// (see the declarations in core/engine.h). The format is line-based:
+//
+//   DEEPSEA-STATE 1
+//   CLOCK <t>
+//   VIEW
+//   PLAN <line-count>
+//   <serialized plan, see plan/plan_serde.h>
+//   STATS <size_bytes> <creation_cost> <size_actual> <cost_actual> <whole>
+//   EVENT <time> <saving>                     (0+ per view)
+//   PARTITION <attr> <lo> <hi> <li> <hi_inc>  (0+ per view)
+//   PENDING <lo> <hi> <li> <hi_inc>           (0+ per partition)
+//   FRAGMENT <lo> <hi> <li> <hi_inc> <size> <materialized>
+//   HIT <time> <has_range> <lo> <hi> <li> <hi_inc>  (0+ per fragment)
+//   ENDVIEW
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "core/engine.h"
+#include "plan/plan_serde.h"
+#include "plan/signature.h"
+
+namespace deepsea {
+
+namespace {
+
+std::string FmtInterval(const Interval& iv) {
+  return StrFormat("%.17g %.17g %d %d", iv.lo, iv.hi, iv.lo_inclusive ? 1 : 0,
+                   iv.hi_inclusive ? 1 : 0);
+}
+
+// Parses 4 whitespace-separated interval fields starting at parts[at].
+Result<Interval> ParseInterval(const std::vector<std::string>& parts, size_t at) {
+  if (parts.size() < at + 4) {
+    return Status::InvalidArgument("truncated interval in state");
+  }
+  return Interval(std::atof(parts[at].c_str()), std::atof(parts[at + 1].c_str()),
+                  parts[at + 2] == "1", parts[at + 3] == "1");
+}
+
+}  // namespace
+
+Result<std::string> DeepSeaEngine::SaveState() const {
+  std::string out = "DEEPSEA-STATE 1\n";
+  out += StrFormat("CLOCK %lld\n", static_cast<long long>(clock_));
+  for (const ViewInfo* view : views_.AllViews()) {
+    if (!view->plan) continue;
+    out += "VIEW\n";
+    const std::string plan_text = SerializePlan(view->plan);
+    int plan_lines = 0;
+    for (char c : plan_text) {
+      if (c == '\n') ++plan_lines;
+    }
+    out += StrFormat("PLAN %d\n", plan_lines);
+    out += plan_text;
+    out += StrFormat("STATS %.17g %.17g %d %d %d\n", view->stats.size_bytes,
+                     view->stats.creation_cost,
+                     view->stats.size_is_actual ? 1 : 0,
+                     view->stats.cost_is_actual ? 1 : 0,
+                     view->whole_materialized ? 1 : 0);
+    for (const BenefitEvent& e : view->stats.events) {
+      out += StrFormat("EVENT %.17g %.17g\n", e.time, e.saving);
+    }
+    for (const auto& [attr, part] : view->partitions) {
+      out += "PARTITION " + attr + " " + FmtInterval(part.domain) + "\n";
+      for (const Interval& iv : part.pending) {
+        out += "PENDING " + FmtInterval(iv) + "\n";
+      }
+      for (const FragmentStats& f : part.fragments) {
+        out += "FRAGMENT " + FmtInterval(f.interval) +
+               StrFormat(" %.17g %d\n", f.size_bytes, f.materialized ? 1 : 0);
+        for (const FragmentHit& h : f.hits) {
+          out += StrFormat("HIT %.17g %d ", h.time, h.has_range ? 1 : 0) +
+                 FmtInterval(h.range) + "\n";
+        }
+      }
+    }
+    out += "ENDVIEW\n";
+  }
+  return out;
+}
+
+Status DeepSeaEngine::LoadState(const std::string& state) {
+  const std::vector<std::string> lines = Split(state, '\n');
+  size_t i = 0;
+  auto next_parts = [&]() { return Split(lines[i], ' '); };
+  if (i >= lines.size() || lines[i] != "DEEPSEA-STATE 1") {
+    return Status::InvalidArgument("bad state header");
+  }
+  ++i;
+  if (i < lines.size() && lines[i].rfind("CLOCK ", 0) == 0) {
+    const int64_t saved = std::atoll(lines[i].substr(6).c_str());
+    clock_ = std::max(clock_, saved);
+    ++i;
+  }
+  while (i < lines.size()) {
+    if (lines[i].empty()) {
+      ++i;
+      continue;
+    }
+    if (lines[i] != "VIEW") {
+      return Status::InvalidArgument("expected VIEW at line " +
+                                     std::to_string(i));
+    }
+    ++i;
+    if (i >= lines.size() || lines[i].rfind("PLAN ", 0) != 0) {
+      return Status::InvalidArgument("expected PLAN after VIEW");
+    }
+    const int plan_lines = std::atoi(lines[i].substr(5).c_str());
+    ++i;
+    std::string plan_text;
+    for (int k = 0; k < plan_lines; ++k) {
+      if (i >= lines.size()) return Status::InvalidArgument("truncated plan");
+      plan_text += lines[i++] + "\n";
+    }
+    DEEPSEA_ASSIGN_OR_RETURN(PlanPtr plan, DeserializePlan(plan_text));
+    DEEPSEA_ASSIGN_OR_RETURN(PlanSignature sig, ComputeSignature(plan, *catalog_));
+    const bool known = views_.FindBySignature(sig.ToString()) != nullptr;
+    ViewInfo* view = views_.Track(plan, sig);
+    if (!known) {
+      RegisterViewTable(view);
+      index_.Insert(view->signature, view->id);
+    }
+
+    // STATS line.
+    if (i >= lines.size() || lines[i].rfind("STATS ", 0) != 0) {
+      return Status::InvalidArgument("expected STATS");
+    }
+    {
+      const auto parts = next_parts();
+      if (parts.size() != 6) return Status::InvalidArgument("bad STATS line");
+      view->stats.size_bytes = std::atof(parts[1].c_str());
+      view->stats.creation_cost = std::atof(parts[2].c_str());
+      view->stats.size_is_actual = parts[3] == "1";
+      view->stats.cost_is_actual = parts[4] == "1";
+      view->whole_materialized = parts[5] == "1";
+      if (view->whole_materialized) {
+        fs_.Put(StrFormat("pool/%s/full", view->id.c_str()),
+                view->stats.size_bytes);
+      }
+      ++i;
+    }
+    PartitionState* part = nullptr;
+    FragmentStats* frag = nullptr;
+    while (i < lines.size() && lines[i] != "ENDVIEW") {
+      const auto parts = next_parts();
+      if (parts[0] == "EVENT" && parts.size() == 3) {
+        view->stats.RecordUse(std::atof(parts[1].c_str()),
+                              std::atof(parts[2].c_str()));
+      } else if (parts[0] == "PARTITION" && parts.size() == 6) {
+        DEEPSEA_ASSIGN_OR_RETURN(Interval domain, ParseInterval(parts, 2));
+        part = view->EnsurePartition(parts[1], domain);
+        part->pending.clear();
+        frag = nullptr;
+        // Attach the derived histogram (as RegisterPartitionCandidates
+        // would) so fragment size estimation works after load.
+        auto view_table = catalog_->Get(view->id);
+        if (view_table.ok() &&
+            (*view_table)->GetHistogram(parts[1]) == nullptr) {
+          auto hist = DeriveViewHistogram(*view, parts[1]);
+          if (hist.ok()) (*view_table)->SetHistogram(parts[1], *hist);
+        }
+      } else if (parts[0] == "PENDING" && parts.size() == 5 && part != nullptr) {
+        DEEPSEA_ASSIGN_OR_RETURN(Interval iv, ParseInterval(parts, 1));
+        part->pending.push_back(iv);
+      } else if (parts[0] == "FRAGMENT" && parts.size() == 7 && part != nullptr) {
+        DEEPSEA_ASSIGN_OR_RETURN(Interval iv, ParseInterval(parts, 1));
+        frag = part->Track(iv, std::atof(parts[5].c_str()));
+        frag->size_bytes = std::atof(parts[5].c_str());
+        frag->materialized = parts[6] == "1";
+        frag->hits.clear();
+        if (frag->materialized) {
+          fs_.Put(FragmentPath(*view, part->attr, iv), frag->size_bytes);
+        }
+      } else if (parts[0] == "HIT" && parts.size() == 7 && frag != nullptr) {
+        FragmentHit hit;
+        hit.time = std::atof(parts[1].c_str());
+        hit.has_range = parts[2] == "1";
+        DEEPSEA_ASSIGN_OR_RETURN(hit.range, ParseInterval(parts, 3));
+        frag->hits.push_back(hit);
+      } else {
+        return Status::InvalidArgument("unexpected state line: " + lines[i]);
+      }
+      ++i;
+    }
+    if (i >= lines.size()) return Status::InvalidArgument("missing ENDVIEW");
+    ++i;  // consume ENDVIEW
+  }
+  return Status::OK();
+}
+
+}  // namespace deepsea

@@ -1,0 +1,146 @@
+#include "core/view_catalog.h"
+
+#include "common/str_util.h"
+
+namespace deepsea {
+
+FragmentStats* PartitionState::Find(const Interval& iv) {
+  for (FragmentStats& f : fragments) {
+    if (f.interval == iv) return &f;
+  }
+  return nullptr;
+}
+
+const FragmentStats* PartitionState::Find(const Interval& iv) const {
+  for (const FragmentStats& f : fragments) {
+    if (f.interval == iv) return &f;
+  }
+  return nullptr;
+}
+
+FragmentStats* PartitionState::Track(const Interval& iv, double est_size_bytes) {
+  FragmentStats* existing = Find(iv);
+  if (existing != nullptr) return existing;
+  FragmentStats f;
+  f.interval = iv;
+  f.size_bytes = est_size_bytes;
+  fragments.push_back(std::move(f));
+  return &fragments.back();
+}
+
+std::vector<Interval> PartitionState::MaterializedIntervals() const {
+  std::vector<Interval> out;
+  for (const FragmentStats& f : fragments) {
+    if (f.materialized) out.push_back(f.interval);
+  }
+  return out;
+}
+
+std::vector<Interval> PartitionState::TrackedIntervals() const {
+  std::vector<Interval> out;
+  out.reserve(fragments.size());
+  for (const FragmentStats& f : fragments) out.push_back(f.interval);
+  return out;
+}
+
+double PartitionState::MaterializedBytes() const {
+  double total = 0.0;
+  for (const FragmentStats& f : fragments) {
+    if (f.materialized) total += f.size_bytes;
+  }
+  return total;
+}
+
+bool PartitionState::AnyMaterialized() const {
+  for (const FragmentStats& f : fragments) {
+    if (f.materialized) return true;
+  }
+  return false;
+}
+
+bool ViewInfo::InPool() const {
+  if (whole_materialized) return true;
+  for (const auto& [_, p] : partitions) {
+    if (p.AnyMaterialized()) return true;
+  }
+  return false;
+}
+
+double ViewInfo::MaterializedBytes() const {
+  double total = whole_materialized ? stats.size_bytes : 0.0;
+  for (const auto& [_, p] : partitions) total += p.MaterializedBytes();
+  return total;
+}
+
+PartitionState* ViewInfo::GetPartition(const std::string& attr) {
+  auto it = partitions.find(attr);
+  return it == partitions.end() ? nullptr : &it->second;
+}
+
+const PartitionState* ViewInfo::GetPartition(const std::string& attr) const {
+  auto it = partitions.find(attr);
+  return it == partitions.end() ? nullptr : &it->second;
+}
+
+PartitionState* ViewInfo::EnsurePartition(const std::string& attr,
+                                          const Interval& domain) {
+  auto it = partitions.find(attr);
+  if (it != partitions.end()) return &it->second;
+  PartitionState p;
+  p.attr = attr;
+  p.domain = domain;
+  auto [inserted, _] = partitions.emplace(attr, std::move(p));
+  return &inserted->second;
+}
+
+ViewInfo* ViewCatalog::Track(const PlanPtr& plan, const PlanSignature& signature) {
+  const std::string canonical = signature.ToString();
+  auto it = by_signature_.find(canonical);
+  if (it != by_signature_.end()) return it->second;
+  auto view = std::make_unique<ViewInfo>();
+  view->id = StrFormat("v%d", next_id_++);
+  view->plan = plan;
+  view->signature = signature;
+  ViewInfo* raw = view.get();
+  views_.push_back(std::move(view));
+  by_signature_.emplace(canonical, raw);
+  by_id_.emplace(raw->id, raw);
+  return raw;
+}
+
+ViewInfo* ViewCatalog::FindBySignature(const std::string& canonical) {
+  auto it = by_signature_.find(canonical);
+  return it == by_signature_.end() ? nullptr : it->second;
+}
+
+ViewInfo* ViewCatalog::Get(const std::string& id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+const ViewInfo* ViewCatalog::Get(const std::string& id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<ViewInfo*> ViewCatalog::AllViews() {
+  std::vector<ViewInfo*> out;
+  out.reserve(views_.size());
+  for (auto& v : views_) out.push_back(v.get());
+  return out;
+}
+
+std::vector<const ViewInfo*> ViewCatalog::AllViews() const {
+  std::vector<const ViewInfo*> out;
+  out.reserve(views_.size());
+  for (const auto& v : views_) out.push_back(v.get());
+  return out;
+}
+
+double ViewCatalog::PoolBytes() const {
+  double total = 0.0;
+  for (const auto& v : views_) total += v->MaterializedBytes();
+  return total;
+}
+
+}  // namespace deepsea

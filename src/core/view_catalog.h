@@ -1,0 +1,102 @@
+#ifndef DEEPSEA_CORE_VIEW_CATALOG_H_
+#define DEEPSEA_CORE_VIEW_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/interval.h"
+#include "core/view_stats.h"
+#include "plan/plan.h"
+#include "plan/signature.h"
+
+namespace deepsea {
+
+/// State of one tracked partition of a view on one attribute: the
+/// paper's PSTAT(V, A) (all tracked fragment intervals, with per-
+/// fragment statistics) where the `materialized` flags identify the
+/// subset P(V, A) currently in the pool.
+struct PartitionState {
+  std::string attr;
+  Interval domain;
+  std::vector<FragmentStats> fragments;
+
+  /// The planned (non-overlapping) fragmentation accumulated from
+  /// selection endpoints *before* the partition is first materialized
+  /// (Definition 7 case "view not materialized yet": split the potential
+  /// fragments of PSTAT). Becomes the initial fragmentation at creation.
+  /// Initialized to {domain} on first use.
+  std::vector<Interval> pending;
+
+  /// Pointer to the tracked fragment with exactly this interval, or
+  /// nullptr. Pointers are invalidated by adding fragments.
+  FragmentStats* Find(const Interval& iv);
+  const FragmentStats* Find(const Interval& iv) const;
+
+  /// Adds a fragment to tracking if absent; returns the tracked entry.
+  FragmentStats* Track(const Interval& iv, double est_size_bytes);
+
+  std::vector<Interval> MaterializedIntervals() const;
+  std::vector<Interval> TrackedIntervals() const;
+  double MaterializedBytes() const;
+  bool AnyMaterialized() const;
+};
+
+/// Everything DeepSea knows about one view (materialized or candidate):
+/// its defining plan, signature, statistics, and tracked partitions.
+struct ViewInfo {
+  std::string id;       ///< stable name, also the catalog table name
+  PlanPtr plan;         ///< defining subquery (no partition selection)
+  PlanSignature signature;
+  ViewStats stats;
+  /// True when the full, unpartitioned view is materialized (the NP
+  /// baseline materializes views this way).
+  bool whole_materialized = false;
+  std::map<std::string, PartitionState> partitions;
+
+  /// In the pool = whole view or at least one fragment materialized.
+  bool InPool() const;
+
+  /// Bytes currently occupied in the pool by this view.
+  double MaterializedBytes() const;
+
+  PartitionState* GetPartition(const std::string& attr);
+  const PartitionState* GetPartition(const std::string& attr) const;
+  PartitionState* EnsurePartition(const std::string& attr, const Interval& domain);
+};
+
+/// Registry of all tracked views keyed by the canonical string of their
+/// defining signature. This is the paper's STAT = (VSTAT, PSTAT, Sigma)
+/// of Definition 5; pool membership is carried on the entries.
+class ViewCatalog {
+ public:
+  /// Returns the tracked view for `signature`, creating it (with a fresh
+  /// id "v<N>") when unseen. `plan` is stored on first track.
+  ViewInfo* Track(const PlanPtr& plan, const PlanSignature& signature);
+
+  /// Lookup by signature canonical string; nullptr when untracked.
+  ViewInfo* FindBySignature(const std::string& canonical);
+
+  ViewInfo* Get(const std::string& id);
+  const ViewInfo* Get(const std::string& id) const;
+
+  std::vector<ViewInfo*> AllViews();
+  std::vector<const ViewInfo*> AllViews() const;
+
+  size_t size() const { return views_.size(); }
+
+  /// Total pool bytes S(C) across all views.
+  double PoolBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<ViewInfo>> views_;
+  std::map<std::string, ViewInfo*> by_signature_;
+  std::map<std::string, ViewInfo*> by_id_;
+  int next_id_ = 1;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_VIEW_CATALOG_H_

@@ -1,0 +1,60 @@
+#include "core/view_stats.h"
+
+#include <algorithm>
+
+namespace deepsea {
+
+double ViewStats::AccumulatedBenefit(double t_now, const DecayFunction& dec) const {
+  double acc = 0.0;
+  for (const BenefitEvent& e : events) acc += e.saving * dec(t_now, e.time);
+  return acc;
+}
+
+double ViewStats::UndecayedBenefit() const {
+  double acc = 0.0;
+  for (const BenefitEvent& e : events) acc += e.saving;
+  return acc;
+}
+
+double ViewStats::LastUse() const {
+  double last = 0.0;
+  for (const BenefitEvent& e : events) last = std::max(last, e.time);
+  return last;
+}
+
+double ViewStats::Value(double t_now, const DecayFunction& dec) const {
+  const double benefit = AccumulatedBenefit(t_now, dec);
+  const double size = std::max(size_bytes, 1.0);
+  return creation_cost * benefit / size;
+}
+
+double FragmentStats::DecayedHits(double t_now, const DecayFunction& dec) const {
+  double acc = 0.0;
+  for (const FragmentHit& h : hits) acc += dec(t_now, h.time);
+  return acc;
+}
+
+double FragmentStats::LastHit() const {
+  double last = 0.0;
+  for (const FragmentHit& h : hits) last = std::max(last, h.time);
+  return last;
+}
+
+double FragmentStats::Benefit(double t_now, const DecayFunction& dec,
+                              double view_size, double view_cost,
+                              double adjusted_hits) const {
+  const double hits =
+      adjusted_hits >= 0.0 ? adjusted_hits : DecayedHits(t_now, dec);
+  const double size_fraction = size_bytes / std::max(view_size, 1.0);
+  return hits * size_fraction * view_cost;
+}
+
+double FragmentStats::Value(double t_now, const DecayFunction& dec,
+                            double view_size, double view_cost,
+                            double adjusted_hits) const {
+  const double benefit =
+      Benefit(t_now, dec, view_size, view_cost, adjusted_hits);
+  return view_cost * benefit / std::max(size_bytes, 1.0);
+}
+
+}  // namespace deepsea

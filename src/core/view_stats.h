@@ -1,0 +1,100 @@
+#ifndef DEEPSEA_CORE_VIEW_STATS_H_
+#define DEEPSEA_CORE_VIEW_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/decay.h"
+#include "core/interval.h"
+
+namespace deepsea {
+
+/// One "this view could have answered query Q at time t, saving s
+/// seconds" observation (an element of the paper's B / T lists).
+struct BenefitEvent {
+  double time = 0.0;    ///< logical timestamp (query index)
+  double saving = 0.0;  ///< COST(Q) - COST(Q/V), in simulated seconds
+};
+
+/// Statistics kept per view (candidate or materialized): the tuple
+/// (S, COST, T, B) of Definition 5 plus bookkeeping flags.
+struct ViewStats {
+  /// S(V): storage size in bytes. Estimated until first materialization.
+  double size_bytes = 0.0;
+  /// COST(V): creation cost in simulated seconds (estimate replaced by
+  /// the actual cost after the first instrumented execution).
+  double creation_cost = 0.0;
+  bool size_is_actual = false;
+  bool cost_is_actual = false;
+
+  /// Timestamped potential savings (the paper's T and B lists).
+  std::vector<BenefitEvent> events;
+
+  void RecordUse(double time, double saving) { events.push_back({time, saving}); }
+
+  /// Accumulated decayed benefit B(V, t_now) = sum of saving * DEC.
+  double AccumulatedBenefit(double t_now, const DecayFunction& dec) const;
+
+  /// Undecayed accumulated benefit N(V) (used by Nectar+, Section 10.1).
+  double UndecayedBenefit() const;
+
+  /// Timestamp of the most recent use, or 0 when never used.
+  double LastUse() const;
+
+  /// The paper's view value Phi(V, t_now) = COST * B / S. Views with
+  /// zero size rank highest among equal-benefit views (guarded division).
+  double Value(double t_now, const DecayFunction& dec) const;
+};
+
+/// One recorded access to a fragment: the timestamp (an element of the
+/// paper's T(I)) plus, when known, the part of the fragment the query
+/// actually touched. The paper records timestamps only and spreads a
+/// fragment's hits evenly over its extent when fitting the access
+/// distribution; keeping the accessed sub-range (information the
+/// matcher has anyway) makes the fitted distribution reflect the true
+/// access pattern even when a query merely grazes a huge cold fragment.
+struct FragmentHit {
+  double time = 0.0;
+  Interval range;
+  bool has_range = false;
+};
+
+/// Statistics kept per fragment interval of a tracked partition: the
+/// (S, T) pair of Definition 5. Benefit and cost are derived from the
+/// owning view's stats (Section 7.1, "Fragment Statistics").
+struct FragmentStats {
+  Interval interval;
+  /// S(I) in bytes; estimated for candidates, actual once materialized.
+  double size_bytes = 0.0;
+  bool materialized = false;
+  /// Hits T(I): the fragment was or could have been used.
+  std::vector<FragmentHit> hits;
+
+  void RecordHit(double time) { hits.push_back({time, Interval(), false}); }
+  void RecordHit(double time, const Interval& range) {
+    hits.push_back({time, range, true});
+  }
+
+  /// Decayed hit count H(I) = sum over hits of DEC(t_now, t).
+  double DecayedHits(double t_now, const DecayFunction& dec) const;
+
+  /// Undecayed hit count |T(I)|.
+  double RawHits() const { return static_cast<double>(hits.size()); }
+
+  double LastHit() const;
+
+  /// Fragment benefit per the paper:
+  ///   B(I, t_now) = sum_hits (S(I)/S(V)) * COST(V) * DEC(t_now, t)
+  /// where `hits` may be replaced by MLE-adjusted hits by the caller
+  /// (pass `adjusted_hits` >= 0 to override the decayed hit count).
+  double Benefit(double t_now, const DecayFunction& dec, double view_size,
+                 double view_cost, double adjusted_hits = -1.0) const;
+
+  /// Fragment value Phi(I, t_now) = COST(V) * B(I, t_now) / S(I).
+  double Value(double t_now, const DecayFunction& dec, double view_size,
+               double view_cost, double adjusted_hits = -1.0) const;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_VIEW_STATS_H_

@@ -1,0 +1,397 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+namespace deepsea {
+
+Result<ExecResult> Executor::Execute(const PlanPtr& plan) {
+  captured_.clear();
+  return ExecNode(plan);
+}
+
+Result<ExecResult> Executor::ExecNode(const PlanPtr& plan) {
+  Result<ExecResult> result = [&]() -> Result<ExecResult> {
+    switch (plan->kind()) {
+      case PlanKind::kScan:
+        return ExecScan(plan);
+      case PlanKind::kViewRef:
+        return ExecViewRef(plan);
+      case PlanKind::kSelect:
+        return ExecSelect(plan);
+      case PlanKind::kProject:
+        return ExecProject(plan);
+      case PlanKind::kJoin:
+        return ExecJoin(plan);
+      case PlanKind::kAggregate:
+        return ExecAggregate(plan);
+      case PlanKind::kSort:
+        return ExecSort(plan);
+      case PlanKind::kLimit:
+        return ExecLimit(plan);
+    }
+    return Status::Internal("bad plan kind");
+  }();
+  if (result.ok() && capture_.count(plan.get())) {
+    captured_[plan.get()] = *result;
+  }
+  return result;
+}
+
+Result<ExecResult> Executor::ExecScan(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(plan->table_name()));
+  ExecResult out;
+  out.schema = table->schema();
+  out.rows = table->rows();
+  return out;
+}
+
+Result<ExecResult> Executor::ExecViewRef(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(plan->table_name()));
+  ExecResult out;
+  out.schema = table->schema();
+  if (plan->view_fragments().empty()) {
+    out.rows = table->rows();
+    return out;
+  }
+  const auto idx = out.schema.FindColumn(plan->view_partition_attr());
+  if (!idx.has_value()) {
+    return Status::NotFound("view partition attribute not in view schema: " +
+                            plan->view_partition_attr());
+  }
+  for (const Row& row : table->rows()) {
+    const Value& v = row[*idx];
+    if (!v.is_numeric()) continue;
+    const double key = v.AsNumeric();
+    // Overlapping fragments can cover a key more than once; emit the row
+    // only once (the rewriter's greedy cover already dedups reads, but a
+    // defensive check keeps results duplicate-free).
+    for (const Interval& iv : plan->view_fragments()) {
+      if (iv.Contains(key)) {
+        out.rows.push_back(row);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<ExecResult> Executor::ExecSelect(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(ExecResult in, ExecNode(plan->child(0)));
+  ExecResult out;
+  out.schema = in.schema;
+  for (Row& row : in.rows) {
+    DEEPSEA_ASSIGN_OR_RETURN(Value keep, plan->predicate()->Eval(row, in.schema));
+    if (keep.is_bool() && keep.AsBool()) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<ExecResult> Executor::ExecProject(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(ExecResult in, ExecNode(plan->child(0)));
+  DEEPSEA_ASSIGN_OR_RETURN(Schema out_schema, plan->OutputSchema(*catalog_));
+  ExecResult out;
+  out.schema = out_schema;
+  out.rows.reserve(in.rows.size());
+  for (const Row& row : in.rows) {
+    Row projected;
+    projected.reserve(plan->project_exprs().size());
+    for (const ExprPtr& e : plan->project_exprs()) {
+      DEEPSEA_ASSIGN_OR_RETURN(Value v, e->Eval(row, in.schema));
+      projected.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<ExecResult> Executor::ExecJoin(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(ExecResult left, ExecNode(plan->child(0)));
+  DEEPSEA_ASSIGN_OR_RETURN(ExecResult right, ExecNode(plan->child(1)));
+  ExecResult out;
+  out.schema = left.schema.Concat(right.schema);
+
+  // Partition the join condition into hashable equi-key pairs and a
+  // residual applied post-concatenation.
+  const RangeExtraction ex = ExtractRanges(plan->predicate());
+  std::vector<std::pair<size_t, size_t>> key_pairs;  // (left idx, right idx)
+  std::vector<ExprPtr> residual_conjuncts = ex.residuals;
+  for (const ColumnRange& r : ex.ranges) {
+    // Range constraints inside a join condition act as filters; rebuild
+    // them as residual predicates on the concatenated schema.
+    ExprPtr cond;
+    if (std::isfinite(r.lo)) {
+      cond = Cmp(r.lo_inclusive ? CompareOp::kGe : CompareOp::kGt, Col(r.column),
+                 LitD(r.lo));
+    }
+    if (std::isfinite(r.hi)) {
+      ExprPtr hi_cond = Cmp(r.hi_inclusive ? CompareOp::kLe : CompareOp::kLt,
+                            Col(r.column), LitD(r.hi));
+      cond = cond ? And(cond, hi_cond) : hi_cond;
+    }
+    if (cond) residual_conjuncts.push_back(cond);
+  }
+  for (const auto& [a, b] : ex.column_equalities) {
+    const auto la = left.schema.FindColumn(a);
+    const auto rb = right.schema.FindColumn(b);
+    if (la.has_value() && rb.has_value()) {
+      key_pairs.emplace_back(*la, *rb);
+      continue;
+    }
+    const auto lb = left.schema.FindColumn(b);
+    const auto ra = right.schema.FindColumn(a);
+    if (lb.has_value() && ra.has_value()) {
+      key_pairs.emplace_back(*lb, *ra);
+      continue;
+    }
+    // Same-side equality: treat as residual filter.
+    residual_conjuncts.push_back(Cmp(CompareOp::kEq, Col(a), Col(b)));
+  }
+  if (key_pairs.empty()) {
+    return Status::InvalidArgument(
+        "join condition contains no cross-input column equality: " +
+        (plan->predicate() ? plan->predicate()->ToString() : "<null>"));
+  }
+  const ExprPtr residual = AndAll(residual_conjuncts);
+
+  // Build on the smaller input.
+  const bool build_right = right.rows.size() <= left.rows.size();
+  const ExecResult& build = build_right ? right : left;
+  const ExecResult& probe = build_right ? left : right;
+
+  auto build_key = [&](const Row& row) {
+    Row key;
+    key.reserve(key_pairs.size());
+    for (const auto& [li, ri] : key_pairs) {
+      key.push_back(row[build_right ? ri : li]);
+    }
+    return key;
+  };
+  auto probe_key = [&](const Row& row) {
+    Row key;
+    key.reserve(key_pairs.size());
+    for (const auto& [li, ri] : key_pairs) {
+      key.push_back(row[build_right ? li : ri]);
+    }
+    return key;
+  };
+
+  std::unordered_multimap<size_t, size_t> table;  // hash -> build row index
+  table.reserve(build.rows.size());
+  for (size_t i = 0; i < build.rows.size(); ++i) {
+    table.emplace(HashRow(build_key(build.rows[i])), i);
+  }
+  for (const Row& prow : probe.rows) {
+    const Row pkey = probe_key(prow);
+    auto [begin, end] = table.equal_range(HashRow(pkey));
+    for (auto it = begin; it != end; ++it) {
+      const Row& brow = build.rows[it->second];
+      if (build_key(brow) != pkey) continue;  // hash collision
+      Row joined;
+      const Row& lrow = build_right ? prow : brow;
+      const Row& rrow = build_right ? brow : prow;
+      joined.reserve(lrow.size() + rrow.size());
+      joined.insert(joined.end(), lrow.begin(), lrow.end());
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      if (residual) {
+        DEEPSEA_ASSIGN_OR_RETURN(Value keep, residual->Eval(joined, out.schema));
+        if (!keep.is_bool() || !keep.AsBool()) continue;
+      }
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0.0;
+  int64_t count = 0;
+  Value min;
+  Value max;
+  bool sum_is_integral = true;
+  int64_t isum = 0;
+};
+
+}  // namespace
+
+Result<ExecResult> Executor::ExecAggregate(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(ExecResult in, ExecNode(plan->child(0)));
+  DEEPSEA_ASSIGN_OR_RETURN(Schema out_schema, plan->OutputSchema(*catalog_));
+
+  std::vector<size_t> group_idx;
+  for (const std::string& g : plan->group_by()) {
+    const auto idx = in.schema.FindColumn(g);
+    if (!idx.has_value()) return Status::NotFound("group-by column: " + g);
+    group_idx.push_back(*idx);
+  }
+  std::vector<std::optional<size_t>> agg_idx;
+  for (const AggregateSpec& a : plan->aggregates()) {
+    if (a.fn == AggFunc::kCount && a.input_column.empty()) {
+      agg_idx.push_back(std::nullopt);
+      continue;
+    }
+    const auto idx = in.schema.FindColumn(a.input_column);
+    if (!idx.has_value()) {
+      return Status::NotFound("aggregate input column: " + a.input_column);
+    }
+    agg_idx.push_back(*idx);
+  }
+
+  // Group rows by key hash, verifying equality to resolve collisions.
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<size_t, std::vector<Group>> groups;
+  const size_t num_aggs = plan->aggregates().size();
+  for (const Row& row : in.rows) {
+    Row key;
+    key.reserve(group_idx.size());
+    for (size_t gi : group_idx) key.push_back(row[gi]);
+    const size_t h = HashRow(key);
+    auto& bucket = groups[h];
+    Group* group = nullptr;
+    for (Group& g : bucket) {
+      if (g.key == key) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(Group{key, std::vector<AggState>(num_aggs)});
+      group = &bucket.back();
+    }
+    for (size_t ai = 0; ai < num_aggs; ++ai) {
+      AggState& st = group->states[ai];
+      if (!agg_idx[ai].has_value()) {  // COUNT(*)
+        ++st.count;
+        continue;
+      }
+      const Value& v = row[*agg_idx[ai]];
+      if (v.is_null()) continue;
+      ++st.count;
+      if (v.is_numeric()) {
+        st.sum += v.AsNumeric();
+        if (v.is_int64()) {
+          st.isum += v.AsInt64();
+        } else {
+          st.sum_is_integral = false;
+        }
+      }
+      if (st.min.is_null() || v < st.min) st.min = v;
+      if (st.max.is_null() || v > st.max) st.max = v;
+    }
+  }
+
+  ExecResult out;
+  out.schema = out_schema;
+  // Deterministic output order: sort groups by key.
+  std::vector<const Group*> ordered;
+  for (const auto& [_, bucket] : groups) {
+    for (const Group& g : bucket) ordered.push_back(&g);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const Group* a, const Group* b) {
+    const size_t n = std::min(a->key.size(), b->key.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a->key[i].Compare(b->key[i]);
+      if (c != 0) return c < 0;
+    }
+    return a->key.size() < b->key.size();
+  });
+  // Global aggregate over empty input: emit one row of zeros/NULLs.
+  if (ordered.empty() && group_idx.empty()) {
+    Row row;
+    for (size_t ai = 0; ai < num_aggs; ++ai) {
+      row.push_back(plan->aggregates()[ai].fn == AggFunc::kCount
+                        ? Value(static_cast<int64_t>(0))
+                        : Value::Null());
+    }
+    out.rows.push_back(std::move(row));
+    return out;
+  }
+  for (const Group* g : ordered) {
+    Row row = g->key;
+    for (size_t ai = 0; ai < num_aggs; ++ai) {
+      const AggState& st = g->states[ai];
+      switch (plan->aggregates()[ai].fn) {
+        case AggFunc::kCount:
+          row.push_back(Value(st.count));
+          break;
+        case AggFunc::kSum:
+          if (st.count == 0) {
+            row.push_back(Value::Null());
+          } else if (st.sum_is_integral) {
+            row.push_back(Value(st.isum));
+          } else {
+            row.push_back(Value(st.sum));
+          }
+          break;
+        case AggFunc::kMin:
+          row.push_back(st.min);
+          break;
+        case AggFunc::kMax:
+          row.push_back(st.max);
+          break;
+        case AggFunc::kAvg:
+          row.push_back(st.count == 0 ? Value::Null()
+                                      : Value(st.sum / static_cast<double>(st.count)));
+          break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<ExecResult> Executor::ExecSort(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(ExecResult in, ExecNode(plan->child(0)));
+  std::vector<size_t> key_idx;
+  std::vector<bool> ascending;
+  for (const SortKey& k : plan->sort_keys()) {
+    const auto idx = in.schema.FindColumn(k.column);
+    if (!idx.has_value()) return Status::NotFound("sort column: " + k.column);
+    key_idx.push_back(*idx);
+    ascending.push_back(k.ascending);
+  }
+  std::stable_sort(in.rows.begin(), in.rows.end(),
+                   [&](const Row& a, const Row& b) {
+                     for (size_t i = 0; i < key_idx.size(); ++i) {
+                       const int c = a[key_idx[i]].Compare(b[key_idx[i]]);
+                       if (c != 0) return ascending[i] ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return in;
+}
+
+Result<ExecResult> Executor::ExecLimit(const PlanPtr& plan) {
+  DEEPSEA_ASSIGN_OR_RETURN(ExecResult in, ExecNode(plan->child(0)));
+  const size_t n = static_cast<size_t>(std::max<int64_t>(plan->limit(), 0));
+  if (in.rows.size() > n) in.rows.resize(n);
+  return in;
+}
+
+Result<std::vector<std::vector<Row>>> PartitionRows(
+    const ExecResult& input, const std::string& partition_attr,
+    const std::vector<Interval>& intervals) {
+  const auto idx = input.schema.FindColumn(partition_attr);
+  if (!idx.has_value()) {
+    return Status::NotFound("partition attribute not in schema: " + partition_attr);
+  }
+  std::vector<std::vector<Row>> buckets(intervals.size());
+  for (const Row& row : input.rows) {
+    const Value& v = row[*idx];
+    if (!v.is_numeric()) continue;
+    const double key = v.AsNumeric();
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      if (intervals[i].Contains(key)) buckets[i].push_back(row);
+    }
+  }
+  return buckets;
+}
+
+}  // namespace deepsea

@@ -1,0 +1,170 @@
+#ifndef DEEPSEA_PLAN_PLAN_H_
+#define DEEPSEA_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "core/interval.h"
+#include "expr/expr.h"
+
+namespace deepsea {
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Logical operator kinds. The engine's algebra is
+/// select-project-join-aggregate over base-table scans, which covers the
+/// BigBench-style workloads the paper evaluates. kViewRef is introduced
+/// by the rewriter when a subplan is replaced by a materialized view
+/// (optionally restricted to a set of fragments).
+enum class PlanKind {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kAggregate,
+  kViewRef,
+  kSort,
+  kLimit,
+};
+
+const char* PlanKindName(PlanKind k);
+
+/// Aggregate functions supported by the Aggregate operator.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate output: fn(input_column) AS output_name. kCount ignores
+/// input_column (COUNT(*)).
+struct AggregateSpec {
+  AggFunc fn = AggFunc::kCount;
+  std::string input_column;
+  std::string output_name;
+
+  std::string ToString() const;
+};
+
+/// One ORDER BY key.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+
+  std::string ToString() const;
+};
+
+/// Immutable logical plan node. Build with the factory functions below;
+/// nodes are shared and never mutated, so rewritten plans can share
+/// subtrees with the original.
+class PlanNode {
+ public:
+  PlanKind kind() const { return kind_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(size_t i) const { return children_[i]; }
+
+  // kScan / kViewRef
+  const std::string& table_name() const { return table_name_; }
+  /// kViewRef only: fragments of the view's partition chosen by the
+  /// rewriter to cover the query range; empty means "whole view".
+  const std::vector<Interval>& view_fragments() const { return view_fragments_; }
+  /// kViewRef only: partition attribute of the fragments above.
+  const std::string& view_partition_attr() const { return view_partition_attr_; }
+
+  // kSelect / kJoin
+  const ExprPtr& predicate() const { return predicate_; }
+
+  // kProject
+  const std::vector<ExprPtr>& project_exprs() const { return project_exprs_; }
+  const std::vector<std::string>& project_names() const { return project_names_; }
+
+  // kAggregate
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }
+
+  // kSort
+  const std::vector<SortKey>& sort_keys() const { return sort_keys_; }
+  // kLimit
+  int64_t limit() const { return limit_; }
+
+  /// Derives the output schema given base-table schemas in `catalog`.
+  Result<Schema> OutputSchema(const Catalog& catalog) const;
+
+  /// Canonical, deterministic rendering (indented tree).
+  std::string ToString(int indent = 0) const;
+
+  /// Multiset (sorted vector) of base tables reached through scans and
+  /// view references' *underlying* relations are NOT expanded — callers
+  /// that need logical provenance should consult the view catalog.
+  std::vector<std::string> BaseTables() const;
+
+  struct PrivateTag {};
+  explicit PlanNode(PrivateTag) {}
+
+ private:
+  friend PlanPtr Scan(std::string table);
+  friend PlanPtr Select(PlanPtr input, ExprPtr predicate);
+  friend PlanPtr Project(PlanPtr input, std::vector<ExprPtr> exprs,
+                         std::vector<std::string> names);
+  friend PlanPtr Join(PlanPtr left, PlanPtr right, ExprPtr condition);
+  friend PlanPtr Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                           std::vector<AggregateSpec> aggs);
+  friend PlanPtr ViewRef(std::string view_name, std::string partition_attr,
+                         std::vector<Interval> fragments);
+  friend PlanPtr Sort(PlanPtr input, std::vector<SortKey> keys);
+  friend PlanPtr Limit(PlanPtr input, int64_t n);
+
+  PlanKind kind_ = PlanKind::kScan;
+  std::vector<PlanPtr> children_;
+  std::string table_name_;
+  std::vector<Interval> view_fragments_;
+  std::string view_partition_attr_;
+  ExprPtr predicate_;
+  std::vector<ExprPtr> project_exprs_;
+  std::vector<std::string> project_names_;
+  std::vector<std::string> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<SortKey> sort_keys_;
+  int64_t limit_ = 0;
+
+  // Memoized pre-order shared pointer to self is not stored; factories
+  // return shared_ptr and CollectSubplans reconstructs via children.
+};
+
+/// Scan of a base table (or of a materialized view's sample table, when
+/// named accordingly).
+PlanPtr Scan(std::string table);
+/// Filter by a boolean predicate.
+PlanPtr Select(PlanPtr input, ExprPtr predicate);
+/// Projection: exprs[i] AS names[i].
+PlanPtr Project(PlanPtr input, std::vector<ExprPtr> exprs,
+                std::vector<std::string> names);
+/// Inner equi-join; `condition` is a conjunction that must include at
+/// least one column-equality across the inputs.
+PlanPtr Join(PlanPtr left, PlanPtr right, ExprPtr condition);
+/// Group-by aggregation. Empty `group_by` yields a single global row.
+PlanPtr Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                  std::vector<AggregateSpec> aggs);
+/// Reference to a materialized view restricted to `fragments` of its
+/// partition on `partition_attr` (empty = full view).
+PlanPtr ViewRef(std::string view_name, std::string partition_attr,
+                std::vector<Interval> fragments);
+/// Sorts rows by the given keys (stable; NULLs first per Value order).
+PlanPtr Sort(PlanPtr input, std::vector<SortKey> keys);
+/// Keeps the first `n` rows of the input.
+PlanPtr Limit(PlanPtr input, int64_t n);
+
+/// All subplans of `plan` (including the root), pre-order.
+void CollectSubplans(const PlanPtr& plan, std::vector<PlanPtr>* out);
+
+/// Returns a copy of `root` with the subtree whose node identity equals
+/// `target` replaced by `replacement`. Untouched subtrees are shared
+/// with the original. Returns `root` unchanged when target is absent.
+PlanPtr ReplacePlanNode(const PlanPtr& root, const PlanNode* target,
+                        const PlanPtr& replacement);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_PLAN_PLAN_H_

@@ -1,0 +1,37 @@
+#ifndef DEEPSEA_PLAN_PLAN_SERDE_H_
+#define DEEPSEA_PLAN_PLAN_SERDE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace deepsea {
+
+/// Serializes a logical plan into a stable, human-readable text form
+/// that DeserializePlan round-trips. One node per line, children
+/// indented by one space; expressions use Expr::ToString (which the SQL
+/// expression parser reads back). Example:
+///
+///   AGGREGATE by=item.category_id aggs=SUM(ss.net_paid) AS revenue
+///    SELECT ((ss.item_sk >= 10) AND (ss.item_sk <= 20))
+///     JOIN (ss.item_sk = item.item_sk)
+///      SCAN store_sales
+///      SCAN item
+///
+/// Used by the engine's state persistence (SaveState/LoadState): view
+/// definitions survive process restarts and signatures are recomputed
+/// from the deserialized plans.
+///
+/// Limitations: boolean and NULL literals inside expressions do not
+/// round-trip (the expression grammar has no such literals); ViewRef
+/// nodes serialize their name and fragment list.
+std::string SerializePlan(const PlanPtr& plan);
+
+/// Inverse of SerializePlan. Fails with InvalidArgument on malformed
+/// input.
+Result<PlanPtr> DeserializePlan(const std::string& text);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_PLAN_PLAN_SERDE_H_

@@ -1,0 +1,145 @@
+#include "plan/pushdown.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace deepsea {
+
+namespace {
+
+// "table.column" -> "table"; empty when unqualified.
+std::string TableOfColumn(const std::string& column) {
+  const size_t pos = column.rfind('.');
+  return pos == std::string::npos ? std::string() : column.substr(0, pos);
+}
+
+// The single base table all columns of `e` belong to, or empty.
+std::string SingleTableOf(const ExprPtr& e) {
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  std::string table;
+  for (const std::string& c : cols) {
+    const std::string t = TableOfColumn(c);
+    if (t.empty()) return "";
+    if (table.empty()) {
+      table = t;
+    } else if (table != t) {
+      return "";
+    }
+  }
+  return table;
+}
+
+// Rebuilds `plan` inserting Select(conjunct) directly above the scan of
+// `table`. Returns nullptr when the scan is absent.
+PlanPtr InsertAboveScan(const PlanPtr& plan, const std::string& table,
+                        const ExprPtr& conjunct) {
+  if (plan->kind() == PlanKind::kScan && plan->table_name() == table) {
+    return Select(plan, conjunct);
+  }
+  bool changed = false;
+  std::vector<PlanPtr> new_children;
+  for (const PlanPtr& c : plan->children()) {
+    if (!changed) {
+      PlanPtr nc = InsertAboveScan(c, table, conjunct);
+      if (nc) {
+        new_children.push_back(std::move(nc));
+        changed = true;
+        continue;
+      }
+    }
+    new_children.push_back(c);
+  }
+  if (!changed) return nullptr;
+  switch (plan->kind()) {
+    case PlanKind::kSelect:
+      return Select(new_children[0], plan->predicate());
+    case PlanKind::kProject:
+      return Project(new_children[0], plan->project_exprs(), plan->project_names());
+    case PlanKind::kJoin:
+      return Join(new_children[0], new_children[1], plan->predicate());
+    case PlanKind::kAggregate:
+      return Aggregate(new_children[0], plan->group_by(), plan->aggregates());
+    case PlanKind::kSort:
+      return Sort(new_children[0], plan->sort_keys());
+    case PlanKind::kLimit:
+      return Limit(new_children[0], plan->limit());
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+PlanPtr PushDownSelections(const PlanPtr& plan, const Catalog& catalog) {
+  if (!plan) return plan;
+  // Recurse first so nested selects are handled bottom-up.
+  std::vector<PlanPtr> new_children;
+  bool child_changed = false;
+  for (const PlanPtr& c : plan->children()) {
+    PlanPtr nc = PushDownSelections(c, catalog);
+    child_changed = child_changed || nc.get() != c.get();
+    new_children.push_back(std::move(nc));
+  }
+  PlanPtr cur = plan;
+  if (child_changed) {
+    switch (plan->kind()) {
+      case PlanKind::kSelect:
+        cur = Select(new_children[0], plan->predicate());
+        break;
+      case PlanKind::kProject:
+        cur = Project(new_children[0], plan->project_exprs(),
+                      plan->project_names());
+        break;
+      case PlanKind::kJoin:
+        cur = Join(new_children[0], new_children[1], plan->predicate());
+        break;
+      case PlanKind::kAggregate:
+        cur = Aggregate(new_children[0], plan->group_by(), plan->aggregates());
+        break;
+      case PlanKind::kSort:
+        cur = Sort(new_children[0], plan->sort_keys());
+        break;
+      case PlanKind::kLimit:
+        cur = Limit(new_children[0], plan->limit());
+        break;
+      default:
+        break;
+    }
+  }
+  if (cur->kind() != PlanKind::kSelect) return cur;
+  // Don't move predicates over aggregates (they constrain aggregate
+  // output, not base rows) or limits (they would change the row subset).
+  if (cur->child(0)->kind() == PlanKind::kAggregate ||
+      cur->child(0)->kind() == PlanKind::kLimit) {
+    return cur;
+  }
+
+  // Group pushable conjuncts by target table so each scan gains at most
+  // one Select node.
+  std::vector<ExprPtr> kept;
+  std::map<std::string, std::vector<ExprPtr>> by_table;
+  for (const ExprPtr& conj : SplitConjuncts(cur->predicate())) {
+    const std::string table = SingleTableOf(conj);
+    if (table.empty()) {
+      kept.push_back(conj);
+    } else {
+      by_table[table].push_back(conj);
+    }
+  }
+  PlanPtr input = cur->child(0);
+  for (const auto& [table, conjuncts] : by_table) {
+    PlanPtr pushed = InsertAboveScan(input, table, AndAll(conjuncts));
+    if (pushed) {
+      input = std::move(pushed);
+    } else {
+      kept.insert(kept.end(), conjuncts.begin(), conjuncts.end());
+    }
+  }
+  const ExprPtr rest = AndAll(kept);
+  return rest ? Select(input, rest) : input;
+}
+
+}  // namespace deepsea

@@ -1,0 +1,26 @@
+#ifndef DEEPSEA_PLAN_PUSHDOWN_H_
+#define DEEPSEA_PLAN_PUSHDOWN_H_
+
+#include "catalog/table.h"
+#include "plan/plan.h"
+
+namespace deepsea {
+
+/// Pushes single-table selection conjuncts down to directly above the
+/// scans of their tables, modelling what a conventional optimizer (and
+/// vanilla Hive) does. DeepSea deliberately does NOT push selections
+/// when instrumenting a query for materialization (Section 10.2: "Our
+/// materialization strategy requires that selections are not pushed
+/// down and hence we incur a performance hit initially"), so the engine
+/// costs the pushed-down variant for the Hive baseline / non-
+/// materializing executions and the original plan for instrumented
+/// ones.
+///
+/// Conjuncts whose columns span multiple tables (join predicates,
+/// residuals over several relations) stay where they are. Selections
+/// above aggregates are not moved.
+PlanPtr PushDownSelections(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_PLAN_PUSHDOWN_H_

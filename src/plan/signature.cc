@@ -1,0 +1,322 @@
+#include "plan/signature.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace deepsea {
+
+namespace {
+
+// Merges column `b` into the equivalence class structure containing `a`
+// (union-find over small vectors; class counts are tiny).
+void AddEquivalence(std::vector<std::set<std::string>>* classes,
+                    const std::string& a, const std::string& b) {
+  int ia = -1, ib = -1;
+  for (size_t i = 0; i < classes->size(); ++i) {
+    if ((*classes)[i].count(a)) ia = static_cast<int>(i);
+    if ((*classes)[i].count(b)) ib = static_cast<int>(i);
+  }
+  if (ia < 0 && ib < 0) {
+    classes->push_back({a, b});
+  } else if (ia >= 0 && ib < 0) {
+    (*classes)[static_cast<size_t>(ia)].insert(b);
+  } else if (ia < 0 && ib >= 0) {
+    (*classes)[static_cast<size_t>(ib)].insert(a);
+  } else if (ia != ib) {
+    auto& ca = (*classes)[static_cast<size_t>(ia)];
+    auto& cb = (*classes)[static_cast<size_t>(ib)];
+    ca.insert(cb.begin(), cb.end());
+    classes->erase(classes->begin() + ib);
+  }
+}
+
+// Intersects `update` into the stored range for its column.
+void MergeRange(std::map<std::string, ColumnRange>* ranges, const ColumnRange& r) {
+  auto it = ranges->find(r.column);
+  if (it == ranges->end()) {
+    (*ranges)[r.column] = r;
+    return;
+  }
+  ColumnRange& cur = it->second;
+  if (r.lo > cur.lo || (r.lo == cur.lo && !r.lo_inclusive)) {
+    cur.lo = r.lo;
+    cur.lo_inclusive = r.lo_inclusive;
+  }
+  if (r.hi < cur.hi || (r.hi == cur.hi && !r.hi_inclusive)) {
+    cur.hi = r.hi;
+    cur.hi_inclusive = r.hi_inclusive;
+  }
+}
+
+void AbsorbPredicate(PlanSignature* sig, const ExprPtr& pred) {
+  const RangeExtraction ex = ExtractRanges(pred);
+  for (const ColumnRange& r : ex.ranges) MergeRange(&sig->ranges, r);
+  for (const auto& [a, b] : ex.column_equalities) {
+    AddEquivalence(&sig->equiv_classes, a, b);
+  }
+  for (const ExprPtr& res : ex.residuals) {
+    if (sig->residuals.insert(res->ToString()).second) {
+      sig->residual_exprs.push_back(res);
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> PlanSignature::ClassOf(const std::string& column) const {
+  for (const auto& cls : equiv_classes) {
+    if (cls.count(column)) return cls;
+  }
+  return {column};
+}
+
+std::string PlanSignature::RelationKey() const { return Join(relations, ","); }
+
+std::string PlanSignature::ToString() const {
+  std::string out = "relations=[" + RelationKey() + "]";
+  out += " equiv={";
+  std::vector<std::string> cls_strs;
+  for (const auto& cls : equiv_classes) {
+    cls_strs.push_back("{" + Join({cls.begin(), cls.end()}, ",") + "}");
+  }
+  std::sort(cls_strs.begin(), cls_strs.end());
+  out += Join(cls_strs, ",") + "}";
+  out += " ranges={";
+  std::vector<std::string> range_strs;
+  for (const auto& [col, r] : ranges) {
+    range_strs.push_back(col + ":" + StrFormat("%s%.6g,%.6g%s",
+                                               r.lo_inclusive ? "[" : "(", r.lo,
+                                               r.hi, r.hi_inclusive ? "]" : ")"));
+  }
+  out += Join(range_strs, ",") + "}";
+  out += " residuals={" + Join({residuals.begin(), residuals.end()}, ",") + "}";
+  out += " outputs={" + Join({output_columns.begin(), output_columns.end()}, ",") + "}";
+  if (!computed_outputs.empty()) {
+    out += " computed={" +
+           Join({computed_outputs.begin(), computed_outputs.end()}, ",") + "}";
+  }
+  if (has_aggregate) {
+    out += " groupby=[" + Join(group_by, ",") + "]";
+    out += " aggs={" + Join({agg_specs.begin(), agg_specs.end()}, ",") + "}";
+  }
+  return out;
+}
+
+bool PlanSignature::operator==(const PlanSignature& other) const {
+  return ToString() == other.ToString();
+}
+
+Result<PlanSignature> ComputeSignature(const PlanPtr& plan, const Catalog& catalog) {
+  PlanSignature sig;
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kViewRef: {
+      sig.relations.push_back(plan->table_name());
+      DEEPSEA_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(catalog));
+      for (const auto& col : schema.columns()) sig.output_columns.insert(col.name);
+      return sig;
+    }
+    case PlanKind::kSort:
+      // Sorting does not change content; signatures see through it.
+      return ComputeSignature(plan->child(0), catalog);
+    case PlanKind::kLimit:
+      // LIMIT changes content non-semantically (row subset): such
+      // subplans are neither matched nor offered as view candidates.
+      return Status::NotImplemented("signatures for LIMIT are not supported");
+    case PlanKind::kSelect: {
+      DEEPSEA_ASSIGN_OR_RETURN(sig, ComputeSignature(plan->child(0), catalog));
+      if (sig.has_aggregate) {
+        // Selections above an aggregate act on aggregate output; treat
+        // them as residuals so matching stays sound (a view without the
+        // post-aggregate filter is still a superset).
+        for (const ExprPtr& conj : SplitConjuncts(plan->predicate())) {
+          sig.residuals.insert("post-agg:" + conj->ToString());
+        }
+        return sig;
+      }
+      AbsorbPredicate(&sig, plan->predicate());
+      return sig;
+    }
+    case PlanKind::kJoin: {
+      DEEPSEA_ASSIGN_OR_RETURN(PlanSignature l, ComputeSignature(plan->child(0), catalog));
+      DEEPSEA_ASSIGN_OR_RETURN(PlanSignature r, ComputeSignature(plan->child(1), catalog));
+      if (l.has_aggregate || r.has_aggregate) {
+        return Status::NotImplemented(
+            "signatures for joins over aggregates are not supported");
+      }
+      sig.relations = l.relations;
+      sig.relations.insert(sig.relations.end(), r.relations.begin(),
+                           r.relations.end());
+      std::sort(sig.relations.begin(), sig.relations.end());
+      sig.equiv_classes = l.equiv_classes;
+      for (const auto& cls : r.equiv_classes) {
+        auto it = cls.begin();
+        const std::string& first = *it;
+        for (++it; it != cls.end(); ++it) {
+          AddEquivalence(&sig.equiv_classes, first, *it);
+        }
+      }
+      sig.ranges = l.ranges;
+      for (const auto& [col, rr] : r.ranges) MergeRange(&sig.ranges, rr);
+      sig.residuals = l.residuals;
+      sig.residuals.insert(r.residuals.begin(), r.residuals.end());
+      sig.residual_exprs = l.residual_exprs;
+      for (const ExprPtr& e : r.residual_exprs) {
+        if (!l.residuals.count(e->ToString())) sig.residual_exprs.push_back(e);
+      }
+      sig.output_columns = l.output_columns;
+      sig.output_columns.insert(r.output_columns.begin(), r.output_columns.end());
+      sig.computed_outputs = l.computed_outputs;
+      sig.computed_outputs.insert(r.computed_outputs.begin(),
+                                  r.computed_outputs.end());
+      AbsorbPredicate(&sig, plan->predicate());
+      return sig;
+    }
+    case PlanKind::kProject: {
+      DEEPSEA_ASSIGN_OR_RETURN(sig, ComputeSignature(plan->child(0), catalog));
+      std::set<std::string> new_outputs;
+      for (size_t i = 0; i < plan->project_exprs().size(); ++i) {
+        const ExprPtr& e = plan->project_exprs()[i];
+        const std::string& name = plan->project_names()[i];
+        if (e->kind() == ExprKind::kColumnRef && e->column_name() == name) {
+          new_outputs.insert(name);
+        } else {
+          sig.computed_outputs.insert(e->ToString() + " AS " + name);
+          new_outputs.insert(name);
+        }
+      }
+      sig.output_columns = std::move(new_outputs);
+      return sig;
+    }
+    case PlanKind::kAggregate: {
+      DEEPSEA_ASSIGN_OR_RETURN(sig, ComputeSignature(plan->child(0), catalog));
+      if (sig.has_aggregate) {
+        return Status::NotImplemented("nested aggregates are not supported");
+      }
+      sig.has_aggregate = true;
+      sig.group_by = plan->group_by();
+      std::sort(sig.group_by.begin(), sig.group_by.end());
+      for (const auto& a : plan->aggregates()) sig.agg_specs.insert(a.ToString());
+      std::set<std::string> new_outputs(plan->group_by().begin(),
+                                        plan->group_by().end());
+      for (const auto& a : plan->aggregates()) new_outputs.insert(a.output_name);
+      sig.output_columns = std::move(new_outputs);
+      return sig;
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+MatchResult SignatureSubsumes(const PlanSignature& view_sig,
+                              const PlanSignature& query_sig) {
+  MatchResult out;
+  // 1. Relation classes must be equal.
+  if (view_sig.relations != query_sig.relations) {
+    out.reason = "relation classes differ";
+    return out;
+  }
+  // 2. Every view equivalence class must be contained in a query class:
+  //    the view enforces no equality the query does not also enforce.
+  for (const auto& vcls : view_sig.equiv_classes) {
+    bool contained = false;
+    for (const auto& qcls : query_sig.equiv_classes) {
+      if (std::includes(qcls.begin(), qcls.end(), vcls.begin(), vcls.end())) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      out.reason = "view equivalence class not implied by query";
+      return out;
+    }
+  }
+  // 3. View ranges must contain query ranges (view at least as wide).
+  for (const auto& [col, vrange] : view_sig.ranges) {
+    const auto qit = query_sig.ranges.find(col);
+    if (qit == query_sig.ranges.end()) {
+      out.reason = "view constrains column the query does not: " + col;
+      return out;
+    }
+    const ColumnRange& qrange = qit->second;
+    const Interval vi(vrange.lo, vrange.hi, vrange.lo_inclusive,
+                      vrange.hi_inclusive);
+    const Interval qi(qrange.lo, qrange.hi, qrange.lo_inclusive,
+                      qrange.hi_inclusive);
+    if (!vi.Contains(qi)) {
+      out.reason = "view range on " + col + " does not contain query range";
+      return out;
+    }
+  }
+  // 4. View residuals must be a subset of query residuals.
+  if (!std::includes(query_sig.residuals.begin(), query_sig.residuals.end(),
+                     view_sig.residuals.begin(), view_sig.residuals.end())) {
+    out.reason = "view residual predicates not implied by query";
+    return out;
+  }
+  // 5. Aggregation compatibility.
+  if (view_sig.has_aggregate != query_sig.has_aggregate) {
+    out.reason = "aggregate presence differs";
+    return out;
+  }
+  if (view_sig.has_aggregate) {
+    if (view_sig.group_by != query_sig.group_by ||
+        view_sig.agg_specs != query_sig.agg_specs) {
+      out.reason = "aggregate spec differs";
+      return out;
+    }
+    // Compensating predicates (query constraints the view lacks) must be
+    // expressible over the aggregate output, i.e. reference only
+    // group-by columns.
+    const std::set<std::string> gb(view_sig.group_by.begin(),
+                                   view_sig.group_by.end());
+    for (const auto& [col, qrange] : query_sig.ranges) {
+      const auto vit = view_sig.ranges.find(col);
+      const bool identical =
+          vit != view_sig.ranges.end() && vit->second.lo == qrange.lo &&
+          vit->second.hi == qrange.hi &&
+          vit->second.lo_inclusive == qrange.lo_inclusive &&
+          vit->second.hi_inclusive == qrange.hi_inclusive;
+      if (!identical && !gb.count(col)) {
+        out.reason = "compensating range on non-group-by column " + col;
+        return out;
+      }
+    }
+    for (const auto& res : query_sig.residuals) {
+      if (!view_sig.residuals.count(res)) {
+        out.reason = "compensating residual over aggregate not supported";
+        return out;
+      }
+    }
+  }
+  // 6. Output availability: the view must expose every column the query
+  //    outputs and every column needed by compensating predicates.
+  for (const auto& col : query_sig.output_columns) {
+    if (!view_sig.output_columns.count(col)) {
+      out.reason = "view missing output column " + col;
+      return out;
+    }
+  }
+  for (const auto& comp : query_sig.computed_outputs) {
+    if (!view_sig.computed_outputs.count(comp) ) {
+      // A computed output can be re-derived if the view still has the
+      // raw columns, but our compensation only selects/projects by name;
+      // be conservative.
+      out.reason = "view missing computed output " + comp;
+      return out;
+    }
+  }
+  if (!view_sig.has_aggregate) {
+    for (const auto& [col, qrange] : query_sig.ranges) {
+      (void)qrange;
+      if (!view_sig.output_columns.count(col)) {
+        out.reason = "view missing column needed for compensation: " + col;
+        return out;
+      }
+    }
+  }
+  out.matches = true;
+  return out;
+}
+
+}  // namespace deepsea

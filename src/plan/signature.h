@@ -1,0 +1,94 @@
+#ifndef DEEPSEA_PLAN_SIGNATURE_H_
+#define DEEPSEA_PLAN_SIGNATURE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "plan/plan.h"
+
+namespace deepsea {
+
+/// Goldstein-Larson-style query signature (paper Section 8.1): a mostly
+/// syntax-independent abstraction of an SPJG plan used to test the
+/// sufficient view-matching condition. Signatures abstract away join
+/// order and selection placement: all range constraints, column
+/// equivalences and residual predicates are pulled together regardless
+/// of where they appear in the plan.
+struct PlanSignature {
+  /// Relation classes: sorted multiset of base-table names.
+  std::vector<std::string> relations;
+
+  /// Attribute equivalence classes induced by column-equality
+  /// predicates; each class is a sorted set of qualified column names.
+  std::vector<std::set<std::string>> equiv_classes;
+
+  /// Per-column range constraints from `col OP literal` conjuncts
+  /// (the signature's "attribute value ranges").
+  std::map<std::string, ColumnRange> ranges;
+
+  /// Canonical strings of conjuncts that are neither ranges nor column
+  /// equalities ("remaining selection predicates").
+  std::set<std::string> residuals;
+
+  /// The actual expression trees behind `residuals`, kept so the
+  /// rewriter can re-apply them as compensation. Not part of signature
+  /// identity/canonical form.
+  std::vector<ExprPtr> residual_exprs;
+
+  /// Columns available in the plan output (qualified names).
+  std::set<std::string> output_columns;
+
+  /// Canonical "expr AS name" strings for computed projections.
+  std::set<std::string> computed_outputs;
+
+  /// Aggregation part. When has_aggregate, group_by is sorted and
+  /// agg_specs holds canonical AggregateSpec strings.
+  bool has_aggregate = false;
+  std::vector<std::string> group_by;
+  std::set<std::string> agg_specs;
+
+  /// The equivalence class containing `column`, or a singleton.
+  std::set<std::string> ClassOf(const std::string& column) const;
+
+  /// Canonical key of the relation classes (filter-tree level 1).
+  std::string RelationKey() const;
+
+  /// Full canonical rendering; equal signatures compare equal strings.
+  std::string ToString() const;
+
+  bool operator==(const PlanSignature& other) const;
+};
+
+/// Computes the signature of an SPJG plan bottom-up. ViewRef nodes are
+/// treated as opaque relations named after the view (signatures are
+/// normally computed on pre-rewrite plans). Fails on malformed plans.
+Result<PlanSignature> ComputeSignature(const PlanPtr& plan, const Catalog& catalog);
+
+/// Outcome of testing the sufficient matching condition between a view
+/// signature and a query-subplan signature.
+struct MatchResult {
+  bool matches = false;
+  /// Human-readable reason when matches == false (for logs and tests).
+  std::string reason;
+};
+
+/// Sufficient condition (Section 8.1): the view's result is a superset
+/// of the subquery's and the difference is compensable by selections /
+/// projections on the view output. Conditions checked:
+///  1. equal relation classes,
+///  2. every view equivalence class contained in a query class,
+///  3. view range ⊇ query range per constrained column,
+///  4. view residuals ⊆ query residuals,
+///  5. aggregate parts equal when present (and compensating predicates
+///     restricted to group-by columns),
+///  6. view outputs ⊇ query outputs and compensation columns.
+MatchResult SignatureSubsumes(const PlanSignature& view_sig,
+                              const PlanSignature& query_sig);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_PLAN_SIGNATURE_H_

@@ -1,0 +1,45 @@
+#include "rewrite/filter_tree.h"
+
+#include "common/str_util.h"
+
+namespace deepsea {
+
+std::string FilterTree::AggKey(const PlanSignature& sig) {
+  if (!sig.has_aggregate) return "";
+  return "by=" + Join(sig.group_by, ",") + ";aggs=" +
+         Join({sig.agg_specs.begin(), sig.agg_specs.end()}, ",");
+}
+
+void FilterTree::Insert(const PlanSignature& sig, const std::string& view_id) {
+  index_[sig.RelationKey()][AggKey(sig)].insert(view_id);
+}
+
+void FilterTree::Remove(const PlanSignature& sig, const std::string& view_id) {
+  auto rel_it = index_.find(sig.RelationKey());
+  if (rel_it == index_.end()) return;
+  auto agg_it = rel_it->second.find(AggKey(sig));
+  if (agg_it == rel_it->second.end()) return;
+  agg_it->second.erase(view_id);
+  if (agg_it->second.empty()) rel_it->second.erase(agg_it);
+  if (rel_it->second.empty()) index_.erase(rel_it);
+}
+
+std::vector<std::string> FilterTree::Lookup(const PlanSignature& query_sig) const {
+  std::vector<std::string> out;
+  auto rel_it = index_.find(query_sig.RelationKey());
+  if (rel_it == index_.end()) return out;
+  auto agg_it = rel_it->second.find(AggKey(query_sig));
+  if (agg_it == rel_it->second.end()) return out;
+  out.assign(agg_it->second.begin(), agg_it->second.end());
+  return out;
+}
+
+size_t FilterTree::size() const {
+  size_t n = 0;
+  for (const auto& [_, aggs] : index_) {
+    for (const auto& [__, ids] : aggs) n += ids.size();
+  }
+  return n;
+}
+
+}  // namespace deepsea

@@ -1,0 +1,45 @@
+#ifndef DEEPSEA_REWRITE_FILTER_TREE_H_
+#define DEEPSEA_REWRITE_FILTER_TREE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "plan/signature.h"
+
+namespace deepsea {
+
+/// In-memory index over view signatures modelled on the filter tree of
+/// Goldstein-Larson (paper Section 8.3). Each level prunes on one
+/// signature part; only views surviving every level are handed to the
+/// full sufficient-condition check:
+///   level 1 - relation classes (must be equal),
+///   level 2 - aggregation key (group-by + aggregate list; must be
+///             equal, since our compensation cannot re-aggregate).
+/// Leaves hold view ids; partition boundaries and statistics live on
+/// the ViewCatalog entries the ids point to.
+class FilterTree {
+ public:
+  void Insert(const PlanSignature& sig, const std::string& view_id);
+
+  /// Removes a view id (no-op when absent).
+  void Remove(const PlanSignature& sig, const std::string& view_id);
+
+  /// View ids whose signatures could match a query subplan with
+  /// signature `query_sig` (candidates only; callers must still verify
+  /// with SignatureSubsumes).
+  std::vector<std::string> Lookup(const PlanSignature& query_sig) const;
+
+  size_t size() const;
+
+ private:
+  static std::string AggKey(const PlanSignature& sig);
+
+  // relation key -> aggregation key -> view ids.
+  std::map<std::string, std::map<std::string, std::set<std::string>>> index_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_REWRITE_FILTER_TREE_H_

@@ -1,0 +1,59 @@
+#include "sim/runtime_estimator.h"
+
+#include <algorithm>
+
+namespace deepsea {
+
+void RuntimeEstimator::Record(const std::string& template_id, double x,
+                              double seconds) {
+  Samples& s = samples_[template_id];
+  s.xs.push_back(x);
+  s.ys.push_back(seconds);
+}
+
+size_t RuntimeEstimator::NumObservations(const std::string& template_id) const {
+  auto it = samples_.find(template_id);
+  return it == samples_.end() ? 0 : it->second.xs.size();
+}
+
+double RuntimeEstimator::Project(const std::string& template_id, double x,
+                                 double fallback) const {
+  auto it = samples_.find(template_id);
+  if (it == samples_.end() || it->second.xs.empty()) return fallback;
+  const Samples& s = it->second;
+  if (s.xs.size() >= min_observations_) {
+    const LinearFit fit = FitLinear(s.xs, s.ys);
+    if (fit.valid) return std::max(0.0, fit.Predict(x));
+  }
+  return std::max(0.0, Mean(s.ys));
+}
+
+double RuntimeEstimator::ProjectCumulative(
+    const std::vector<double>& per_query_seconds, int target_queries) {
+  if (per_query_seconds.empty() || target_queries <= 0) return 0.0;
+  const size_t n = per_query_seconds.size();
+  if (static_cast<int>(n) >= target_queries) {
+    double total = 0.0;
+    for (int i = 0; i < target_queries; ++i) total += per_query_seconds[i];
+    return total;
+  }
+  if (n < 2) {
+    return per_query_seconds[0] * target_queries;
+  }
+  // Fit cumulative(i) over i = 1..n, extrapolate at target. The first
+  // query (which typically pays materialization cost) is kept in the
+  // cumulative sum but the slope is dominated by steady-state queries,
+  // matching the paper's projection methodology.
+  std::vector<double> xs, ys;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += per_query_seconds[i];
+    xs.push_back(static_cast<double>(i + 1));
+    ys.push_back(acc);
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  if (!fit.valid) return acc / n * target_queries;
+  return std::max(0.0, fit.Predict(static_cast<double>(target_queries)));
+}
+
+}  // namespace deepsea

@@ -1,0 +1,54 @@
+#ifndef DEEPSEA_SIM_RUNTIME_ESTIMATOR_H_
+#define DEEPSEA_SIM_RUNTIME_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace deepsea {
+
+/// The paper's simulator (Section 9) gathers per-query-template
+/// observations and, once enough statistics exist, estimates the
+/// runtime of future executions of a template via linear regression.
+/// This class implements that mechanism: observations are (x, seconds)
+/// pairs keyed by template id, where x is any size-like covariate (we
+/// use bytes touched / selection width).
+class RuntimeEstimator {
+ public:
+  /// Minimum observations per template before Project() trusts the fit.
+  explicit RuntimeEstimator(size_t min_observations = 3)
+      : min_observations_(min_observations) {}
+
+  void Record(const std::string& template_id, double x, double seconds);
+
+  size_t NumObservations(const std::string& template_id) const;
+
+  /// Predicted seconds for a future execution with covariate `x`.
+  /// Before enough observations exist, returns the mean of what was
+  /// seen (or `fallback` when nothing was). Predictions are clamped to
+  /// be non-negative.
+  double Project(const std::string& template_id, double x,
+                 double fallback = 0.0) const;
+
+  /// Fits cumulative time over the query sequence and extrapolates the
+  /// cumulative total at `target_queries` (used for Fig. 7a: "project
+  /// the time for 100 queries"). `per_query_seconds` holds the observed
+  /// per-query times in sequence order. With fewer than 2 observations,
+  /// scales the mean.
+  static double ProjectCumulative(const std::vector<double>& per_query_seconds,
+                                  int target_queries);
+
+ private:
+  struct Samples {
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+  size_t min_observations_;
+  std::map<std::string, Samples> samples_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_SIM_RUNTIME_ESTIMATOR_H_

@@ -1,0 +1,256 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace deepsea {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kJoin:
+      return "JOIN";
+    case TokenKind::kOn:
+      return "ON";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kGroup:
+      return "GROUP";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kBetween:
+      return "BETWEEN";
+    case TokenKind::kOrder:
+      return "ORDER";
+    case TokenKind::kLimit:
+      return "LIMIT";
+    case TokenKind::kAsc:
+      return "ASC";
+    case TokenKind::kDesc:
+      return "DESC";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const auto* kKeywords = new std::map<std::string, TokenKind>{
+      {"select", TokenKind::kSelect}, {"from", TokenKind::kFrom},
+      {"join", TokenKind::kJoin},     {"on", TokenKind::kOn},
+      {"where", TokenKind::kWhere},   {"group", TokenKind::kGroup},
+      {"by", TokenKind::kBy},         {"as", TokenKind::kAs},
+      {"and", TokenKind::kAnd},       {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},       {"between", TokenKind::kBetween},
+      {"order", TokenKind::kOrder},   {"limit", TokenKind::kLimit},
+      {"asc", TokenKind::kAsc},       {"desc", TokenKind::kDesc},
+      {"inner", TokenKind::kJoin},    // INNER JOIN tolerated: INNER is a
+                                      // no-op prefix handled by the parser
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenKind kind, std::string text, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.position = pos;
+    out.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      const auto it = Keywords().find(Lower(word));
+      if (it != Keywords().end()) {
+        // "INNER" maps to kJoin but only as a prefix; drop it when the
+        // next word is JOIN (parser never sees it).
+        if (Lower(word) == "inner") {
+          i = j;
+          continue;
+        }
+        push(it->second, std::move(word), start);
+      } else {
+        push(TokenKind::kIdentifier, std::move(word), start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      char* end = nullptr;
+      const double value = std::strtod(sql.c_str() + i, &end);
+      const size_t j = static_cast<size_t>(end - sql.c_str());
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = sql.substr(i, j - i);
+      t.number = value;
+      t.position = start;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && sql[j] != '\'') text += sql[j++];
+      if (j >= n) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      push(TokenKind::kString, std::move(text), start);
+      i = j + 1;
+      continue;
+    }
+    auto two = [&](char second) { return i + 1 < n && sql[i + 1] == second; };
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+          break;
+        }
+        return Status::InvalidArgument(
+            StrFormat("unexpected '!' at offset %zu", start));
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (two('>')) {
+          push(TokenKind::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      case '+':
+        push(TokenKind::kPlus, "+", start);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kMinus, "-", start);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, "/", start);
+        ++i;
+        break;
+      case ';':
+        ++i;  // trailing semicolons are tolerated
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return out;
+}
+
+}  // namespace deepsea

@@ -1,0 +1,67 @@
+#ifndef DEEPSEA_SQL_LEXER_H_
+#define DEEPSEA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace deepsea {
+
+/// Token kinds of the small SQL dialect (see sql/parser.h for the
+/// grammar). Keywords are case-insensitive.
+enum class TokenKind {
+  kIdentifier,   // store_sales, item_sk  (dotted names are composed by
+                 // the parser from identifier '.' identifier)
+  kNumber,       // 123, 4.5, .5, 1e9
+  kString,       // 'abc'
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,           // =
+  kNe,           // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  // Keywords.
+  kSelect,
+  kFrom,
+  kJoin,
+  kOn,
+  kWhere,
+  kGroup,
+  kBy,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kBetween,
+  kOrder,
+  kLimit,
+  kAsc,
+  kDesc,
+  kEnd,          // end of input
+};
+
+const char* TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< raw text (identifier/string contents, number)
+  double number = 0.0;  ///< parsed value for kNumber
+  size_t position = 0;  ///< byte offset in the input (for error messages)
+};
+
+/// Tokenizes `sql`. Fails with InvalidArgument on unknown characters or
+/// unterminated strings; the error message carries the byte offset.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_SQL_LEXER_H_

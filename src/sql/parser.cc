@@ -1,0 +1,398 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace deepsea {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::optional<AggFunc> AggFuncFromName(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "count") return AggFunc::kCount;
+  if (n == "sum") return AggFunc::kSum;
+  if (n == "min") return AggFunc::kMin;
+  if (n == "max") return AggFunc::kMax;
+  if (n == "avg") return AggFunc::kAvg;
+  return std::nullopt;
+}
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PlanPtr> ParseQuery();
+
+  /// Parses a standalone expression and requires end-of-input.
+  Result<ExprPtr> ParseExpressionOnly() {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return e;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = std::min(pos_ + static_cast<size_t>(ahead),
+                              tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Status::InvalidArgument(
+        StrFormat("expected %s but found %s ('%s') at offset %zu",
+                  TokenKindName(kind), TokenKindName(Peek().kind),
+                  Peek().text.c_str(), Peek().position));
+  }
+
+  /// identifier ('.' identifier)? as a dotted column/table name.
+  Result<std::string> ParseDottedName();
+
+  // Expression grammar, loosest binding first.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  struct SelectItem {
+    // Either a plain expression...
+    ExprPtr expr;
+    // ...or an aggregate call.
+    std::optional<AggFunc> agg;
+    std::string agg_input;  // column, empty for COUNT(*)
+    std::string name;       // output name (AS alias or derived)
+  };
+  Result<SelectItem> ParseSelectItem();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<std::string> Parser::ParseDottedName() {
+  if (!Check(TokenKind::kIdentifier)) {
+    return Status::InvalidArgument(
+        StrFormat("expected identifier at offset %zu", Peek().position));
+  }
+  std::string name = Advance().text;
+  if (Match(TokenKind::kDot)) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Status::InvalidArgument(
+          StrFormat("expected identifier after '.' at offset %zu",
+                    Peek().position));
+    }
+    name += "." + Advance().text;
+  }
+  return name;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  DEEPSEA_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Match(TokenKind::kOr)) {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Or(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  DEEPSEA_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Match(TokenKind::kAnd)) {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = And(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Match(TokenKind::kNot)) {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Not(std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  DEEPSEA_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // BETWEEN a AND b desugars to (left >= a AND left <= b).
+  if (Match(TokenKind::kBetween)) {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kAnd));
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    return And(Cmp(CompareOp::kGe, left, std::move(lo)),
+               Cmp(CompareOp::kLe, left, std::move(hi)));
+  }
+  CompareOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq:
+      op = CompareOp::kEq;
+      break;
+    case TokenKind::kNe:
+      op = CompareOp::kNe;
+      break;
+    case TokenKind::kLt:
+      op = CompareOp::kLt;
+      break;
+    case TokenKind::kLe:
+      op = CompareOp::kLe;
+      break;
+    case TokenKind::kGt:
+      op = CompareOp::kGt;
+      break;
+    case TokenKind::kGe:
+      op = CompareOp::kGe;
+      break;
+    default:
+      return left;  // no comparison
+  }
+  Advance();
+  DEEPSEA_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+  return Cmp(op, std::move(left), std::move(right));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  DEEPSEA_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+    const ArithOp op =
+        Advance().kind == TokenKind::kPlus ? ArithOp::kAdd : ArithOp::kSub;
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = Arith(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  DEEPSEA_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+    const ArithOp op =
+        Advance().kind == TokenKind::kStar ? ArithOp::kMul : ArithOp::kDiv;
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = Arith(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenKind::kMinus)) {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return Arith(ArithOp::kSub, LitD(0.0), std::move(operand));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (Check(TokenKind::kNumber)) {
+    const Token& t = Advance();
+    // Integral literals stay int64 for exact comparisons.
+    if (t.text.find('.') == std::string::npos &&
+        t.text.find('e') == std::string::npos &&
+        t.text.find('E') == std::string::npos) {
+      return LitI(static_cast<int64_t>(t.number));
+    }
+    return LitD(t.number);
+  }
+  if (Check(TokenKind::kString)) {
+    return LitS(Advance().text);
+  }
+  if (Match(TokenKind::kLParen)) {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return inner;
+  }
+  if (Check(TokenKind::kIdentifier)) {
+    DEEPSEA_ASSIGN_OR_RETURN(std::string name, ParseDottedName());
+    return Col(std::move(name));
+  }
+  return Status::InvalidArgument(
+      StrFormat("expected expression but found %s at offset %zu",
+                TokenKindName(Peek().kind), Peek().position));
+}
+
+Result<Parser::SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // Aggregate call: ident '(' ... ')'.
+  if (Check(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kLParen) {
+    const auto agg = AggFuncFromName(Peek().text);
+    if (agg.has_value()) {
+      const std::string fn_name = Advance().text;
+      DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      item.agg = *agg;
+      if (*agg == AggFunc::kCount && Match(TokenKind::kStar)) {
+        item.agg_input.clear();
+      } else {
+        DEEPSEA_ASSIGN_OR_RETURN(item.agg_input, ParseDottedName());
+      }
+      DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      if (Match(TokenKind::kAs)) {
+        if (!Check(TokenKind::kIdentifier)) {
+          return Status::InvalidArgument("expected alias after AS");
+        }
+        item.name = Advance().text;
+      } else {
+        item.name = Lower(fn_name) + "_" +
+                    (item.agg_input.empty() ? "all" : item.agg_input);
+      }
+      return item;
+    }
+  }
+  DEEPSEA_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (Match(TokenKind::kAs)) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Status::InvalidArgument("expected alias after AS");
+    }
+    item.name = Advance().text;
+  } else if (item.expr->kind() == ExprKind::kColumnRef) {
+    item.name = item.expr->column_name();
+  } else {
+    item.name = item.expr->ToString();
+  }
+  return item;
+}
+
+Result<PlanPtr> Parser::ParseQuery() {
+  DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
+
+  // Select list (deferred until the FROM clause is known).
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  if (Match(TokenKind::kStar)) {
+    select_star = true;
+  } else {
+    do {
+      DEEPSEA_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+  }
+
+  // FROM + JOINs (left-deep in syntactic order).
+  DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+  DEEPSEA_ASSIGN_OR_RETURN(std::string first_table, ParseDottedName());
+  PlanPtr plan = Scan(std::move(first_table));
+  while (Match(TokenKind::kJoin)) {
+    DEEPSEA_ASSIGN_OR_RETURN(std::string table, ParseDottedName());
+    DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kOn));
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr condition, ParseExpr());
+    plan = Join(std::move(plan), Scan(std::move(table)), std::move(condition));
+  }
+
+  // WHERE above the join tree (DeepSea form; see header).
+  if (Match(TokenKind::kWhere)) {
+    DEEPSEA_ASSIGN_OR_RETURN(ExprPtr predicate, ParseExpr());
+    plan = Select(std::move(plan), std::move(predicate));
+  }
+
+  // GROUP BY.
+  std::vector<std::string> group_by;
+  if (Match(TokenKind::kGroup)) {
+    DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kBy));
+    do {
+      DEEPSEA_ASSIGN_OR_RETURN(std::string col, ParseDottedName());
+      group_by.push_back(std::move(col));
+    } while (Match(TokenKind::kComma));
+  }
+
+  // ORDER BY.
+  std::vector<SortKey> order_by;
+  if (Match(TokenKind::kOrder)) {
+    DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kBy));
+    do {
+      SortKey key;
+      DEEPSEA_ASSIGN_OR_RETURN(key.column, ParseDottedName());
+      if (Match(TokenKind::kDesc)) {
+        key.ascending = false;
+      } else {
+        (void)Match(TokenKind::kAsc);
+      }
+      order_by.push_back(std::move(key));
+    } while (Match(TokenKind::kComma));
+  }
+
+  // LIMIT.
+  std::optional<int64_t> limit;
+  if (Match(TokenKind::kLimit)) {
+    if (!Check(TokenKind::kNumber)) {
+      return Status::InvalidArgument("expected number after LIMIT");
+    }
+    limit = static_cast<int64_t>(Advance().number);
+  }
+
+  DEEPSEA_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+
+  const bool has_aggregates =
+      std::any_of(items.begin(), items.end(),
+                  [](const SelectItem& it) { return it.agg.has_value(); });
+  if (has_aggregates) {
+    if (select_star) {
+      return Status::InvalidArgument("SELECT * cannot be combined with aggregates");
+    }
+    std::vector<AggregateSpec> aggs;
+    for (const SelectItem& item : items) {
+      if (item.agg.has_value()) {
+        aggs.push_back({*item.agg, item.agg_input, item.name});
+        continue;
+      }
+      // Non-aggregate select items must be GROUP BY columns.
+      if (item.expr->kind() != ExprKind::kColumnRef ||
+          std::find(group_by.begin(), group_by.end(),
+                    item.expr->column_name()) == group_by.end()) {
+        return Status::InvalidArgument(
+            "non-aggregate select item '" + item.name +
+            "' must be a GROUP BY column");
+      }
+    }
+    plan = Aggregate(std::move(plan), std::move(group_by), std::move(aggs));
+  } else {
+    if (!group_by.empty()) {
+      return Status::InvalidArgument("GROUP BY requires aggregate select items");
+    }
+    if (!select_star) {
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (SelectItem& item : items) {
+        exprs.push_back(std::move(item.expr));
+        names.push_back(std::move(item.name));
+      }
+      plan = Project(std::move(plan), std::move(exprs), std::move(names));
+    }
+  }
+  if (!order_by.empty()) plan = Sort(std::move(plan), std::move(order_by));
+  if (limit.has_value()) plan = Limit(std::move(plan), *limit);
+  return plan;
+}
+
+}  // namespace
+
+Result<PlanPtr> ParseSql(const std::string& sql) {
+  DEEPSEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprPtr> ParseSqlExpression(const std::string& expression) {
+  DEEPSEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(expression));
+  Parser parser(std::move(tokens));
+  return parser.ParseExpressionOnly();
+}
+
+}  // namespace deepsea

@@ -1,0 +1,44 @@
+#ifndef DEEPSEA_SQL_PARSER_H_
+#define DEEPSEA_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace deepsea {
+
+/// Parses a small SQL dialect into a DeepSea logical plan. Grammar:
+///
+///   query       := SELECT select_list
+///                  FROM ident (JOIN ident ON expr)*
+///                  (WHERE expr)? (GROUP BY column (',' column)*)?
+///   select_list := '*' | select_item (',' select_item)*
+///   select_item := expr (AS ident)?
+///                | (COUNT '(' '*' ')' | SUM|MIN|MAX|AVG '(' column ')')
+///                  AS ident
+///   expr        := or-precedence expression over comparisons
+///                  (=, !=, <>, <, <=, >, >=), BETWEEN ... AND ...,
+///                  arithmetic (+,-,*,/), AND/OR/NOT, parentheses,
+///                  numeric and 'string' literals, dotted columns
+///
+/// The produced plan is in *DeepSea form*: the WHERE predicate sits
+/// ABOVE the join tree (so join/projection subqueries are view
+/// candidates and the selection drives partition candidates); apply
+/// PushDownSelections for the conventional plan. Joins are left-deep in
+/// FROM order. When the select list contains aggregates, the remaining
+/// select items must be the GROUP BY columns and the plan gains an
+/// Aggregate root; otherwise a non-'*' select list becomes a Project.
+///
+/// The parser is purely syntactic — table/column existence is checked
+/// later by OutputSchema / the executor against a Catalog.
+Result<PlanPtr> ParseSql(const std::string& sql);
+
+/// Parses a standalone scalar expression in the same dialect (used by
+/// plan deserialization: Expr::ToString output is fully parenthesized
+/// and round-trips through this parser, except boolean/NULL literals).
+Result<ExprPtr> ParseSqlExpression(const std::string& expression);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_SQL_PARSER_H_

@@ -1,0 +1,88 @@
+#include "storage/sim_fs.h"
+
+#include <cmath>
+
+namespace deepsea {
+
+Status SimFs::Create(const std::string& path, double bytes) {
+  if (files_.count(path) > 0) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  files_.emplace(path, bytes);
+  ledger_.bytes_written += bytes;
+  ++ledger_.files_created;
+  return Status::OK();
+}
+
+void SimFs::Put(const std::string& path, double bytes) {
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    ledger_.bytes_deleted += it->second;
+    it->second = bytes;
+  } else {
+    files_.emplace(path, bytes);
+    ++ledger_.files_created;
+  }
+  ledger_.bytes_written += bytes;
+}
+
+Status SimFs::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  ledger_.bytes_deleted += it->second;
+  ++ledger_.files_deleted;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<double> SimFs::Size(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+Result<double> SimFs::Read(const std::string& path) {
+  DEEPSEA_ASSIGN_OR_RETURN(double size, Size(path));
+  ledger_.bytes_read += size;
+  ++ledger_.read_ops;
+  return size;
+}
+
+Result<int64_t> SimFs::NumBlocks(const std::string& path) const {
+  DEEPSEA_ASSIGN_OR_RETURN(double size, Size(path));
+  if (size <= 0.0) return static_cast<int64_t>(0);
+  return static_cast<int64_t>(std::ceil(size / block_bytes_));
+}
+
+double SimFs::TotalBytes(const std::string& prefix) const {
+  double total = 0.0;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+std::vector<std::string> SimFs::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+int64_t SimFs::DeleteAll(const std::string& prefix) {
+  int64_t removed = 0;
+  auto it = files_.lower_bound(prefix);
+  while (it != files_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    ledger_.bytes_deleted += it->second;
+    ++ledger_.files_deleted;
+    it = files_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace deepsea

@@ -1,0 +1,82 @@
+#ifndef DEEPSEA_STORAGE_SIM_FS_H_
+#define DEEPSEA_STORAGE_SIM_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace deepsea {
+
+/// Running totals of simulated I/O. The paper's evaluation reasons about
+/// read/write volume and map-task counts (Section 10.2 analyzes cluster
+/// utilization); the ledger makes those observable in benches and tests.
+struct IoLedger {
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+  double bytes_deleted = 0.0;
+  int64_t files_created = 0;
+  int64_t files_deleted = 0;
+  int64_t read_ops = 0;
+
+  void Reset() { *this = IoLedger{}; }
+};
+
+/// A simulated HDFS-like distributed file system. Files are metadata
+/// only (logical byte sizes) — the physical sample data lives in the
+/// Catalog — but every materialized view fragment corresponds to one
+/// SimFs file, so pool accounting, block-granular map-task counts and
+/// small-files effects are faithful to an HDFS deployment.
+class SimFs {
+ public:
+  /// `block_bytes` is the HDFS block size; it is both the unit of
+  /// map-task scheduling and the paper's lower bound on fragment size
+  /// (Section 9 "Bounding Fragment Size").
+  explicit SimFs(double block_bytes = 128.0 * 1024 * 1024)
+      : block_bytes_(block_bytes) {}
+
+  double block_bytes() const { return block_bytes_; }
+
+  /// Creates a file of `bytes` logical bytes. Fails on duplicate path.
+  Status Create(const std::string& path, double bytes);
+
+  /// Creates or replaces.
+  void Put(const std::string& path, double bytes);
+
+  Status Delete(const std::string& path);
+
+  bool Exists(const std::string& path) const { return files_.count(path) > 0; }
+
+  /// File size; fails when absent.
+  Result<double> Size(const std::string& path) const;
+
+  /// Records a full read of the file in the ledger and returns its size.
+  Result<double> Read(const std::string& path);
+
+  /// Number of HDFS blocks the file occupies (>= 1 for non-empty files):
+  /// this is the number of map tasks a scan of the file spawns.
+  Result<int64_t> NumBlocks(const std::string& path) const;
+
+  /// Sum of sizes of all files whose path starts with `prefix`.
+  double TotalBytes(const std::string& prefix = "") const;
+
+  /// Paths under `prefix`, sorted.
+  std::vector<std::string> List(const std::string& prefix = "") const;
+
+  /// Deletes all files under `prefix`; returns the number removed.
+  int64_t DeleteAll(const std::string& prefix);
+
+  const IoLedger& ledger() const { return ledger_; }
+  IoLedger* mutable_ledger() { return &ledger_; }
+
+ private:
+  double block_bytes_;
+  std::map<std::string, double> files_;
+  IoLedger ledger_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_STORAGE_SIM_FS_H_

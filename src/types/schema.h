@@ -1,0 +1,57 @@
+#ifndef DEEPSEA_TYPES_SCHEMA_H_
+#define DEEPSEA_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace deepsea {
+
+/// A named, typed column. Column names are qualified with their source
+/// relation ("store_sales.item_sk") so that join outputs stay
+/// unambiguous; `short_name` is the part after the dot.
+struct ColumnDef {
+  std::string name;  ///< fully qualified, e.g. "store_sales.item_sk"
+  DataType type = DataType::kInt64;
+
+  /// Name without the relation qualifier.
+  std::string ShortName() const;
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns describing rows flowing through the engine.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef col) { columns_.push_back(std::move(col)); }
+
+  /// Index of the column whose qualified name equals `name`, or whose
+  /// short name equals `name` if exactly one column matches. Returns
+  /// nullopt when absent or ambiguous.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Concatenation (used by joins): columns of `this` then `other`.
+  Schema Concat(const Schema& other) const;
+
+  bool operator==(const Schema& other) const { return columns_ == other.columns_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_TYPES_SCHEMA_H_

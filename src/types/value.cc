@@ -1,0 +1,92 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace deepsea {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kNull:
+      return "NULL";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  if (is_null()) return DataType::kNull;
+  if (is_int64()) return DataType::kInt64;
+  if (is_double()) return DataType::kDouble;
+  if (is_string()) return DataType::kString;
+  return DataType::kBool;
+}
+
+double Value::AsNumeric() const {
+  if (is_int64()) return static_cast<double>(AsInt64());
+  assert(is_double());
+  return AsDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  // Null sorts first.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    const double a = AsNumeric();
+    const double b = other.AsNumeric();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    return AsString().compare(other.AsString());
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  // Heterogeneous non-comparable types: order by type id for stability.
+  return static_cast<int>(type()) - static_cast<int>(other.type());
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b9u;
+  if (is_numeric()) {
+    // Hash the numeric view so that int64(5) and double(5.0) collide,
+    // consistent with Compare treating them as equal.
+    const double d = AsNumeric();
+    if (d == 0.0) return std::hash<double>{}(0.0);  // +0 / -0 unify
+    return std::hash<double>{}(d);
+  }
+  if (is_string()) return std::hash<std::string>{}(AsString());
+  return std::hash<bool>{}(AsBool());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(AsInt64());
+  if (is_double()) return StrFormat("%g", AsDouble());
+  if (is_string()) return "'" + AsString() + "'";
+  return AsBool() ? "true" : "false";
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x345678u;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace deepsea

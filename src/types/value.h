@@ -1,0 +1,88 @@
+#ifndef DEEPSEA_TYPES_VALUE_H_
+#define DEEPSEA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace deepsea {
+
+/// Scalar data types supported by the engine. Kept deliberately small:
+/// the DeepSea techniques only need an ordered numeric partition key plus
+/// enough variety (strings, bools) to express realistic analytic schemas.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+  kNull,
+};
+
+/// Human-readable type name ("INT64", ...).
+const char* DataTypeName(DataType t);
+
+/// A dynamically typed scalar value. Null is the monostate alternative.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+  explicit Value(bool v) : v_(v) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+
+  DataType type() const;
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  bool AsBool() const { return std::get<bool>(v_); }
+
+  /// Numeric view: int64 and double promote to double; other types are a
+  /// programming error (asserts). Used for range predicates and
+  /// partition keys, which are restricted to ordered numeric attributes.
+  double AsNumeric() const;
+
+  /// True when the value is int64 or double.
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  /// Total order within the same type family; numerics compare across
+  /// int64/double. Null sorts first. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash suitable for hash joins / aggregation keys.
+  size_t Hash() const;
+
+  /// Rendering for debugging and golden tests.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> v_;
+};
+
+/// A row is a fixed-width tuple of values positionally aligned with a
+/// Schema.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (order-sensitive combination of value hashes).
+size_t HashRow(const Row& row);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_TYPES_VALUE_H_

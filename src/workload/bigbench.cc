@@ -1,0 +1,360 @@
+#include "workload/bigbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace deepsea {
+
+namespace {
+
+constexpr double kItemRowBytes = 60.0;
+constexpr double kCustomerRowBytes = 80.0;
+constexpr double kStoreSalesRowBytes = 110.0;
+constexpr double kClickstreamRowBytes = 60.0;
+constexpr double kWebSalesRowBytes = 90.0;
+constexpr int kNumCategories = 40;
+constexpr double kNumCustomers = 1.0e6;
+
+// Draws a value from the histogram's distribution: bin by mass, uniform
+// within the bin.
+double SampleFromHistogram(const AttributeHistogram& hist, Rng* rng) {
+  if (hist.empty()) {
+    return rng->Uniform(hist.domain().lo, hist.domain().hi);
+  }
+  double u = rng->NextDouble() * hist.total_count();
+  for (int b = 0; b < hist.num_bins(); ++b) {
+    const double c = hist.bin_count(b);
+    if (u <= c) {
+      const Interval bi = hist.bin_interval(b);
+      return rng->Uniform(bi.lo, bi.hi);
+    }
+    u -= c;
+  }
+  return hist.domain().hi;
+}
+
+// Rescales a histogram onto a new domain preserving bin masses.
+AttributeHistogram RescaleHistogram(const AttributeHistogram& hist,
+                                    const Interval& target, int bins) {
+  AttributeHistogram out(target, bins);
+  const Interval from = hist.domain();
+  const double scale = target.Width() / from.Width();
+  for (int b = 0; b < hist.num_bins(); ++b) {
+    const Interval bi = hist.bin_interval(b);
+    const Interval mapped(target.lo + (bi.lo - from.lo) * scale,
+                          target.lo + (bi.hi - from.lo) * scale);
+    out.AddRange(mapped, hist.bin_count(b));
+  }
+  return out;
+}
+
+struct FactSpec {
+  const char* name;
+  double byte_share;
+  double row_bytes;
+};
+
+const FactSpec kFacts[] = {
+    {"store_sales", 0.55, kStoreSalesRowBytes},
+    {"web_clickstreams", 0.30, kClickstreamRowBytes},
+    {"web_sales", 0.15, kWebSalesRowBytes},
+};
+
+}  // namespace
+
+std::vector<std::string> BigBenchDataset::FactTables() {
+  return {"store_sales", "web_clickstreams", "web_sales"};
+}
+
+Status BigBenchDataset::Generate(const Options& options, Catalog* catalog) {
+  Rng rng(options.seed);
+  const Interval item_domain(0.0, options.item_sk_max);
+
+  // item_sk distribution at logical scale.
+  AttributeHistogram item_dist(item_domain, options.histogram_bins);
+  if (options.item_sk_distribution.has_value()) {
+    item_dist = RescaleHistogram(*options.item_sk_distribution, item_domain,
+                                 options.histogram_bins);
+  } else {
+    item_dist.AddRange(item_domain, 1.0);
+  }
+
+  // --- dimension: item ---
+  {
+    Schema schema({{"item.item_sk", DataType::kInt64},
+                   {"item.category_id", DataType::kInt64},
+                   {"item.price", DataType::kDouble}});
+    auto table = std::make_shared<Table>("item", schema);
+    const uint64_t logical_rows = static_cast<uint64_t>(options.item_sk_max) + 1;
+    table->set_logical_row_count(logical_rows);
+    table->set_avg_row_bytes(kItemRowBytes);
+    table->ReserveRows(options.sample_rows_per_dim);
+    // Sample item_sks spread across the domain (strided for coverage).
+    const double stride = options.item_sk_max /
+                          std::max<uint64_t>(options.sample_rows_per_dim, 1);
+    for (uint64_t i = 0; i < options.sample_rows_per_dim; ++i) {
+      const int64_t sk = static_cast<int64_t>(i * stride);
+      // Categories cycle over sample positions (not raw keys) so the
+      // strided sample still covers all categories.
+      table->AddRow({Value(sk), Value(static_cast<int64_t>(i % kNumCategories)),
+                     Value(1.0 + 99.0 * rng.NextDouble())});
+    }
+    table->set_ndv("item.item_sk", static_cast<double>(logical_rows));
+    table->set_ndv("item.category_id", kNumCategories);
+    AttributeHistogram hist(item_domain, options.histogram_bins);
+    hist.AddRange(item_domain, static_cast<double>(logical_rows));
+    table->SetHistogram("item.item_sk", hist);
+    DEEPSEA_RETURN_IF_ERROR(catalog->Register(table));
+  }
+
+  // --- dimension: customer ---
+  {
+    Schema schema({{"customer.customer_sk", DataType::kInt64},
+                   {"customer.age", DataType::kInt64},
+                   {"customer.income", DataType::kDouble}});
+    auto table = std::make_shared<Table>("customer", schema);
+    table->set_logical_row_count(static_cast<uint64_t>(kNumCustomers));
+    table->set_avg_row_bytes(kCustomerRowBytes);
+    table->ReserveRows(options.sample_rows_per_dim);
+    const double stride =
+        kNumCustomers / std::max<uint64_t>(options.sample_rows_per_dim, 1);
+    for (uint64_t i = 0; i < options.sample_rows_per_dim; ++i) {
+      const int64_t sk = static_cast<int64_t>(i * stride);
+      table->AddRow({Value(sk), Value(static_cast<int64_t>(18 + (sk % 73))),
+                     Value(20000.0 + 150000.0 * rng.NextDouble())});
+    }
+    table->set_ndv("customer.customer_sk", kNumCustomers);
+    table->set_ndv("customer.age", 73.0);
+    DEEPSEA_RETURN_IF_ERROR(catalog->Register(table));
+  }
+
+  // --- facts ---
+  const double dim_bytes =
+      (options.item_sk_max + 1) * kItemRowBytes + kNumCustomers * kCustomerRowBytes;
+  const double fact_bytes = std::max(options.total_bytes - dim_bytes, 0.0);
+  for (const FactSpec& spec : kFacts) {
+    const std::string n = spec.name;
+    Schema schema;
+    if (n == "store_sales") {
+      schema = Schema({{"store_sales.item_sk", DataType::kInt64},
+                       {"store_sales.customer_sk", DataType::kInt64},
+                       {"store_sales.quantity", DataType::kInt64},
+                       {"store_sales.net_paid", DataType::kDouble},
+                       {"store_sales.sold_date", DataType::kInt64}});
+    } else if (n == "web_clickstreams") {
+      schema = Schema({{"web_clickstreams.item_sk", DataType::kInt64},
+                       {"web_clickstreams.user_sk", DataType::kInt64},
+                       {"web_clickstreams.click_date", DataType::kInt64}});
+    } else {
+      schema = Schema({{"web_sales.item_sk", DataType::kInt64},
+                       {"web_sales.customer_sk", DataType::kInt64},
+                       {"web_sales.net_paid", DataType::kDouble}});
+    }
+    auto table = std::make_shared<Table>(n, schema);
+    const double bytes = fact_bytes * spec.byte_share;
+    const uint64_t logical_rows = static_cast<uint64_t>(bytes / spec.row_bytes);
+    table->set_logical_row_count(logical_rows);
+    table->set_avg_row_bytes(spec.row_bytes);
+    table->ReserveRows(options.sample_rows_per_fact);
+    // Physical-sample fidelity: the item dimension sample holds every
+    // `item_stride`-th key, so fact sample keys are quantized onto that
+    // grid to give the sampled join realistic fan-out.
+    const double item_stride =
+        options.item_sk_max / std::max<uint64_t>(options.sample_rows_per_dim, 1);
+    for (uint64_t i = 0; i < options.sample_rows_per_fact; ++i) {
+      const double raw = SampleFromHistogram(item_dist, &rng);
+      const int64_t item_sk = static_cast<int64_t>(
+          Clamp(std::round(raw / item_stride) * item_stride, 0.0,
+                options.item_sk_max));
+      const int64_t other_sk = rng.UniformInt(0, static_cast<int64_t>(kNumCustomers) - 1);
+      if (n == "store_sales") {
+        table->AddRow({Value(item_sk), Value(other_sk),
+                       Value(rng.UniformInt(1, 10)),
+                       Value(5.0 + 500.0 * rng.NextDouble()),
+                       Value(rng.UniformInt(0, 365))});
+      } else if (n == "web_clickstreams") {
+        table->AddRow({Value(item_sk), Value(other_sk),
+                       Value(rng.UniformInt(0, 365))});
+      } else {
+        table->AddRow({Value(item_sk), Value(other_sk),
+                       Value(5.0 + 500.0 * rng.NextDouble())});
+      }
+    }
+    // Logical-scale histogram on item_sk follows the generating
+    // distribution exactly (no sample noise).
+    AttributeHistogram hist = item_dist;
+    if (hist.total_count() > 0.0) {
+      hist.NormalizeTo(static_cast<double>(logical_rows));
+    }
+    table->SetHistogram(n + ".item_sk", hist);
+    table->set_ndv(n + ".item_sk", options.item_sk_max + 1);
+    if (n == "store_sales") {
+      // sold_date is uniformly distributed over a year; a second
+      // ordered attribute for multi-attribute partitioning.
+      AttributeHistogram dates(Interval(0, 365), 73);
+      dates.AddRange(Interval(0, 365), static_cast<double>(logical_rows));
+      table->SetHistogram("store_sales.sold_date", dates);
+      table->set_ndv("store_sales.sold_date", 366);
+    }
+    table->set_ndv(n + (n == "web_clickstreams" ? ".user_sk" : ".customer_sk"),
+                   kNumCustomers);
+    DEEPSEA_RETURN_IF_ERROR(catalog->Register(table));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+ExprPtr ItemSkSelection(const std::string& fact, double lo, double hi) {
+  const std::string col = fact + ".item_sk";
+  return And(Cmp(CompareOp::kGe, Col(col), LitD(lo)),
+             Cmp(CompareOp::kLe, Col(col), LitD(hi)));
+}
+
+PlanPtr JoinFactItem(const std::string& fact) {
+  return Join(Scan(fact), Scan("item"),
+              Cmp(CompareOp::kEq, Col(fact + ".item_sk"), Col("item.item_sk")));
+}
+
+PlanPtr JoinFactCustomer(const std::string& fact) {
+  return Join(Scan(fact), Scan("customer"),
+              Cmp(CompareOp::kEq, Col(fact + ".customer_sk"),
+                  Col("customer.customer_sk")));
+}
+
+// Pass-through projection keeping the given qualified columns. The
+// templates materialize *projected* join results — the view candidate
+// is the Project node (Definition 6 includes projections), which keeps
+// views much smaller than the raw join output.
+PlanPtr ProjectCols(PlanPtr input, const std::vector<std::string>& cols) {
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (const std::string& c : cols) {
+    exprs.push_back(Col(c));
+    names.push_back(c);
+  }
+  return Project(std::move(input), std::move(exprs), std::move(names));
+}
+
+// The shared projected join view each template family reads: one view
+// per (fact, dimension) pair carrying the union of the columns its
+// templates need, so Q1/Q20/Q30 (etc.) all reuse a single view.
+PlanPtr ItemJoinView(const std::string& fact) {
+  std::vector<std::string> cols = {fact + ".item_sk", "item.category_id"};
+  if (fact == "store_sales") {
+    cols.push_back("store_sales.quantity");
+    cols.push_back("store_sales.net_paid");
+    cols.push_back("store_sales.sold_date");
+  } else if (fact == "web_sales") {
+    cols.push_back("web_sales.net_paid");
+  }
+  return ProjectCols(JoinFactItem(fact), cols);
+}
+
+PlanPtr CustomerJoinView(const std::string& fact) {
+  std::vector<std::string> cols = {fact + ".item_sk", "customer.age"};
+  if (fact == "store_sales") {
+    cols.push_back("store_sales.quantity");
+    cols.push_back("store_sales.net_paid");
+  }
+  return ProjectCols(JoinFactCustomer(fact), cols);
+}
+
+}  // namespace
+
+std::vector<std::string> BigBenchTemplates::Names() {
+  return {"Q1", "Q5", "Q7", "Q9", "Q12", "Q16", "Q20", "Q26", "Q29", "Q30"};
+}
+
+Result<std::string> BigBenchTemplates::FactTableOf(const std::string& name) {
+  if (name == "Q1" || name == "Q7" || name == "Q9" || name == "Q20" ||
+      name == "Q26" || name == "Q30") {
+    return std::string("store_sales");
+  }
+  if (name == "Q5" || name == "Q12") return std::string("web_clickstreams");
+  if (name == "Q16" || name == "Q29") return std::string("web_sales");
+  return Status::NotFound("unknown template: " + name);
+}
+
+Result<PlanPtr> BigBenchTemplates::Build(const std::string& name, double lo,
+                                         double hi) {
+  DEEPSEA_ASSIGN_OR_RETURN(std::string fact, FactTableOf(name));
+  const ExprPtr sel = ItemSkSelection(fact, lo, hi);
+
+  if (name == "Q1") {
+    return Aggregate(Select(ItemJoinView(fact), sel), {"item.category_id"},
+                     {{AggFunc::kCount, "", "cnt"},
+                      {AggFunc::kSum, "store_sales.quantity", "total_quantity"}});
+  }
+  if (name == "Q5") {
+    return Aggregate(Select(ItemJoinView(fact), sel), {"item.category_id"},
+                     {{AggFunc::kCount, "", "clicks"}});
+  }
+  if (name == "Q7") {
+    return Aggregate(Select(CustomerJoinView(fact), sel), {"customer.age"},
+                     {{AggFunc::kSum, "store_sales.net_paid", "revenue"}});
+  }
+  if (name == "Q9") {
+    PlanPtr two_joins = Join(
+        JoinFactItem(fact), Scan("customer"),
+        Cmp(CompareOp::kEq, Col("store_sales.customer_sk"),
+            Col("customer.customer_sk")));
+    PlanPtr view = ProjectCols(
+        two_joins, {"store_sales.item_sk", "item.category_id",
+                    "store_sales.net_paid", "customer.age"});
+    return Aggregate(Select(view, sel), {"item.category_id"},
+                     {{AggFunc::kSum, "store_sales.net_paid", "revenue"}});
+  }
+  if (name == "Q12") {
+    // Carries an extra dimension range predicate (item.price >= 50)
+    // inside the view, exercising matching with residual ranges.
+    PlanPtr filtered = Select(
+        JoinFactItem(fact), Cmp(CompareOp::kGe, Col("item.price"), LitD(50.0)));
+    PlanPtr view = ProjectCols(
+        filtered, {fact + ".item_sk", "item.category_id", "item.price"});
+    return Aggregate(Select(view, sel), {"item.category_id"},
+                     {{AggFunc::kCount, "", "premium_clicks"}});
+  }
+  if (name == "Q16") {
+    return Aggregate(Select(ItemJoinView(fact), sel), {"item.category_id"},
+                     {{AggFunc::kSum, "web_sales.net_paid", "revenue"}});
+  }
+  if (name == "Q20") {
+    return Aggregate(Select(ItemJoinView(fact), sel), {"item.category_id"},
+                     {{AggFunc::kAvg, "store_sales.net_paid", "avg_paid"}});
+  }
+  if (name == "Q26") {
+    PlanPtr two_joins = Join(
+        JoinFactCustomer(fact), Scan("item"),
+        Cmp(CompareOp::kEq, Col("store_sales.item_sk"), Col("item.item_sk")));
+    PlanPtr view = ProjectCols(
+        two_joins, {"store_sales.item_sk", "customer.age",
+                    "store_sales.quantity", "item.category_id"});
+    return Aggregate(Select(view, sel), {"customer.age"},
+                     {{AggFunc::kSum, "store_sales.quantity", "qty"}});
+  }
+  if (name == "Q29") {
+    return Aggregate(Select(CustomerJoinView(fact), sel), {"customer.age"},
+                     {{AggFunc::kCount, "", "orders"}});
+  }
+  if (name == "Q30") {
+    return Aggregate(Select(ItemJoinView(fact), sel), {"item.category_id"},
+                     {{AggFunc::kSum, "store_sales.net_paid", "revenue"}});
+  }
+  return Status::NotFound("unknown template: " + name);
+}
+
+Result<PlanPtr> BigBenchTemplates::BuildQ30D(double item_lo, double item_hi,
+                                             double date_lo, double date_hi) {
+  const ExprPtr sel =
+      And(ItemSkSelection("store_sales", item_lo, item_hi),
+          And(Cmp(CompareOp::kGe, Col("store_sales.sold_date"), LitD(date_lo)),
+              Cmp(CompareOp::kLe, Col("store_sales.sold_date"), LitD(date_hi))));
+  return Aggregate(Select(ItemJoinView("store_sales"), sel),
+                   {"item.category_id"},
+                   {{AggFunc::kSum, "store_sales.net_paid", "revenue"}});
+}
+
+}  // namespace deepsea

@@ -1,0 +1,83 @@
+#ifndef DEEPSEA_WORKLOAD_BIGBENCH_H_
+#define DEEPSEA_WORKLOAD_BIGBENCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "plan/plan.h"
+
+namespace deepsea {
+
+/// Generator for a BigBench-like retail analytics dataset (the paper
+/// evaluates on BigBench [13] instances of 100 GB and 500 GB). The
+/// schema is a simplified but structurally faithful subset: large fact
+/// tables carrying `item_sk` (the selection/partition attribute all the
+/// paper's workloads constrain) plus joinable dimensions.
+///
+///   item(item_sk, category_id, price)                 - dimension
+///   customer(customer_sk, age, income)                - dimension
+///   store_sales(item_sk, customer_sk, quantity,
+///               net_paid, sold_date)                  - fact, ~55%
+///   web_clickstreams(item_sk, user_sk, click_date)    - fact, ~30%
+///   web_sales(item_sk, customer_sk, net_paid)         - fact, ~15%
+///
+/// Tables carry both scales (see DESIGN.md): logical sizes summing to
+/// `total_bytes` drive the cluster cost model; a physical sample of
+/// `sample_rows_per_fact` rows per fact table drives the executor.
+/// `item_sk` values are drawn from `item_sk_distribution` when given
+/// (the paper samples item_sk from the SDSS `ra` histogram, Section
+/// 10.1) and uniformly otherwise (the synthetic instances).
+class BigBenchDataset {
+ public:
+  struct Options {
+    double total_bytes = 100.0 * 1e9;
+    /// item_sk domain [0, 400000] (the domain Fig. 9 quotes).
+    double item_sk_max = 400000.0;
+    uint64_t sample_rows_per_fact = 4000;
+    uint64_t sample_rows_per_dim = 800;
+    uint64_t seed = 7;
+    /// Optional access-pattern-shaped item_sk distribution (over any
+    /// domain; it is rescaled onto [0, item_sk_max]).
+    std::optional<AttributeHistogram> item_sk_distribution;
+    int histogram_bins = 420;
+  };
+
+  /// Populates `catalog` with the generated tables.
+  static Status Generate(const Options& options, Catalog* catalog);
+
+  /// Names of the fact tables (those carrying item_sk at fact scale).
+  static std::vector<std::string> FactTables();
+};
+
+/// The BigBench query templates the paper picks (ten join templates:
+/// Q1, Q5, Q7, Q9, Q12, Q16, Q20, Q26, Q29, Q30), each extended with a
+/// range selection on `item_sk` (Section 10.1). Templates build the
+/// *DeepSea-form* plan: the selection is placed ABOVE the join(s) so
+/// the join result is a reusable view candidate; PushDownSelections
+/// recovers the conventional (Hive) plan.
+class BigBenchTemplates {
+ public:
+  /// Template names in the paper's order.
+  static std::vector<std::string> Names();
+
+  /// The fact table a template selects on (its selection attribute is
+  /// "<fact>.item_sk").
+  static Result<std::string> FactTableOf(const std::string& name);
+
+  /// Builds the plan for `name` with the selection item_sk in [lo, hi].
+  static Result<PlanPtr> Build(const std::string& name, double lo, double hi);
+
+  /// Extension template (not part of the paper's ten): Q30 with
+  /// selections on BOTH item_sk and sold_date, exercising views
+  /// partitioned on multiple attributes (Section 11 future work).
+  static Result<PlanPtr> BuildQ30D(double item_lo, double item_hi,
+                                   double date_lo, double date_hi);
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_WORKLOAD_BIGBENCH_H_

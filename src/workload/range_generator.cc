@@ -1,0 +1,126 @@
+#include "workload/range_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsea {
+
+const char* SelectivityName(Selectivity s) {
+  switch (s) {
+    case Selectivity::kSmall:
+      return "S";
+    case Selectivity::kMedium:
+      return "M";
+    case Selectivity::kBig:
+      return "B";
+  }
+  return "?";
+}
+
+const char* SkewName(Skew s) {
+  switch (s) {
+    case Skew::kUniform:
+      return "U";
+    case Skew::kLight:
+      return "L";
+    case Skew::kHeavy:
+      return "H";
+  }
+  return "?";
+}
+
+double SelectivityFraction(Selectivity s) {
+  switch (s) {
+    case Selectivity::kSmall:
+      return 0.01;
+    case Selectivity::kMedium:
+      return 0.05;
+    case Selectivity::kBig:
+      return 0.25;
+  }
+  return 0.05;
+}
+
+double SkewSigmaFraction(Skew s) {
+  switch (s) {
+    case Skew::kUniform:
+      return 0.0;  // unused
+    case Skew::kLight:
+      return 0.075;
+    case Skew::kHeavy:
+      return 0.0025;
+  }
+  return 0.0;
+}
+
+RangeGenerator::RangeGenerator(Config config, uint64_t seed)
+    : cfg_(config), rng_(seed) {}
+
+RangeGenerator::RangeGenerator(const Interval& domain, Selectivity sel,
+                               Skew skew, uint64_t seed)
+    : cfg_{domain, SelectivityFraction(sel), skew,
+           std::numeric_limits<double>::quiet_NaN()},
+      rng_(seed) {}
+
+Interval RangeGenerator::Next() {
+  const double dw = cfg_.domain.Width();
+  const double width = std::min(cfg_.selectivity_fraction * dw, dw);
+  const double half = width / 2.0;
+  double mid;
+  if (cfg_.skew == Skew::kUniform) {
+    mid = rng_.Uniform(cfg_.domain.lo + half, cfg_.domain.hi - half);
+  } else {
+    const double center =
+        std::isnan(cfg_.center) ? cfg_.domain.Mid() : cfg_.center;
+    const double sigma = SkewSigmaFraction(cfg_.skew) * dw;
+    mid = rng_.Gaussian(center, sigma);
+  }
+  // Clamp preserving the width.
+  double lo = mid - half;
+  double hi = mid + half;
+  if (lo < cfg_.domain.lo) {
+    hi += cfg_.domain.lo - lo;
+    lo = cfg_.domain.lo;
+  }
+  if (hi > cfg_.domain.hi) {
+    lo -= hi - cfg_.domain.hi;
+    hi = cfg_.domain.hi;
+  }
+  lo = std::max(lo, cfg_.domain.lo);
+  return Interval(lo, hi);
+}
+
+ZipfRangeGenerator::ZipfRangeGenerator(const Interval& domain,
+                                       double selectivity_fraction,
+                                       int num_buckets, double exponent,
+                                       uint64_t seed)
+    : domain_(domain),
+      width_(selectivity_fraction * domain.Width()),
+      num_buckets_(num_buckets),
+      exponent_(exponent),
+      rng_(seed) {}
+
+Interval ZipfRangeGenerator::Next() {
+  // Draw a Zipf rank, map it to a bucket midpoint: rank 1 is the
+  // hottest bucket. Buckets are shuffled deterministically by a fixed
+  // stride so the hot region is not simply the domain's left edge.
+  const int64_t rank = rng_.Zipf(num_buckets_, exponent_);
+  const int64_t bucket = (rank * 7919) % num_buckets_;  // prime stride scatter
+  const double bucket_width = domain_.Width() / num_buckets_;
+  const double mid =
+      domain_.lo + bucket_width * (static_cast<double>(bucket) + 0.5);
+  double lo = mid - width_ / 2.0;
+  double hi = mid + width_ / 2.0;
+  if (lo < domain_.lo) {
+    hi += domain_.lo - lo;
+    lo = domain_.lo;
+  }
+  if (hi > domain_.hi) {
+    lo -= hi - domain_.hi;
+    hi = domain_.hi;
+  }
+  lo = std::max(lo, domain_.lo);
+  return Interval(lo, hi);
+}
+
+}  // namespace deepsea

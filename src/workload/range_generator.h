@@ -1,0 +1,81 @@
+#ifndef DEEPSEA_WORKLOAD_RANGE_GENERATOR_H_
+#define DEEPSEA_WORKLOAD_RANGE_GENERATOR_H_
+
+#include <limits>
+
+#include "common/rng.h"
+#include "core/interval.h"
+
+namespace deepsea {
+
+/// Query selectivity classes from the paper's parameter grid (Table 1):
+/// the selection returns 1% (Small), 5% (Medium) or 25% (Big) of the
+/// data. Over uniformly distributed data — which is what the paper's
+/// synthetic instances use — the returned fraction equals the fraction
+/// of the domain covered by the selection interval.
+enum class Selectivity { kSmall, kMedium, kBig };
+
+/// Skew of the selection-midpoint distribution (Table 1): Uniform,
+/// Lightly skewed (Normal with sigma = 7.5% of the domain) and Heavily
+/// skewed (Normal with sigma = 0.25% of the domain).
+enum class Skew { kUniform, kLight, kHeavy };
+
+const char* SelectivityName(Selectivity s);
+const char* SkewName(Skew s);
+double SelectivityFraction(Selectivity s);
+double SkewSigmaFraction(Skew s);
+
+/// Generates selection intervals over a numeric domain following the
+/// paper's workload parameterization. Midpoints are drawn uniformly or
+/// from a Normal centred at `center` (default: domain midpoint);
+/// interval width is `selectivity_fraction * domain width`. Intervals
+/// are clamped into the domain preserving their width where possible.
+class RangeGenerator {
+ public:
+  struct Config {
+    Interval domain{0.0, 1.0};
+    double selectivity_fraction = 0.05;
+    Skew skew = Skew::kUniform;
+    /// Midpoint of the Normal for skewed draws; NaN = domain midpoint.
+    double center = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  RangeGenerator(Config config, uint64_t seed);
+
+  /// Convenience constructor from the paper's enum grid.
+  RangeGenerator(const Interval& domain, Selectivity sel, Skew skew,
+                 uint64_t seed);
+
+  const Config& config() const { return cfg_; }
+  /// Re-centres the skewed midpoint distribution (used by the evolving
+  /// workloads of Figs. 9-10).
+  void set_center(double center) { cfg_.center = center; }
+
+  Interval Next();
+
+ private:
+  Config cfg_;
+  Rng rng_;
+};
+
+/// Generates selection intervals whose midpoints follow a Zipf
+/// distribution over the domain (used by Fig. 8b to test robustness of
+/// the Normal-MLE smoothing against a radically different distribution).
+class ZipfRangeGenerator {
+ public:
+  ZipfRangeGenerator(const Interval& domain, double selectivity_fraction,
+                     int num_buckets, double exponent, uint64_t seed);
+
+  Interval Next();
+
+ private:
+  Interval domain_;
+  double width_;
+  int num_buckets_;
+  double exponent_;
+  Rng rng_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_WORKLOAD_RANGE_GENERATOR_H_

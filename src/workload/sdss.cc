@@ -1,0 +1,107 @@
+#include "workload/sdss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace deepsea {
+
+SdssTraceModel::SdssTraceModel(Config config, uint64_t seed)
+    : cfg_(config), rng_(seed) {}
+
+double SdssTraceModel::SampleMidpoint(bool early_regime) {
+  // Early regime: dominant mass in the 200-300 band (Fig. 2, queries
+  // 1..~3000). Late regime: mass shifts toward ~100 degrees while the
+  // 250 band stays warm (Fig. 2 tail and Fig. 1 aggregate shape).
+  const double u = rng_.NextDouble();
+  if (early_regime) {
+    if (u < 0.75) return rng_.Gaussian(250.0, 25.0);
+    if (u < 0.90) return rng_.Gaussian(110.0, 12.0);
+    return rng_.Uniform(cfg_.ra_domain.lo, cfg_.ra_domain.hi);
+  }
+  if (u < 0.60) return rng_.Gaussian(105.0, 10.0);
+  if (u < 0.85) return rng_.Gaussian(250.0, 30.0);
+  return rng_.Uniform(cfg_.ra_domain.lo, cfg_.ra_domain.hi);
+}
+
+Interval SdssTraceModel::NextRange(int64_t index, int64_t trace_length) {
+  if (rng_.Bernoulli(cfg_.full_scan_probability)) {
+    return cfg_.ra_domain;
+  }
+  const bool early =
+      trace_length <= 0 ||
+      static_cast<double>(index) <
+          cfg_.regime_switch_fraction * static_cast<double>(trace_length);
+  double mid = SampleMidpoint(early);
+  mid = Clamp(mid, cfg_.ra_domain.lo, cfg_.ra_domain.hi);
+  // Exponential-ish width: -mean * ln(U), capped.
+  double width = -cfg_.mean_width_degrees * std::log(1.0 - rng_.NextDouble());
+  width = std::min(width, cfg_.max_width_degrees);
+  width = std::max(width, 0.1);
+  double lo = mid - width / 2.0;
+  double hi = mid + width / 2.0;
+  if (lo < cfg_.ra_domain.lo) {
+    hi += cfg_.ra_domain.lo - lo;
+    lo = cfg_.ra_domain.lo;
+  }
+  if (hi > cfg_.ra_domain.hi) {
+    lo -= hi - cfg_.ra_domain.hi;
+    hi = cfg_.ra_domain.hi;
+  }
+  lo = std::max(lo, cfg_.ra_domain.lo);
+  return Interval(lo, hi);
+}
+
+std::vector<Interval> SdssTraceModel::GenerateTrace(int64_t n) {
+  std::vector<Interval> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(NextRange(i, n));
+  return out;
+}
+
+AttributeHistogram SdssTraceModel::HitHistogram(
+    const std::vector<Interval>& trace, const Interval& domain,
+    double bin_width) {
+  const int bins =
+      std::max(1, static_cast<int>(std::ceil(domain.Width() / bin_width)));
+  AttributeHistogram hist(domain, bins);
+  for (const Interval& iv : trace) hist.AddRange(iv, 1.0);
+  return hist;
+}
+
+AttributeHistogram SdssTraceModel::AccessDensity(int num_bins) const {
+  AttributeHistogram hist(cfg_.ra_domain, num_bins);
+  // Mix of both regimes weighted by their trace share, discretized by
+  // integrating Normal CDFs over bins.
+  const double early_w = cfg_.regime_switch_fraction;
+  const double late_w = 1.0 - early_w;
+  struct Component {
+    double weight, mean, sigma;
+  };
+  const Component comps[] = {
+      {early_w * 0.75, 250.0, 25.0}, {early_w * 0.15, 110.0, 12.0},
+      {late_w * 0.60, 105.0, 10.0},  {late_w * 0.25, 250.0, 30.0},
+  };
+  const double uniform_w = early_w * 0.10 + late_w * 0.15;
+  for (int b = 0; b < num_bins; ++b) {
+    const Interval bi = hist.bin_interval(b);
+    double mass = uniform_w * bi.Width() / cfg_.ra_domain.Width();
+    for (const Component& c : comps) {
+      mass += c.weight *
+              (NormalCdf(bi.hi, c.mean, c.sigma) - NormalCdf(bi.lo, c.mean, c.sigma));
+    }
+    hist.AddRange(bi, std::max(mass, 0.0));
+  }
+  return hist;
+}
+
+Interval SdssTraceModel::MapRange(const Interval& range, const Interval& from,
+                                  const Interval& to) {
+  const double scale = to.Width() / from.Width();
+  return Interval(to.lo + (range.lo - from.lo) * scale,
+                  to.lo + (range.hi - from.lo) * scale, range.lo_inclusive,
+                  range.hi_inclusive);
+}
+
+}  // namespace deepsea

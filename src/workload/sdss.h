@@ -1,0 +1,80 @@
+#ifndef DEEPSEA_WORKLOAD_SDSS_H_
+#define DEEPSEA_WORKLOAD_SDSS_H_
+
+#include <vector>
+
+#include "catalog/histogram.h"
+#include "common/rng.h"
+#include "core/interval.h"
+
+namespace deepsea {
+
+/// Synthetic model of the Sloan Digital Sky Survey query trace the
+/// paper uses (selections on attribute `ra` of table PhotoPrimary,
+/// March 2010 - March 2011). The real trace is not available, so this
+/// reproduces the two published properties the DeepSea techniques
+/// exploit (see DESIGN.md substitution table):
+///
+///  * Fig. 1 (non-uniform access): the hit histogram over `ra` has a
+///    dominant hot region around 200-300 degrees and a secondary hot
+///    spot near 100 degrees, with long cold tails. We model it as a
+///    mixture of Normals plus a uniform floor.
+///  * Fig. 2 (evolving access): the first ~30% of the trace focuses on
+///    the 200-300 degree band; later queries shift toward ~100 degrees;
+///    occasional queries select (nearly) the whole domain. We model a
+///    regime switch at a configurable position plus a small full-scan
+///    probability.
+class SdssTraceModel {
+ public:
+  struct Config {
+    Interval ra_domain{-20.0, 400.0};
+    /// Fraction of the trace in the initial (200-300 degree) regime.
+    double regime_switch_fraction = 0.3;
+    /// Probability of a (nearly) full-domain selection.
+    double full_scan_probability = 0.002;
+    /// Mean selection width in degrees (widths are exponential-ish).
+    double mean_width_degrees = 8.0;
+    double max_width_degrees = 60.0;
+  };
+
+  explicit SdssTraceModel(uint64_t seed = 2017) : SdssTraceModel(Config{}, seed) {}
+  SdssTraceModel(Config config, uint64_t seed);
+
+  const Config& config() const { return cfg_; }
+
+  /// Selection range of the `index`-th query (0-based) in a trace of
+  /// `trace_length` queries. Deterministic given (seed, index order of
+  /// calls): call sequentially for reproducible traces.
+  Interval NextRange(int64_t index, int64_t trace_length);
+
+  /// Generates a full trace of `n` selection ranges.
+  std::vector<Interval> GenerateTrace(int64_t n);
+
+  /// Aggregated hit histogram over the `ra` domain for a trace (the
+  /// Fig. 1 reproduction): each range adds one hit spread over its
+  /// extent per degree-bin of width `bin_width`.
+  static AttributeHistogram HitHistogram(const std::vector<Interval>& trace,
+                                         const Interval& domain,
+                                         double bin_width);
+
+  /// The stationary access-density histogram of the model (mixture of
+  /// both regimes), useful for sampling data values whose distribution
+  /// matches the access pattern — the paper samples BigBench `item_sk`
+  /// values from the SDSS `ra` histogram (Section 10.1).
+  AttributeHistogram AccessDensity(int num_bins) const;
+
+  /// Linear map from the `ra` domain onto `target`; used to project
+  /// SDSS selection ranges onto the BigBench item_sk domain.
+  static Interval MapRange(const Interval& range, const Interval& from,
+                           const Interval& to);
+
+ private:
+  double SampleMidpoint(bool early_regime);
+
+  Config cfg_;
+  Rng rng_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_WORKLOAD_SDSS_H_

@@ -1,0 +1,209 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsea {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fact = std::make_shared<Table>(
+        "fact", Schema({{"fact.k", DataType::kInt64},
+                        {"fact.v", DataType::kDouble}}));
+    for (int i = 0; i < 10; ++i) {
+      fact->AddRow({Value(static_cast<int64_t>(i)), Value(i * 1.5)});
+    }
+    catalog_.Put(fact);
+
+    auto dim = std::make_shared<Table>(
+        "dim", Schema({{"dim.k", DataType::kInt64},
+                       {"dim.g", DataType::kInt64}}));
+    for (int i = 0; i < 10; i += 2) {  // only even keys
+      dim->AddRow({Value(static_cast<int64_t>(i)),
+                   Value(static_cast<int64_t>(i % 4))});
+    }
+    catalog_.Put(dim);
+  }
+
+  ExecResult Run(const PlanPtr& plan) {
+    Executor exec(&catalog_);
+    auto r = exec.Execute(plan);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : ExecResult{};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ExecutorTest, ScanReturnsAllRows) {
+  EXPECT_EQ(Run(Scan("fact")).rows.size(), 10u);
+}
+
+TEST_F(ExecutorTest, ScanMissingTableFails) {
+  Executor exec(&catalog_);
+  EXPECT_FALSE(exec.Execute(Scan("zzz")).ok());
+}
+
+TEST_F(ExecutorTest, SelectFilters) {
+  const auto r = Run(Select(Scan("fact"), RangePredicate("fact.k", 3, 6)));
+  EXPECT_EQ(r.rows.size(), 4u);  // 3,4,5,6
+}
+
+TEST_F(ExecutorTest, ProjectComputes) {
+  const auto r = Run(Project(Scan("fact"),
+                             {Col("fact.k"), Arith(ArithOp::kMul, Col("fact.v"), LitD(2))},
+                             {"fact.k", "v2"}));
+  ASSERT_EQ(r.rows.size(), 10u);
+  EXPECT_EQ(r.schema.num_columns(), 2u);
+  EXPECT_EQ(r.rows[2][1], Value(6.0));  // 2*1.5*2
+}
+
+TEST_F(ExecutorTest, HashJoinMatchesOnlyEqualKeys) {
+  const auto r = Run(Join(Scan("fact"), Scan("dim"),
+                          Cmp(CompareOp::kEq, Col("fact.k"), Col("dim.k"))));
+  EXPECT_EQ(r.rows.size(), 5u);  // even keys 0,2,4,6,8
+  EXPECT_EQ(r.schema.num_columns(), 4u);
+}
+
+TEST_F(ExecutorTest, JoinWithResidualCondition) {
+  const auto r = Run(Join(Scan("fact"), Scan("dim"),
+                          And(Cmp(CompareOp::kEq, Col("fact.k"), Col("dim.k")),
+                              Cmp(CompareOp::kGe, Col("fact.v"), LitD(3.0)))));
+  // fact.v >= 3 means k >= 2; joined even keys 2,4,6,8.
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, JoinWithoutEqualityFails) {
+  Executor exec(&catalog_);
+  auto r = exec.Execute(Join(Scan("fact"), Scan("dim"),
+                             Cmp(CompareOp::kLt, Col("fact.k"), Col("dim.k"))));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, GroupByAggregate) {
+  auto join = Join(Scan("fact"), Scan("dim"),
+                   Cmp(CompareOp::kEq, Col("fact.k"), Col("dim.k")));
+  const auto r = Run(Aggregate(join, {"dim.g"},
+                               {{AggFunc::kCount, "", "cnt"},
+                                {AggFunc::kSum, "fact.v", "sv"}}));
+  // dim.g takes values 0 (k=0,4,8) and 2 (k=2,6).
+  ASSERT_EQ(r.rows.size(), 2u);
+  // Rows sorted by group key.
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{0}));
+  EXPECT_EQ(r.rows[0][1], Value(int64_t{3}));
+  EXPECT_EQ(r.rows[0][2], Value((0 + 4 + 8) * 1.5));
+  EXPECT_EQ(r.rows[1][0], Value(int64_t{2}));
+  EXPECT_EQ(r.rows[1][1], Value(int64_t{2}));
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOnEmptyInput) {
+  const auto r = Run(Aggregate(Select(Scan("fact"), RangePredicate("fact.k", 100, 200)),
+                               {}, {{AggFunc::kCount, "", "n"},
+                                    {AggFunc::kSum, "fact.v", "s"}}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{0}));
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, MinMaxAvg) {
+  const auto r = Run(Aggregate(Scan("fact"), {},
+                               {{AggFunc::kMin, "fact.v", "mn"},
+                                {AggFunc::kMax, "fact.v", "mx"},
+                                {AggFunc::kAvg, "fact.v", "av"}}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value(0.0));
+  EXPECT_EQ(r.rows[0][1], Value(13.5));
+  EXPECT_EQ(r.rows[0][2], Value(6.75));
+}
+
+TEST_F(ExecutorTest, CaptureSubplan) {
+  auto join = Join(Scan("fact"), Scan("dim"),
+                   Cmp(CompareOp::kEq, Col("fact.k"), Col("dim.k")));
+  auto root = Select(join, RangePredicate("fact.k", 0, 4));
+  Executor exec(&catalog_);
+  exec.CaptureSubplan(join.get());
+  auto r = exec.Execute(root);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(exec.captured().size(), 1u);
+  EXPECT_EQ(exec.captured().at(join.get()).rows.size(), 5u);  // full join
+  EXPECT_EQ(r->rows.size(), 3u);  // filtered (0,2,4)
+}
+
+TEST_F(ExecutorTest, ViewRefReadsWholeTable) {
+  const auto r = Run(ViewRef("fact", "", {}));
+  EXPECT_EQ(r.rows.size(), 10u);
+}
+
+TEST_F(ExecutorTest, ViewRefFiltersByFragments) {
+  const auto r = Run(ViewRef("fact", "fact.k",
+                             {Interval(0, 2), Interval::OpenClosed(6, 9)}));
+  // Keys 0,1,2 and 7,8,9.
+  EXPECT_EQ(r.rows.size(), 6u);
+}
+
+TEST_F(ExecutorTest, ViewRefOverlappingFragmentsNoDuplicates) {
+  const auto r = Run(ViewRef("fact", "fact.k", {Interval(0, 5), Interval(3, 7)}));
+  EXPECT_EQ(r.rows.size(), 8u);  // 0..7 once each
+}
+
+TEST_F(ExecutorTest, PartitionRowsSplitsByKey) {
+  ExecResult input;
+  input.schema = Schema({{"t.k", DataType::kInt64}});
+  for (int i = 0; i < 10; ++i) input.rows.push_back({Value(static_cast<int64_t>(i))});
+  auto buckets = PartitionRows(input, "t.k",
+                               {Interval::ClosedOpen(0, 5), Interval(5, 9)});
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ((*buckets)[0].size(), 5u);
+  EXPECT_EQ((*buckets)[1].size(), 5u);
+}
+
+TEST_F(ExecutorTest, PartitionRowsOverlappingDuplication) {
+  ExecResult input;
+  input.schema = Schema({{"t.k", DataType::kInt64}});
+  for (int i = 0; i < 10; ++i) input.rows.push_back({Value(static_cast<int64_t>(i))});
+  auto buckets = PartitionRows(input, "t.k", {Interval(0, 9), Interval(3, 5)});
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ((*buckets)[0].size(), 10u);
+  EXPECT_EQ((*buckets)[1].size(), 3u);  // rows 3,4,5 duplicated into both
+}
+
+TEST_F(ExecutorTest, PartitionRowsMissingAttrFails) {
+  ExecResult input;
+  input.schema = Schema({{"t.k", DataType::kInt64}});
+  EXPECT_FALSE(PartitionRows(input, "t.zzz", {Interval(0, 1)}).ok());
+}
+
+
+TEST_F(ExecutorTest, SortAscendingAndDescending) {
+  const auto asc = Run(Sort(Scan("fact"), {{"fact.v", true}}));
+  ASSERT_EQ(asc.rows.size(), 10u);
+  for (size_t i = 1; i < asc.rows.size(); ++i) {
+    EXPECT_LE(asc.rows[i - 1][1].AsNumeric(), asc.rows[i][1].AsNumeric());
+  }
+  const auto desc = Run(Sort(Scan("fact"), {{"fact.v", false}}));
+  for (size_t i = 1; i < desc.rows.size(); ++i) {
+    EXPECT_GE(desc.rows[i - 1][1].AsNumeric(), desc.rows[i][1].AsNumeric());
+  }
+}
+
+TEST_F(ExecutorTest, SortUnknownColumnFails) {
+  Executor exec(&catalog_);
+  EXPECT_FALSE(exec.Execute(Sort(Scan("fact"), {{"fact.zzz", true}})).ok());
+}
+
+TEST_F(ExecutorTest, LimitTruncates) {
+  EXPECT_EQ(Run(Limit(Scan("fact"), 3)).rows.size(), 3u);
+  EXPECT_EQ(Run(Limit(Scan("fact"), 100)).rows.size(), 10u);
+  EXPECT_EQ(Run(Limit(Scan("fact"), 0)).rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, TopKPattern) {
+  const auto r = Run(Limit(Sort(Scan("fact"), {{"fact.k", false}}), 2));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{9}));
+  EXPECT_EQ(r.rows[1][0], Value(int64_t{8}));
+}
+
+}  // namespace
+}  // namespace deepsea

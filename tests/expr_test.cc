@@ -1,0 +1,173 @@
+#include <cmath>
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsea {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"t.a", DataType::kInt64},
+                  {"t.b", DataType::kDouble},
+                  {"t.s", DataType::kString}}};
+  Row row_{Value(int64_t{5}), Value(2.5), Value("hello")};
+
+  Value Eval(const ExprPtr& e) {
+    auto r = e->Eval(row_, schema_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : Value();
+  }
+};
+
+TEST_F(ExprTest, ColumnRefResolves) {
+  EXPECT_EQ(Eval(Col("t.a")), Value(int64_t{5}));
+  EXPECT_EQ(Eval(Col("b")), Value(2.5));  // short name
+}
+
+TEST_F(ExprTest, UnknownColumnErrors) {
+  auto r = Col("t.zzz")->Eval(row_, schema_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, Literals) {
+  EXPECT_EQ(Eval(LitI(9)), Value(int64_t{9}));
+  EXPECT_EQ(Eval(LitD(1.5)), Value(1.5));
+  EXPECT_EQ(Eval(LitS("x")), Value("x"));
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_EQ(Eval(Cmp(CompareOp::kEq, Col("t.a"), LitI(5))), Value(true));
+  EXPECT_EQ(Eval(Cmp(CompareOp::kLt, Col("t.a"), LitI(5))), Value(false));
+  EXPECT_EQ(Eval(Cmp(CompareOp::kLe, Col("t.a"), LitI(5))), Value(true));
+  EXPECT_EQ(Eval(Cmp(CompareOp::kGt, Col("t.b"), LitD(2.0))), Value(true));
+  EXPECT_EQ(Eval(Cmp(CompareOp::kNe, Col("t.s"), LitS("hello"))), Value(false));
+}
+
+TEST_F(ExprTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Eval(Cmp(CompareOp::kEq, Col("t.a"), LitD(5.0))), Value(true));
+}
+
+TEST_F(ExprTest, NullComparisonIsFalse) {
+  EXPECT_EQ(Eval(Cmp(CompareOp::kEq, Lit(Value::Null()), LitI(1))), Value(false));
+}
+
+TEST_F(ExprTest, LogicalShortCircuit) {
+  EXPECT_EQ(Eval(And(Lit(Value(false)), Lit(Value(true)))), Value(false));
+  EXPECT_EQ(Eval(Or(Lit(Value(true)), Lit(Value(false)))), Value(true));
+  EXPECT_EQ(Eval(Not(Lit(Value(false)))), Value(true));
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  EXPECT_EQ(Eval(Arith(ArithOp::kAdd, Col("t.a"), LitI(3))), Value(int64_t{8}));
+  EXPECT_EQ(Eval(Arith(ArithOp::kMul, Col("t.b"), LitD(2.0))), Value(5.0));
+  // Division is always floating point.
+  EXPECT_EQ(Eval(Arith(ArithOp::kDiv, LitI(7), LitI(2))), Value(3.5));
+  // Division by zero yields NULL.
+  EXPECT_TRUE(Eval(Arith(ArithOp::kDiv, LitI(1), LitI(0))).is_null());
+}
+
+TEST_F(ExprTest, ToStringCanonical) {
+  const ExprPtr e = And(Cmp(CompareOp::kGe, Col("t.a"), LitI(1)),
+                        Cmp(CompareOp::kLe, Col("t.a"), LitI(9)));
+  EXPECT_EQ(e->ToString(), "((t.a >= 1) AND (t.a <= 9))");
+}
+
+TEST_F(ExprTest, CollectColumns) {
+  std::vector<std::string> cols;
+  And(Cmp(CompareOp::kEq, Col("t.a"), Col("u.b")), Col("t.s"))
+      ->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+}
+
+TEST(SplitConjunctsTest, FlattensNestedAnds) {
+  const ExprPtr e =
+      And(And(Cmp(CompareOp::kGe, Col("a"), LitI(1)), Col("x")),
+          Cmp(CompareOp::kLe, Col("a"), LitI(9)));
+  EXPECT_EQ(SplitConjuncts(e).size(), 3u);
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+}
+
+TEST(ExtractRangesTest, SimpleBetween) {
+  const ExprPtr e = RangePredicate("t.a", 10, 20);
+  const RangeExtraction ex = ExtractRanges(e);
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_EQ(ex.ranges[0].column, "t.a");
+  EXPECT_EQ(ex.ranges[0].lo, 10.0);
+  EXPECT_EQ(ex.ranges[0].hi, 20.0);
+  EXPECT_TRUE(ex.ranges[0].lo_inclusive);
+  EXPECT_TRUE(ex.ranges[0].hi_inclusive);
+  EXPECT_TRUE(ex.residuals.empty());
+}
+
+TEST(ExtractRangesTest, FlippedLiteralComparison) {
+  // 5 <= a  is  a >= 5.
+  const ExprPtr e = Cmp(CompareOp::kLe, LitD(5), Col("a"));
+  const RangeExtraction ex = ExtractRanges(e);
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_EQ(ex.ranges[0].lo, 5.0);
+  EXPECT_TRUE(std::isinf(ex.ranges[0].hi));
+}
+
+TEST(ExtractRangesTest, IntersectsMultipleConstraints) {
+  const ExprPtr e = And(Cmp(CompareOp::kGe, Col("a"), LitD(0)),
+                        And(Cmp(CompareOp::kLe, Col("a"), LitD(100)),
+                            Cmp(CompareOp::kLt, Col("a"), LitD(50))));
+  const RangeExtraction ex = ExtractRanges(e);
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_EQ(ex.ranges[0].hi, 50.0);
+  EXPECT_FALSE(ex.ranges[0].hi_inclusive);
+}
+
+TEST(ExtractRangesTest, EqualityBecomesPointRange) {
+  const ExprPtr e = Cmp(CompareOp::kEq, Col("a"), LitD(7));
+  const RangeExtraction ex = ExtractRanges(e);
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_EQ(ex.ranges[0].lo, 7.0);
+  EXPECT_EQ(ex.ranges[0].hi, 7.0);
+}
+
+TEST(ExtractRangesTest, ColumnEqualityDetected) {
+  const ExprPtr e = Cmp(CompareOp::kEq, Col("t.a"), Col("u.b"));
+  const RangeExtraction ex = ExtractRanges(e);
+  ASSERT_EQ(ex.column_equalities.size(), 1u);
+  EXPECT_EQ(ex.column_equalities[0].first, "t.a");
+  EXPECT_EQ(ex.column_equalities[0].second, "u.b");
+  EXPECT_TRUE(ex.ranges.empty());
+}
+
+TEST(ExtractRangesTest, ResidualsPreserved) {
+  const ExprPtr res = Or(Col("x"), Col("y"));
+  const ExprPtr e = And(RangePredicate("a", 0, 1), res);
+  const RangeExtraction ex = ExtractRanges(e);
+  ASSERT_EQ(ex.residuals.size(), 1u);
+  EXPECT_EQ(ex.residuals[0]->ToString(), res->ToString());
+}
+
+TEST(ExtractRangesTest, NotEqualIsResidual) {
+  const ExprPtr e = Cmp(CompareOp::kNe, Col("a"), LitD(3));
+  const RangeExtraction ex = ExtractRanges(e);
+  EXPECT_TRUE(ex.ranges.empty());
+  EXPECT_EQ(ex.residuals.size(), 1u);
+}
+
+TEST(RangePredicateTest, BuildsClosedRange) {
+  const ExprPtr e = RangePredicate("c", 2, 8);
+  Schema s({{"c", DataType::kDouble}});
+  auto in = e->Eval({Value(5.0)}, s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(*in, Value(true));
+  auto out = e->Eval({Value(9.0)}, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, Value(false));
+}
+
+TEST(AndAllTest, EmptyIsNull) {
+  EXPECT_EQ(AndAll({}), nullptr);
+  const ExprPtr single = Col("x");
+  EXPECT_EQ(AndAll({single}), single);
+}
+
+}  // namespace
+}  // namespace deepsea

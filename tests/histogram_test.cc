@@ -1,0 +1,185 @@
+#include "catalog/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/table.h"
+#include "common/rng.h"
+
+namespace deepsea {
+namespace {
+
+TEST(HistogramTest, AddAndTotal) {
+  AttributeHistogram h(Interval(0, 100), 10);
+  h.Add(5);
+  h.Add(15);
+  h.Add(15);
+  EXPECT_DOUBLE_EQ(h.total_count(), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_count(1), 2.0);
+}
+
+TEST(HistogramTest, OutOfDomainClampsToEdges) {
+  AttributeHistogram h(Interval(0, 100), 10);
+  h.Add(-5);
+  h.Add(200);
+  EXPECT_DOUBLE_EQ(h.bin_count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_count(9), 1.0);
+}
+
+TEST(HistogramTest, FractionInRangeUniform) {
+  AttributeHistogram h(Interval(0, 100), 100);
+  h.AddRange(Interval(0, 100), 1000);
+  EXPECT_NEAR(h.FractionInRange(Interval(0, 50)), 0.5, 1e-9);
+  EXPECT_NEAR(h.FractionInRange(Interval(25, 75)), 0.5, 1e-9);
+  EXPECT_NEAR(h.FractionInRange(Interval(0, 100)), 1.0, 1e-9);
+  EXPECT_NEAR(h.FractionInRange(Interval(-50, 0)), 0.0, 1e-6);
+}
+
+TEST(HistogramTest, FractionInterpolatesPartialBins) {
+  AttributeHistogram h(Interval(0, 10), 1);  // one bin
+  h.AddRange(Interval(0, 10), 100);
+  EXPECT_NEAR(h.FractionInRange(Interval(0, 2.5)), 0.25, 1e-9);
+}
+
+TEST(HistogramTest, SkewedMass) {
+  AttributeHistogram h(Interval(0, 100), 10);
+  h.AddRange(Interval(0, 10), 900);   // hot first bin
+  h.AddRange(Interval(10, 100), 100);  // cold tail
+  EXPECT_NEAR(h.FractionInRange(Interval(0, 10)), 0.9, 1e-9);
+  EXPECT_GT(h.MassInRange(Interval(0, 10)), h.MassInRange(Interval(10, 100)) * 8);
+}
+
+TEST(HistogramTest, EquiDepthBoundariesUniform) {
+  AttributeHistogram h(Interval(0, 100), 100);
+  h.AddRange(Interval(0, 100), 1000);
+  const auto bounds = h.EquiDepthBoundaries(4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 100.0);
+  EXPECT_NEAR(bounds[1], 25.0, 1.5);
+  EXPECT_NEAR(bounds[2], 50.0, 1.5);
+  EXPECT_NEAR(bounds[3], 75.0, 1.5);
+}
+
+TEST(HistogramTest, EquiDepthBoundariesSkewed) {
+  AttributeHistogram h(Interval(0, 100), 100);
+  h.AddRange(Interval(0, 10), 900);
+  h.AddRange(Interval(10, 100), 100);
+  const auto bounds = h.EquiDepthBoundaries(2);
+  ASSERT_EQ(bounds.size(), 3u);
+  // Half the mass sits well inside [0, 10].
+  EXPECT_LT(bounds[1], 10.0);
+}
+
+TEST(HistogramTest, EquiDepthSpansHaveEqualMass) {
+  Rng rng(3);
+  AttributeHistogram h(Interval(0, 1000), 200);
+  for (int i = 0; i < 20000; ++i) h.Add(rng.Gaussian(300, 80));
+  const int k = 8;
+  const auto bounds = h.EquiDepthBoundaries(k);
+  ASSERT_EQ(bounds.size(), static_cast<size_t>(k + 1));
+  for (int i = 0; i < k; ++i) {
+    const double mass = h.FractionInRange(Interval(bounds[i], bounds[i + 1]));
+    EXPECT_NEAR(mass, 1.0 / k, 0.02) << "span " << i;
+  }
+}
+
+TEST(HistogramTest, NormalizePreservesShape) {
+  AttributeHistogram h(Interval(0, 10), 2);
+  h.AddRange(Interval(0, 5), 30);
+  h.AddRange(Interval(5, 10), 10);
+  h.NormalizeTo(100);
+  EXPECT_DOUBLE_EQ(h.total_count(), 100.0);
+  EXPECT_NEAR(h.FractionInRange(Interval(0, 5)), 0.75, 1e-9);
+}
+
+TEST(HistogramTest, EmptyHistogramFractionZero) {
+  AttributeHistogram h(Interval(0, 10), 4);
+  EXPECT_EQ(h.FractionInRange(Interval(0, 10)), 0.0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(TableTest, RegisterAndLookup) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>(
+      "t", Schema({{"t.a", DataType::kInt64}}));
+  ASSERT_TRUE(catalog.Register(t).ok());
+  EXPECT_TRUE(catalog.Contains("t"));
+  EXPECT_FALSE(catalog.Register(t).ok());  // duplicate
+  auto got = catalog.Get("t");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->name(), "t");
+  EXPECT_FALSE(catalog.Get("zzz").ok());
+}
+
+TEST(TableTest, DropAndList) {
+  Catalog catalog;
+  catalog.Put(std::make_shared<Table>("b", Schema{}));
+  catalog.Put(std::make_shared<Table>("a", Schema{}));
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(catalog.Drop("a").ok());
+  EXPECT_FALSE(catalog.Drop("a").ok());
+}
+
+TEST(TableTest, LogicalBytes) {
+  Table t("t", Schema{});
+  t.set_logical_row_count(1000);
+  t.set_avg_row_bytes(50);
+  EXPECT_DOUBLE_EQ(t.logical_bytes(), 50000.0);
+}
+
+TEST(TableTest, BuildHistogramFromSample) {
+  Table t("t", Schema({{"t.a", DataType::kInt64}}));
+  for (int i = 0; i < 100; ++i) t.AddRow({Value(static_cast<int64_t>(i))});
+  t.set_logical_row_count(10000);
+  ASSERT_TRUE(t.BuildHistogram("t.a", 10).ok());
+  const AttributeHistogram* h = t.GetHistogram("t.a");
+  ASSERT_NE(h, nullptr);
+  // Scaled to logical rows.
+  EXPECT_NEAR(h->total_count(), 10000.0, 1e-6);
+  EXPECT_NEAR(h->FractionInRange(Interval(0, 49.5)), 0.5, 0.02);
+}
+
+TEST(TableTest, HistogramLookupByShortName) {
+  Table t("t", Schema({{"t.a", DataType::kInt64}}));
+  t.SetHistogram("t.a", AttributeHistogram(Interval(0, 1), 1));
+  EXPECT_NE(t.GetHistogram("a"), nullptr);
+  EXPECT_NE(t.GetHistogram("t.a"), nullptr);
+  EXPECT_EQ(t.GetHistogram("b"), nullptr);
+}
+
+TEST(TableTest, SampleMinMax) {
+  Table t("t", Schema({{"t.a", DataType::kInt64}}));
+  t.AddRow({Value(int64_t{5})});
+  t.AddRow({Value(int64_t{-2})});
+  t.AddRow({Value(int64_t{9})});
+  auto mm = t.SampleMinMax("t.a");
+  ASSERT_TRUE(mm.ok());
+  EXPECT_EQ(mm->lo, -2.0);
+  EXPECT_EQ(mm->hi, 9.0);
+  EXPECT_FALSE(t.SampleMinMax("t.zzz").ok());
+}
+
+TEST(TableTest, NdvStorage) {
+  Table t("t", Schema({{"t.a", DataType::kInt64}}));
+  EXPECT_EQ(t.ndv("t.a"), 0.0);
+  t.set_ndv("a", 42.0);  // short name resolves
+  EXPECT_EQ(t.ndv("t.a"), 42.0);
+  EXPECT_EQ(t.ndv("a"), 42.0);
+}
+
+TEST(TableTest, TotalLogicalBytes) {
+  Catalog catalog;
+  auto a = std::make_shared<Table>("a", Schema{});
+  a->set_logical_row_count(10);
+  a->set_avg_row_bytes(10);
+  auto b = std::make_shared<Table>("b", Schema{});
+  b->set_logical_row_count(5);
+  b->set_avg_row_bytes(100);
+  catalog.Put(a);
+  catalog.Put(b);
+  EXPECT_DOUBLE_EQ(catalog.TotalLogicalBytes(), 600.0);
+}
+
+}  // namespace
+}  // namespace deepsea

@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "plan/pushdown.h"
+#include "workload/bigbench.h"
+#include "workload/range_generator.h"
+#include "workload/sdss.h"
+
+namespace deepsea {
+namespace {
+
+// Canonical multiset rendering of a result for order-insensitive
+// comparison.
+std::multiset<std::string> Canonical(const ExecResult& r) {
+  std::multiset<std::string> out;
+  for (const Row& row : r.rows) {
+    std::string line;
+    for (const Value& v : row) line += v.ToString() + "|";
+    out.insert(line);
+  }
+  return out;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BigBenchDataset::Options opts;
+    opts.total_bytes = 50e9;
+    opts.sample_rows_per_fact = 2000;
+    opts.sample_rows_per_dim = 400;
+    opts.seed = 21;
+    ASSERT_TRUE(BigBenchDataset::Generate(opts, &catalog_).ok());
+  }
+
+  // Ground truth by executing the pushed-down plan directly.
+  ExecResult GroundTruth(const PlanPtr& plan) {
+    Executor exec(&catalog_);
+    auto r = exec.Execute(PushDownSelections(plan, catalog_));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : ExecResult{};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(IntegrationTest, PhysicalResultsMatchGroundTruthAcrossWorkload) {
+  EngineOptions opts;
+  opts.physical_execution = true;
+  opts.enforce_block_lower_bound = false;
+  DeepSeaEngine engine(&catalog_, opts);
+
+  RangeGenerator gen(Interval(0, 400000), Selectivity::kMedium, Skew::kHeavy, 5);
+  int answered_from_view = 0;
+  for (int i = 0; i < 15; ++i) {
+    const Interval range = gen.Next();
+    auto plan = BigBenchTemplates::Build("Q30", range.lo, range.hi);
+    ASSERT_TRUE(plan.ok());
+    const ExecResult truth = GroundTruth(*plan);
+    auto report = engine.ProcessQuery(*plan);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report->physically_executed);
+    EXPECT_EQ(Canonical(report->physical), Canonical(truth))
+        << "result mismatch at query " << i
+        << (report->used_view.empty() ? " (base plan)"
+                                      : " (view " + report->used_view + ")");
+    if (!report->used_view.empty()) ++answered_from_view;
+  }
+  // The point of the test is exercising the view path physically.
+  EXPECT_GT(answered_from_view, 3);
+}
+
+TEST_F(IntegrationTest, PhysicalCorrectnessAcrossTemplates) {
+  EngineOptions opts;
+  opts.physical_execution = true;
+  opts.enforce_block_lower_bound = false;
+  DeepSeaEngine engine(&catalog_, opts);
+  // Warm the shared store_sales x item view with Q30, then check Q1 and
+  // Q20 which reuse it.
+  for (int i = 0; i < 5; ++i) {
+    auto plan = BigBenchTemplates::Build("Q30", 100000, 180000);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(engine.ProcessQuery(*plan).ok());
+  }
+  for (const char* name : {"Q1", "Q20", "Q30"}) {
+    auto plan = BigBenchTemplates::Build(name, 120000, 160000);
+    ASSERT_TRUE(plan.ok());
+    const ExecResult truth = GroundTruth(*plan);
+    auto report = engine.ProcessQuery(*plan);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(Canonical(report->physical), Canonical(truth)) << name;
+  }
+}
+
+TEST_F(IntegrationTest, OverlappingFragmentsStayCorrect) {
+  EngineOptions opts;
+  opts.physical_execution = true;
+  opts.overlapping_fragments = true;
+  opts.enforce_block_lower_bound = false;
+  DeepSeaEngine engine(&catalog_, opts);
+  // Regime 1 then regime 2 to force overlapping refinements.
+  for (int i = 0; i < 6; ++i) {
+    auto plan = BigBenchTemplates::Build("Q30", 40000, 240000);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(engine.ProcessQuery(*plan).ok());
+  }
+  for (int i = 0; i < 6; ++i) {
+    auto plan = BigBenchTemplates::Build("Q30", 60000, 110000);
+    ASSERT_TRUE(plan.ok());
+    const ExecResult truth = GroundTruth(*plan);
+    auto report = engine.ProcessQuery(*plan);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(Canonical(report->physical), Canonical(truth)) << "query " << i;
+  }
+}
+
+TEST_F(IntegrationTest, EvictionUnderTinyPoolStaysCorrect) {
+  EngineOptions opts;
+  opts.physical_execution = true;
+  opts.pool_limit_bytes = 3e9;
+  opts.enforce_block_lower_bound = false;
+  DeepSeaEngine engine(&catalog_, opts);
+  RangeGenerator gen(Interval(0, 400000), Selectivity::kSmall, Skew::kLight, 77);
+  for (int i = 0; i < 12; ++i) {
+    const Interval range = gen.Next();
+    auto plan = BigBenchTemplates::Build(i % 2 == 0 ? "Q30" : "Q5", range.lo,
+                                         range.hi);
+    ASSERT_TRUE(plan.ok());
+    const ExecResult truth = GroundTruth(*plan);
+    auto report = engine.ProcessQuery(*plan);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(Canonical(report->physical), Canonical(truth)) << "query " << i;
+    EXPECT_LE(engine.PoolBytes(), opts.pool_limit_bytes * 1.0001);
+  }
+}
+
+TEST_F(IntegrationTest, SdssDrivenWorkloadEndToEnd) {
+  // Mini version of the Section 10.1 experiment wiring: SDSS ranges
+  // mapped onto item_sk, random templates, DS engine with physical
+  // checking on a subset of queries.
+  SdssTraceModel sdss(SdssTraceModel::Config{}, 1);
+  const auto trace = sdss.GenerateTrace(30);
+  const Interval ra_domain(-20, 400);
+  const Interval sk_domain(0, 400000);
+
+  EngineOptions opts;
+  opts.physical_execution = true;
+  opts.enforce_block_lower_bound = false;
+  DeepSeaEngine engine(&catalog_, opts);
+  Rng rng(3);
+  const auto names = BigBenchTemplates::Names();
+  for (const Interval& ra : trace) {
+    const Interval range = SdssTraceModel::MapRange(ra, ra_domain, sk_domain);
+    const std::string& name =
+        names[static_cast<size_t>(rng.UniformInt(0, names.size() - 1))];
+    auto plan = BigBenchTemplates::Build(name, range.lo, range.hi);
+    ASSERT_TRUE(plan.ok());
+    const ExecResult truth = GroundTruth(*plan);
+    auto report = engine.ProcessQuery(*plan);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(Canonical(report->physical), Canonical(truth)) << name;
+  }
+  EXPECT_GT(engine.totals().queries_answered_from_views, 0);
+}
+
+}  // namespace
+}  // namespace deepsea

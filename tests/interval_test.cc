@@ -1,0 +1,212 @@
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace deepsea {
+namespace {
+
+TEST(IntervalTest, EmptyDetection) {
+  EXPECT_TRUE(Interval(5, 3).IsEmpty());
+  EXPECT_TRUE(Interval(5, 5, false, true).IsEmpty());
+  EXPECT_TRUE(Interval(5, 5, true, false).IsEmpty());
+  EXPECT_FALSE(Interval(5, 5).IsEmpty());  // [5,5] is a point
+  EXPECT_FALSE(Interval(1, 2).IsEmpty());
+}
+
+TEST(IntervalTest, ContainsPointRespectsOpenness) {
+  const Interval closed(0, 10);
+  EXPECT_TRUE(closed.Contains(0.0));
+  EXPECT_TRUE(closed.Contains(10.0));
+  const Interval half = Interval::ClosedOpen(0, 10);
+  EXPECT_TRUE(half.Contains(0.0));
+  EXPECT_FALSE(half.Contains(10.0));
+  const Interval open = Interval::OpenClosed(0, 10);
+  EXPECT_FALSE(open.Contains(0.0));
+  EXPECT_TRUE(open.Contains(10.0));
+  EXPECT_FALSE(closed.Contains(-0.001));
+  EXPECT_FALSE(closed.Contains(10.001));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  EXPECT_TRUE(Interval(0, 10).Contains(Interval(2, 8)));
+  EXPECT_TRUE(Interval(0, 10).Contains(Interval(0, 10)));
+  EXPECT_FALSE(Interval(0, 10).Contains(Interval(0, 11)));
+  // [0,10) does not contain [0,10].
+  EXPECT_FALSE(Interval::ClosedOpen(0, 10).Contains(Interval(0, 10)));
+  // [0,10] contains (0,10).
+  EXPECT_TRUE(Interval(0, 10).Contains(Interval(0, 10, false, false)));
+  // Anything contains the empty interval.
+  EXPECT_TRUE(Interval(0, 1).Contains(Interval(5, 3)));
+}
+
+TEST(IntervalTest, OverlapAtSharedBoundary) {
+  // [0,5] and [5,10] share the point 5.
+  EXPECT_TRUE(Interval(0, 5).Overlaps(Interval(5, 10)));
+  // [0,5) and [5,10] do not.
+  EXPECT_FALSE(Interval::ClosedOpen(0, 5).Overlaps(Interval(5, 10)));
+  // [0,5) and (5,10] certainly not.
+  EXPECT_FALSE(Interval::ClosedOpen(0, 5).Overlaps(Interval::OpenClosed(5, 10)));
+}
+
+TEST(IntervalTest, IntersectComputesTightBounds) {
+  const auto i = Interval(0, 10).Intersect(Interval(5, 15));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, Interval(5, 10));
+  const auto j = Interval::ClosedOpen(0, 10).Intersect(Interval(5, 15));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(*j, Interval::ClosedOpen(5, 10));
+  EXPECT_FALSE(Interval(0, 1).Intersect(Interval(2, 3)).has_value());
+}
+
+TEST(IntervalTest, OverlapWidthAndFraction) {
+  EXPECT_DOUBLE_EQ(Interval(0, 10).OverlapWidth(Interval(5, 20)), 5.0);
+  EXPECT_DOUBLE_EQ(Interval(0, 10).OverlapFractionOf(Interval(5, 20)), 0.5);
+  EXPECT_DOUBLE_EQ(Interval(0, 10).OverlapWidth(Interval(20, 30)), 0.0);
+}
+
+TEST(IntervalTest, SplitBeforeSemantics) {
+  // Split [0,10] at 4 -> [0,4) and [4,10].
+  const auto [l, r] = Interval(0, 10).SplitBefore(4);
+  EXPECT_EQ(l, Interval::ClosedOpen(0, 4));
+  EXPECT_EQ(r, Interval(4, 10));
+  // Split at the lower bound: left empty.
+  const auto [l2, r2] = Interval(0, 10).SplitBefore(0);
+  EXPECT_TRUE(l2.IsEmpty());
+  EXPECT_EQ(r2, Interval(0, 10));
+}
+
+TEST(IntervalTest, SplitAfterSemantics) {
+  // Split [0,10] after 4 -> [0,4] and (4,10].
+  const auto [l, r] = Interval(0, 10).SplitAfter(4);
+  EXPECT_EQ(l, Interval(0, 4));
+  EXPECT_EQ(r, Interval::OpenClosed(4, 10));
+  const auto [l2, r2] = Interval(0, 10).SplitAfter(10);
+  EXPECT_EQ(l2, Interval(0, 10));
+  EXPECT_TRUE(r2.IsEmpty());
+}
+
+TEST(IntervalTest, SplitEqualCoversExactly) {
+  const auto pieces = Interval(0, 10).SplitEqual(4);
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces.front().lo, 0.0);
+  EXPECT_EQ(pieces.back().hi, 10.0);
+  // Pieces tile without gaps or overlaps.
+  Fragmentation f(pieces);
+  EXPECT_TRUE(f.IsHorizontalPartition(Interval(0, 10)));
+}
+
+TEST(IntervalTest, ToStringShowsOpenness) {
+  EXPECT_EQ(Interval(1, 5).ToString(), "[1, 5]");
+  EXPECT_EQ(Interval::ClosedOpen(1, 5).ToString(), "[1, 5)");
+  EXPECT_EQ(Interval::OpenClosed(1, 5).ToString(), "(1, 5]");
+}
+
+TEST(FragmentationTest, ExampleOneFromPaper) {
+  // Paper Example 1: I = {[1,2],[3,4],[5,6]} over integer domain; on a
+  // continuous domain the integer gaps matter, so we use the continuous
+  // analogue [1,2),[2,4),[4,6].
+  Fragmentation partition({Interval::ClosedOpen(1, 2), Interval::ClosedOpen(2, 4),
+                           Interval(4, 6)});
+  EXPECT_TRUE(partition.IsHorizontalPartition(Interval(1, 6)));
+
+  // I' with overlap {I4=[1,4], I5=[3,4], I6=[5,6]} is not a horizontal
+  // partition (overlap), and with the gap (4,5) not even covering.
+  Fragmentation overlapping(
+      {Interval(1, 4), Interval(3, 4), Interval(5, 6)});
+  EXPECT_FALSE(overlapping.IsDisjoint());
+  EXPECT_FALSE(overlapping.Covers(Interval(1, 6)));
+
+  // I'' = {[1,4],[4,6]} is again a horizontal partition (of [1,6]) if
+  // we make the shared boundary half-open.
+  Fragmentation again({Interval::ClosedOpen(1, 4), Interval(4, 6)});
+  EXPECT_TRUE(again.IsHorizontalPartition(Interval(1, 6)));
+}
+
+TEST(FragmentationTest, OverlappingPartitioningOnlyNeedsCoverage) {
+  Fragmentation f({Interval(0, 6), Interval(4, 10)});
+  EXPECT_TRUE(f.IsOverlappingPartitioning(Interval(0, 10)));
+  EXPECT_FALSE(f.IsHorizontalPartition(Interval(0, 10)));
+}
+
+TEST(FragmentationTest, DetectsGap) {
+  Fragmentation f({Interval(0, 3), Interval(5, 10)});
+  EXPECT_FALSE(f.Covers(Interval(0, 10)));
+}
+
+TEST(FragmentationTest, DetectsPointGapFromOpenBounds) {
+  // [0,5) and (5,10] miss the point 5.
+  Fragmentation f({Interval::ClosedOpen(0, 5), Interval::OpenClosed(5, 10)});
+  EXPECT_FALSE(f.Covers(Interval(0, 10)));
+  // Adding [5,5] closes it.
+  f.Add(Interval(5, 5));
+  EXPECT_TRUE(f.Covers(Interval(0, 10)));
+}
+
+TEST(FragmentationTest, SortedOrder) {
+  Fragmentation f({Interval(5, 6), Interval(0, 2), Interval(0, 1)});
+  const auto sorted = f.Sorted();
+  EXPECT_EQ(sorted[0], Interval(0, 1));
+  EXPECT_EQ(sorted[1], Interval(0, 2));
+  EXPECT_EQ(sorted[2], Interval(5, 6));
+}
+
+// ---------- property-based sweeps ----------
+
+class IntervalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalPropertyTest, SplitBeforeRoundTrips) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(-100, 100);
+    const double b = a + rng.Uniform(0.1, 100);
+    const Interval iv(a, b);
+    const double p = rng.Uniform(a - 10, b + 10);
+    const auto [l, r] = iv.SplitBefore(p);
+    // No point is lost or duplicated for p strictly inside.
+    if (p > a && p <= b) {
+      EXPECT_FALSE(l.IsEmpty());
+      EXPECT_DOUBLE_EQ(l.Width() + r.Width(), iv.Width());
+      EXPECT_FALSE(l.Overlaps(r));
+      Fragmentation f({l, r});
+      EXPECT_TRUE(f.Covers(iv));
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, IntersectionIsCommutativeAndContained) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  for (int i = 0; i < 300; ++i) {
+    const Interval x(rng.Uniform(0, 50), rng.Uniform(50, 100),
+                     rng.Bernoulli(0.5), rng.Bernoulli(0.5));
+    const Interval y(rng.Uniform(0, 80), rng.Uniform(20, 100),
+                     rng.Bernoulli(0.5), rng.Bernoulli(0.5));
+    const auto xy = x.Intersect(y);
+    const auto yx = y.Intersect(x);
+    ASSERT_EQ(xy.has_value(), yx.has_value());
+    if (xy.has_value()) {
+      EXPECT_EQ(*xy, *yx);
+      EXPECT_TRUE(x.Contains(*xy));
+      EXPECT_TRUE(y.Contains(*xy));
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, SplitEqualAlwaysPartitions) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 2000);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.Uniform(-1000, 1000);
+    const Interval iv(a, a + rng.Uniform(1, 500));
+    const int n = static_cast<int>(rng.UniformInt(1, 12));
+    Fragmentation f(iv.SplitEqual(n));
+    EXPECT_EQ(f.size(), static_cast<size_t>(n));
+    EXPECT_TRUE(f.IsHorizontalPartition(iv));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace deepsea

@@ -1,0 +1,157 @@
+// Property-based engine invariants: random workloads swept over every
+// strategy and several seeds must preserve the system's structural
+// guarantees regardless of what the adaptive machinery decides.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "plan/pushdown.h"
+#include "workload/bigbench.h"
+#include "workload/range_generator.h"
+
+namespace deepsea {
+namespace {
+
+struct SweepParam {
+  StrategyKind strategy;
+  ValueModel model;
+  bool overlapping;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const SweepParam& p = info.param;
+  std::string name = StrategyName(p.strategy);
+  name += std::string("_") + ValueModelName(p.model);
+  name += p.overlapping ? "_ovl" : "_hor";
+  name += "_s" + std::to_string(p.seed);
+  // Sanitize for gtest.
+  std::string out;
+  for (char c : name) out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  return out;
+}
+
+class EngineInvariantsTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    BigBenchDataset::Options data;
+    data.total_bytes = 80e9;
+    data.sample_rows_per_fact = 800;
+    data.sample_rows_per_dim = 150;
+    data.seed = 3;
+    ASSERT_TRUE(BigBenchDataset::Generate(data, &catalog_).ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_P(EngineInvariantsTest, StructuralInvariantsHoldUnderRandomWorkload) {
+  const SweepParam& p = GetParam();
+  EngineOptions opts;
+  opts.strategy = p.strategy;
+  opts.value_model = p.model;
+  opts.overlapping_fragments = p.overlapping;
+  opts.use_mle_smoothing = p.model == ValueModel::kDeepSea;
+  opts.benefit_cost_threshold = 0.05;
+  opts.pool_limit_bytes = 6e9;  // tight: forces evictions
+  opts.physical_execution = true;
+  DeepSeaEngine engine(&catalog_, opts);
+  Executor reference(&catalog_);
+
+  Rng rng(p.seed);
+  const auto names = BigBenchTemplates::Names();
+  for (int q = 0; q < 25; ++q) {
+    // Random template, random range (mixture of regimes and widths).
+    const std::string& name =
+        names[static_cast<size_t>(rng.UniformInt(0, names.size() - 1))];
+    const double width = rng.Uniform(2000, 60000);
+    const double center = rng.Bernoulli(0.7) ? rng.Gaussian(150000, 10000)
+                                             : rng.Uniform(0, 400000);
+    const double lo = Clamp(center - width / 2, 0, 400000 - width);
+    auto plan = BigBenchTemplates::Build(name, lo, lo + width);
+    ASSERT_TRUE(plan.ok());
+    auto report = engine.ProcessQuery(*plan);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    // INVARIANT 1: pool never exceeds S_max.
+    EXPECT_LE(engine.PoolBytes(), opts.pool_limit_bytes * 1.0001)
+        << "query " << q;
+
+    // INVARIANT 2: pool accounting matches the simulated FS exactly.
+    EXPECT_NEAR(engine.PoolBytes(), engine.fs().TotalBytes("pool/"),
+                1.0 + engine.PoolBytes() * 1e-9)
+        << "query " << q;
+
+    // INVARIANT 3: horizontal mode keeps materialized fragments of each
+    // partition pairwise disjoint.
+    if (!p.overlapping) {
+      for (const ViewInfo* v : engine.views().AllViews()) {
+        for (const auto& [attr, part] : v->partitions) {
+          const auto mats = part.MaterializedIntervals();
+          for (size_t i = 0; i < mats.size(); ++i) {
+            for (size_t j = i + 1; j < mats.size(); ++j) {
+              EXPECT_FALSE(mats[i].Overlaps(mats[j]))
+                  << attr << ": " << mats[i].ToString() << " vs "
+                  << mats[j].ToString();
+            }
+          }
+        }
+      }
+    }
+
+    // INVARIANT 4: physical results always equal ground truth.
+    auto truth = reference.Execute(PushDownSelections(*plan, catalog_));
+    ASSERT_TRUE(truth.ok());
+    std::multiset<std::string> a, b;
+    for (const Row& row : report->physical.rows) {
+      std::string line;
+      for (const Value& v : row) line += v.ToString() + "|";
+      a.insert(line);
+    }
+    for (const Row& row : truth->rows) {
+      std::string line;
+      for (const Value& v : row) line += v.ToString() + "|";
+      b.insert(line);
+    }
+    EXPECT_EQ(a, b) << "result mismatch at query " << q << " (" << name << ")";
+
+    // INVARIANT 5: charged time is never negative and at least the
+    // cheapest possible execution.
+    EXPECT_GE(report->best_seconds, 0.0);
+    EXPECT_GE(report->total_seconds, report->best_seconds);
+  }
+
+  // INVARIANT 6: every materialized fragment interval is non-empty and
+  // lies inside its partition's domain.
+  for (const ViewInfo* v : engine.views().AllViews()) {
+    for (const auto& [attr, part] : v->partitions) {
+      for (const FragmentStats& f : part.fragments) {
+        if (!f.materialized) continue;
+        EXPECT_FALSE(f.interval.IsEmpty());
+        EXPECT_GE(f.interval.lo, part.domain.lo - 1e-6);
+        EXPECT_LE(f.interval.hi, part.domain.hi + 1e-6);
+        EXPECT_GE(f.size_bytes, 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineInvariantsTest,
+    ::testing::Values(
+        SweepParam{StrategyKind::kDeepSea, ValueModel::kDeepSea, true, 1},
+        SweepParam{StrategyKind::kDeepSea, ValueModel::kDeepSea, true, 2},
+        SweepParam{StrategyKind::kDeepSea, ValueModel::kDeepSea, false, 3},
+        SweepParam{StrategyKind::kDeepSea, ValueModel::kNectar, true, 4},
+        SweepParam{StrategyKind::kDeepSea, ValueModel::kNectarPlus, true, 5},
+        SweepParam{StrategyKind::kNoRefine, ValueModel::kDeepSea, true, 6},
+        SweepParam{StrategyKind::kEquiDepth, ValueModel::kDeepSea, true, 7},
+        SweepParam{StrategyKind::kNoPartition, ValueModel::kDeepSea, true, 8},
+        SweepParam{StrategyKind::kHive, ValueModel::kDeepSea, true, 9}),
+    ParamName);
+
+}  // namespace
+}  // namespace deepsea

@@ -1,0 +1,113 @@
+#include "core/mle_model.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsea {
+namespace {
+
+FragmentStats Frag(double lo, double hi, int hits, double hit_time = 100) {
+  FragmentStats f;
+  f.interval = Interval(lo, hi);
+  f.size_bytes = (hi - lo) * 10;
+  for (int i = 0; i < hits; ++i) f.RecordHit(hit_time);
+  return f;
+}
+
+TEST(MleModelTest, NoHitsYieldsZeroAdjusted) {
+  MleFragmentModel model;
+  DecayFunction dec;
+  std::vector<FragmentStats> frags = {Frag(0, 50, 0), Frag(50, 100, 0)};
+  const auto adj = model.Adjust(frags, Interval(0, 100), 100, dec);
+  EXPECT_EQ(adj.total, 0.0);
+  EXPECT_EQ(adj.hits[0], 0.0);
+  EXPECT_EQ(adj.hits[1], 0.0);
+}
+
+TEST(MleModelTest, TotalMassPreservedApproximately) {
+  MleFragmentModel model;
+  DecayFunction dec(DecayConfig{1e9, true});
+  std::vector<FragmentStats> frags = {Frag(0, 25, 10), Frag(25, 50, 20),
+                                      Frag(50, 75, 10), Frag(75, 100, 2)};
+  const auto adj = model.Adjust(frags, Interval(0, 100), 100, dec);
+  double sum = 0.0;
+  for (double h : adj.hits) sum += h;
+  // The Normal has tails outside the domain; most mass stays inside.
+  EXPECT_GT(sum, 0.8 * adj.total);
+  EXPECT_LE(sum, adj.total + 1e-9);
+}
+
+TEST(MleModelTest, NeighborOfHotSpotBeatsDistantFragment) {
+  // This is the paper's motivating example (Section 7.1): hits on
+  // [0, 5], none on [6, 10] and [11, 15]. The neighbor [6, 10] must get
+  // more adjusted hits than the distant [11, 15].
+  MleFragmentModel model;
+  DecayFunction dec(DecayConfig{1e9, true});
+  std::vector<FragmentStats> frags = {Frag(0, 5, 20), Frag(5, 10, 0),
+                                      Frag(10, 15, 0)};
+  const auto adj = model.Adjust(frags, Interval(0, 15), 100, dec);
+  EXPECT_GT(adj.hits[0], adj.hits[1]);
+  EXPECT_GT(adj.hits[1], adj.hits[2]);
+  EXPECT_GT(adj.hits[1], 0.0);
+}
+
+TEST(MleModelTest, FitRecoversHotSpotCenter) {
+  MleFragmentModel model;
+  DecayFunction dec(DecayConfig{1e9, true});
+  std::vector<FragmentStats> frags;
+  for (int i = 0; i < 10; ++i) {
+    // Hits concentrated around [40, 60].
+    const double lo = i * 10.0, hi = lo + 10.0;
+    const int hits = (lo >= 30 && hi <= 70) ? 20 : 1;
+    frags.push_back(Frag(lo, hi, hits));
+  }
+  const auto adj = model.Adjust(frags, Interval(0, 100), 100, dec);
+  ASSERT_TRUE(adj.fit.valid);
+  EXPECT_NEAR(adj.fit.mean, 50.0, 5.0);
+  EXPECT_GT(adj.fit.stddev, 0.0);
+}
+
+TEST(MleModelTest, DecayReducesOldHitInfluence) {
+  MleFragmentModel model;
+  DecayFunction dec(DecayConfig{1e9, true});
+  // Old hits on the left, recent hits on the right.
+  std::vector<FragmentStats> frags = {Frag(0, 50, 10, /*hit_time=*/10),
+                                      Frag(50, 100, 10, /*hit_time=*/1000)};
+  const auto adj = model.Adjust(frags, Interval(0, 100), 1000, dec);
+  ASSERT_TRUE(adj.fit.valid);
+  // Mean pulled toward the recent (right) side.
+  EXPECT_GT(adj.fit.mean, 50.0);
+}
+
+TEST(MleModelTest, ChoosePartCountRespectsSmallFragments) {
+  MleFragmentModel model(MleConfig{/*target_parts=*/8, /*max_parts=*/1024});
+  std::vector<FragmentStats> frags = {Frag(0, 2, 1), Frag(2, 100, 1)};
+  // Smallest fragment has width 2 over domain width 100 -> needs >= 50.
+  const int parts = model.ChoosePartCount(frags, Interval(0, 100));
+  EXPECT_GE(parts, 50);
+  EXPECT_LE(parts, 1024);
+}
+
+TEST(MleModelTest, ChoosePartCountCapped) {
+  MleFragmentModel model(MleConfig{8, 64});
+  std::vector<FragmentStats> frags = {Frag(0, 0.001, 1), Frag(0.001, 100, 1)};
+  EXPECT_EQ(model.ChoosePartCount(frags, Interval(0, 100)), 64);
+}
+
+TEST(MleModelTest, SingleFragmentAllMass) {
+  MleFragmentModel model;
+  DecayFunction dec(DecayConfig{1e9, true});
+  std::vector<FragmentStats> frags = {Frag(0, 100, 5)};
+  const auto adj = model.Adjust(frags, Interval(0, 100), 100, dec);
+  EXPECT_NEAR(adj.hits[0], adj.total, 0.25 * adj.total);
+}
+
+TEST(MleModelTest, EmptyDomainSafe) {
+  MleFragmentModel model;
+  DecayFunction dec;
+  std::vector<FragmentStats> frags = {Frag(5, 5, 3)};
+  const auto adj = model.Adjust(frags, Interval(5, 5), 100, dec);
+  EXPECT_EQ(adj.hits.size(), 1u);
+}
+
+}  // namespace
+}  // namespace deepsea

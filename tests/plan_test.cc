@@ -1,0 +1,236 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/pushdown.h"
+
+namespace deepsea {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog c;
+  auto t = std::make_shared<Table>(
+      "t", Schema({{"t.a", DataType::kInt64}, {"t.b", DataType::kDouble}}));
+  auto u = std::make_shared<Table>(
+      "u", Schema({{"u.a", DataType::kInt64}, {"u.c", DataType::kString}}));
+  c.Put(t);
+  c.Put(u);
+  return c;
+}
+
+TEST(PlanTest, ScanSchema) {
+  Catalog c = MakeCatalog();
+  auto s = Scan("t")->OutputSchema(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_columns(), 2u);
+}
+
+TEST(PlanTest, SelectPreservesSchema) {
+  Catalog c = MakeCatalog();
+  auto plan = Select(Scan("t"), RangePredicate("t.a", 0, 10));
+  auto s = plan->OutputSchema(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_columns(), 2u);
+}
+
+TEST(PlanTest, ProjectSchemaTypesAndNames) {
+  Catalog c = MakeCatalog();
+  auto plan = Project(Scan("t"), {Col("t.a"), Arith(ArithOp::kMul, Col("t.b"), LitD(2))},
+                      {"t.a", "b2"});
+  auto s = plan->OutputSchema(c);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->num_columns(), 2u);
+  EXPECT_EQ(s->column(0).name, "t.a");
+  EXPECT_EQ(s->column(0).type, DataType::kInt64);
+  EXPECT_EQ(s->column(1).name, "b2");
+  EXPECT_EQ(s->column(1).type, DataType::kDouble);
+}
+
+TEST(PlanTest, JoinConcatenatesSchemas) {
+  Catalog c = MakeCatalog();
+  auto plan = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto s = plan->OutputSchema(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_columns(), 4u);
+}
+
+TEST(PlanTest, AggregateSchema) {
+  Catalog c = MakeCatalog();
+  auto plan = Aggregate(Scan("t"), {"t.a"},
+                        {{AggFunc::kCount, "", "cnt"},
+                         {AggFunc::kSum, "t.b", "total"},
+                         {AggFunc::kAvg, "t.b", "avg"}});
+  auto s = plan->OutputSchema(c);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->num_columns(), 4u);
+  EXPECT_EQ(s->column(1).type, DataType::kInt64);   // COUNT
+  EXPECT_EQ(s->column(2).type, DataType::kDouble);  // SUM(double)
+  EXPECT_EQ(s->column(3).type, DataType::kDouble);  // AVG
+}
+
+TEST(PlanTest, AggregateUnknownColumnFails) {
+  Catalog c = MakeCatalog();
+  auto plan = Aggregate(Scan("t"), {"t.zzz"}, {{AggFunc::kCount, "", "n"}});
+  EXPECT_FALSE(plan->OutputSchema(c).ok());
+}
+
+TEST(PlanTest, BaseTablesSorted) {
+  auto plan = Join(Scan("u"), Scan("t"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  EXPECT_EQ(plan->BaseTables(), (std::vector<std::string>{"t", "u"}));
+}
+
+TEST(PlanTest, CollectSubplansPreOrder) {
+  auto join = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto root = Aggregate(Select(join, RangePredicate("t.a", 0, 5)), {},
+                        {{AggFunc::kCount, "", "n"}});
+  std::vector<PlanPtr> subs;
+  CollectSubplans(root, &subs);
+  ASSERT_EQ(subs.size(), 5u);
+  EXPECT_EQ(subs[0]->kind(), PlanKind::kAggregate);
+  EXPECT_EQ(subs[1]->kind(), PlanKind::kSelect);
+  EXPECT_EQ(subs[2]->kind(), PlanKind::kJoin);
+}
+
+TEST(PlanTest, ReplacePlanNodeSwapsSubtree) {
+  auto join = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto root = Select(join, RangePredicate("t.a", 0, 5));
+  auto replacement = ViewRef("v1", "t.a", {Interval(0, 5)});
+  auto rewritten = ReplacePlanNode(root, join.get(), replacement);
+  ASSERT_NE(rewritten.get(), root.get());
+  EXPECT_EQ(rewritten->kind(), PlanKind::kSelect);
+  EXPECT_EQ(rewritten->child(0)->kind(), PlanKind::kViewRef);
+  // Original untouched.
+  EXPECT_EQ(root->child(0)->kind(), PlanKind::kJoin);
+}
+
+TEST(PlanTest, ReplacePlanNodeMissingTargetReturnsSame) {
+  auto root = Scan("t");
+  auto other = Scan("u");
+  EXPECT_EQ(ReplacePlanNode(root, other.get(), Scan("x")).get(), root.get());
+}
+
+TEST(PlanTest, ToStringRendersTree) {
+  auto plan = Select(Scan("t"), RangePredicate("t.a", 0, 5));
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Select"), std::string::npos);
+  EXPECT_NE(s.find("Scan(t)"), std::string::npos);
+}
+
+TEST(PushdownTest, SingleTableConjunctMovesToScan) {
+  Catalog c = MakeCatalog();
+  auto join = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto root = Select(join, RangePredicate("t.a", 0, 5));
+  auto pushed = PushDownSelections(root, c);
+  // The top Select disappears; a Select lands above Scan(t).
+  ASSERT_EQ(pushed->kind(), PlanKind::kJoin);
+  EXPECT_EQ(pushed->child(0)->kind(), PlanKind::kSelect);
+  EXPECT_EQ(pushed->child(0)->child(0)->kind(), PlanKind::kScan);
+  EXPECT_EQ(pushed->child(0)->child(0)->table_name(), "t");
+  EXPECT_EQ(pushed->child(1)->kind(), PlanKind::kScan);
+}
+
+TEST(PushdownTest, MultiTableConjunctStays) {
+  Catalog c = MakeCatalog();
+  auto join = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto cross = Cmp(CompareOp::kLt, Col("t.b"), Col("u.a"));
+  auto root = Select(join, cross);
+  auto pushed = PushDownSelections(root, c);
+  EXPECT_EQ(pushed->kind(), PlanKind::kSelect);
+  EXPECT_EQ(pushed->predicate()->ToString(), cross->ToString());
+}
+
+TEST(PushdownTest, MixedPredicateSplits) {
+  Catalog c = MakeCatalog();
+  auto join = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto root = Select(join, And(RangePredicate("t.a", 0, 5),
+                               Cmp(CompareOp::kLt, Col("t.b"), Col("u.a"))));
+  auto pushed = PushDownSelections(root, c);
+  // Cross-table conjunct remains on top; t.a range went down.
+  ASSERT_EQ(pushed->kind(), PlanKind::kSelect);
+  EXPECT_EQ(pushed->child(0)->kind(), PlanKind::kJoin);
+  EXPECT_EQ(pushed->child(0)->child(0)->kind(), PlanKind::kSelect);
+}
+
+TEST(PushdownTest, DoesNotCrossAggregates) {
+  Catalog c = MakeCatalog();
+  auto agg = Aggregate(Scan("t"), {"t.a"}, {{AggFunc::kCount, "", "cnt"}});
+  auto root = Select(agg, Cmp(CompareOp::kGe, Col("cnt"), LitI(10)));
+  auto pushed = PushDownSelections(root, c);
+  EXPECT_EQ(pushed->kind(), PlanKind::kSelect);
+  EXPECT_EQ(pushed->child(0)->kind(), PlanKind::kAggregate);
+}
+
+TEST(PushdownTest, NestedSelectAboveJoinWithAggBelow) {
+  Catalog c = MakeCatalog();
+  // Selection above a join over plain scans, inside an aggregate.
+  auto join = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto root = Aggregate(Select(join, RangePredicate("u.a", 1, 2)), {"t.a"},
+                        {{AggFunc::kCount, "", "n"}});
+  auto pushed = PushDownSelections(root, c);
+  ASSERT_EQ(pushed->kind(), PlanKind::kAggregate);
+  EXPECT_EQ(pushed->child(0)->kind(), PlanKind::kJoin);
+  EXPECT_EQ(pushed->child(0)->child(1)->kind(), PlanKind::kSelect);
+}
+
+TEST(PlanTest, AggregateSpecToString) {
+  AggregateSpec s{AggFunc::kSum, "t.b", "total"};
+  EXPECT_EQ(s.ToString(), "SUM(t.b) AS total");
+  AggregateSpec cnt{AggFunc::kCount, "", "n"};
+  EXPECT_EQ(cnt.ToString(), "COUNT(*) AS n");
+}
+
+
+TEST(PlanTest, SortLimitSchemaPassThrough) {
+  Catalog c = MakeCatalog();
+  auto plan = Limit(Sort(Scan("t"), {{"t.a", false}}), 5);
+  auto s = plan->OutputSchema(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_columns(), 2u);
+  EXPECT_EQ(plan->limit(), 5);
+  EXPECT_EQ(plan->child(0)->sort_keys()[0].column, "t.a");
+}
+
+TEST(PlanTest, ReplaceUnderSortAndLimit) {
+  auto scan = Scan("t");
+  auto root = Limit(Sort(scan, {{"t.a", true}}), 3);
+  auto rewritten = ReplacePlanNode(root, scan.get(), ViewRef("v1", "", {}));
+  ASSERT_EQ(rewritten->kind(), PlanKind::kLimit);
+  EXPECT_EQ(rewritten->child(0)->child(0)->kind(), PlanKind::kViewRef);
+}
+
+TEST(PushdownTest, DoesNotCrossLimit) {
+  Catalog c = MakeCatalog();
+  auto root = Select(Limit(Scan("t"), 5), RangePredicate("t.a", 0, 3));
+  auto pushed = PushDownSelections(root, c);
+  // The predicate would change which 5 rows survive; it must stay put.
+  EXPECT_EQ(pushed->kind(), PlanKind::kSelect);
+  EXPECT_EQ(pushed->child(0)->kind(), PlanKind::kLimit);
+}
+
+TEST(PushdownTest, RecursesBelowSort) {
+  Catalog c = MakeCatalog();
+  auto join = Join(Scan("t"), Scan("u"),
+                   Cmp(CompareOp::kEq, Col("t.a"), Col("u.a")));
+  auto root = Sort(Select(join, RangePredicate("t.a", 0, 5)), {{"t.a", true}});
+  auto pushed = PushDownSelections(root, c);
+  ASSERT_EQ(pushed->kind(), PlanKind::kSort);
+  // The selection below the sort was pushed to the scan of t.
+  EXPECT_EQ(pushed->child(0)->kind(), PlanKind::kJoin);
+  EXPECT_EQ(pushed->child(0)->child(0)->kind(), PlanKind::kSelect);
+}
+
+TEST(PlanTest, SortKeyToString) {
+  EXPECT_EQ((SortKey{"t.a", true}).ToString(), "t.a ASC");
+  EXPECT_EQ((SortKey{"t.a", false}).ToString(), "t.a DESC");
+}
+
+}  // namespace
+}  // namespace deepsea

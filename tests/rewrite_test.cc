@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "core/view_catalog.h"
+#include "rewrite/filter_tree.h"
+#include "rewrite/matcher.h"
+#include "sim/cost_model.h"
+
+namespace deepsea {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fact = std::make_shared<Table>(
+        "fact", Schema({{"fact.k", DataType::kInt64},
+                        {"fact.v", DataType::kDouble}}));
+    fact->set_logical_row_count(10000000);
+    fact->set_avg_row_bytes(100);
+    AttributeHistogram hist(Interval(0, 1000), 100);
+    hist.AddRange(Interval(0, 1000), 10000000);
+    fact->SetHistogram("fact.k", hist);
+    catalog_.Put(fact);
+    auto dim = std::make_shared<Table>(
+        "dim", Schema({{"dim.k", DataType::kInt64},
+                       {"dim.g", DataType::kInt64}}));
+    dim->set_logical_row_count(1000);
+    dim->set_avg_row_bytes(50);
+    catalog_.Put(dim);
+  }
+
+  PlanPtr JoinPlan() {
+    return Join(Scan("fact"), Scan("dim"),
+                Cmp(CompareOp::kEq, Col("fact.k"), Col("dim.k")));
+  }
+
+  // Registers the join as a tracked view with a materialized partition.
+  ViewInfo* TrackJoinView(bool materialize) {
+    auto sig = ComputeSignature(JoinPlan(), catalog_);
+    EXPECT_TRUE(sig.ok());
+    ViewInfo* view = views_.Track(JoinPlan(), *sig);
+    index_.Insert(view->signature, view->id);
+    // Register the view's table for the estimator.
+    auto schema = view->plan->OutputSchema(catalog_);
+    auto table = std::make_shared<Table>(view->id, *schema);
+    table->set_logical_row_count(10000000);
+    table->set_avg_row_bytes(150);
+    AttributeHistogram hist(Interval(0, 1000), 100);
+    hist.AddRange(Interval(0, 1000), 10000000);
+    table->SetHistogram("fact.k", hist);
+    catalog_.Put(table);
+    view->stats.size_bytes = 10000000.0 * 150;
+    view->stats.creation_cost = 500;
+    PartitionState* part = view->EnsurePartition("fact.k", Interval(0, 1000));
+    for (const Interval& iv :
+         {Interval::ClosedOpen(0, 250), Interval::ClosedOpen(250, 500),
+          Interval::ClosedOpen(500, 750), Interval(750, 1000)}) {
+      FragmentStats* f = part->Track(iv, view->stats.size_bytes / 4);
+      f->materialized = materialize;
+    }
+    return view;
+  }
+
+  Catalog catalog_;
+  ViewCatalog views_;
+  FilterTree index_;
+  ClusterModel cluster_;
+};
+
+TEST_F(RewriteTest, FilterTreeExactLookup) {
+  auto sig = ComputeSignature(JoinPlan(), catalog_);
+  ASSERT_TRUE(sig.ok());
+  FilterTree tree;
+  tree.Insert(*sig, "v1");
+  EXPECT_EQ(tree.Lookup(*sig), (std::vector<std::string>{"v1"}));
+  EXPECT_EQ(tree.size(), 1u);
+  tree.Remove(*sig, "v1");
+  EXPECT_TRUE(tree.Lookup(*sig).empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST_F(RewriteTest, FilterTreePrunesByRelations) {
+  auto join_sig = ComputeSignature(JoinPlan(), catalog_);
+  auto scan_sig = ComputeSignature(Scan("fact"), catalog_);
+  ASSERT_TRUE(join_sig.ok());
+  ASSERT_TRUE(scan_sig.ok());
+  FilterTree tree;
+  tree.Insert(*join_sig, "vjoin");
+  EXPECT_TRUE(tree.Lookup(*scan_sig).empty());
+}
+
+TEST_F(RewriteTest, FilterTreeSeparatesAggregates) {
+  auto join_sig = ComputeSignature(JoinPlan(), catalog_);
+  auto agg_sig = ComputeSignature(
+      Aggregate(JoinPlan(), {"dim.g"}, {{AggFunc::kCount, "", "n"}}), catalog_);
+  ASSERT_TRUE(agg_sig.ok());
+  FilterTree tree;
+  tree.Insert(*join_sig, "vjoin");
+  tree.Insert(*agg_sig, "vagg");
+  EXPECT_EQ(tree.Lookup(*join_sig), (std::vector<std::string>{"vjoin"}));
+  EXPECT_EQ(tree.Lookup(*agg_sig), (std::vector<std::string>{"vagg"}));
+}
+
+TEST_F(RewriteTest, CompensationRebuildsQueryRanges) {
+  auto vsig = ComputeSignature(JoinPlan(), catalog_);
+  auto qsig = ComputeSignature(
+      Select(JoinPlan(), RangePredicate("fact.k", 10, 20)), catalog_);
+  ASSERT_TRUE(vsig.ok());
+  ASSERT_TRUE(qsig.ok());
+  const ExprPtr comp = ViewMatcher::BuildCompensation(*vsig, *qsig);
+  ASSERT_NE(comp, nullptr);
+  const std::string s = comp->ToString();
+  EXPECT_NE(s.find("fact.k >= 10"), std::string::npos);
+  EXPECT_NE(s.find("fact.k <= 20"), std::string::npos);
+}
+
+TEST_F(RewriteTest, NoCompensationForIdenticalSignatures) {
+  auto sig = ComputeSignature(Select(JoinPlan(), RangePredicate("fact.k", 1, 2)),
+                              catalog_);
+  ASSERT_TRUE(sig.ok());
+  // Join equalities are enforced by the view itself.
+  EXPECT_EQ(ViewMatcher::BuildCompensation(*sig, *sig), nullptr);
+}
+
+TEST_F(RewriteTest, MatcherFindsExecutableRewriting) {
+  TrackJoinView(/*materialize=*/true);
+  PlanCostEstimator estimator(&cluster_, &catalog_);
+  ViewMatcher matcher(&views_, &index_, &catalog_, &estimator);
+  const PlanPtr query = Aggregate(
+      Select(JoinPlan(), RangePredicate("fact.k", 100, 200)), {"dim.g"},
+      {{AggFunc::kCount, "", "n"}});
+  auto rewritings = matcher.ComputeRewritings(query);
+  ASSERT_TRUE(rewritings.ok());
+  ASSERT_FALSE(rewritings->empty());
+  const Rewriting& best = (*rewritings)[0];
+  EXPECT_TRUE(best.executable);
+  EXPECT_EQ(best.partition_attr, "fact.k");
+  ASSERT_EQ(best.fragments.size(), 1u);  // [0,250) covers [100,200]
+  EXPECT_EQ(best.fragments[0], Interval::ClosedOpen(0, 250));
+  EXPECT_TRUE(best.has_query_range);
+  EXPECT_EQ(best.query_range, Interval(100, 200));
+}
+
+TEST_F(RewriteTest, MatcherSpansMultipleFragments) {
+  TrackJoinView(true);
+  PlanCostEstimator estimator(&cluster_, &catalog_);
+  ViewMatcher matcher(&views_, &index_, &catalog_, &estimator);
+  const PlanPtr query =
+      Select(JoinPlan(), RangePredicate("fact.k", 100, 600));
+  auto rewritings = matcher.ComputeRewritings(query);
+  ASSERT_TRUE(rewritings.ok());
+  ASSERT_FALSE(rewritings->empty());
+  // Among the rewritings (the bare-join subplan yields a whole-view
+  // read; the selection subplan yields a fragment cover), the fragment
+  // cover of [100, 600] spans three of the four quarter fragments.
+  const Rewriting* frag_rw = nullptr;
+  for (const Rewriting& rw : *rewritings) {
+    if (!rw.fragments.empty()) frag_rw = &rw;
+  }
+  ASSERT_NE(frag_rw, nullptr);
+  EXPECT_EQ(frag_rw->fragments.size(), 3u);
+}
+
+TEST_F(RewriteTest, UnmaterializedViewYieldsTrackedOnlyRewriting) {
+  TrackJoinView(/*materialize=*/false);
+  PlanCostEstimator estimator(&cluster_, &catalog_);
+  ViewMatcher matcher(&views_, &index_, &catalog_, &estimator);
+  const PlanPtr query = Select(JoinPlan(), RangePredicate("fact.k", 100, 200));
+  auto rewritings = matcher.ComputeRewritings(query);
+  ASSERT_TRUE(rewritings.ok());
+  ASSERT_FALSE(rewritings->empty());
+  EXPECT_FALSE((*rewritings)[0].executable);
+}
+
+TEST_F(RewriteTest, RewritingCheaperThanBase) {
+  TrackJoinView(true);
+  PlanCostEstimator estimator(&cluster_, &catalog_);
+  ViewMatcher matcher(&views_, &index_, &catalog_, &estimator);
+  const PlanPtr query = Select(JoinPlan(), RangePredicate("fact.k", 100, 200));
+  auto base = estimator.Estimate(query);
+  auto rewritings = matcher.ComputeRewritings(query);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(rewritings.ok());
+  ASSERT_FALSE(rewritings->empty());
+  EXPECT_LT((*rewritings)[0].est_seconds, base->seconds);
+}
+
+TEST_F(RewriteTest, NoMatchForDifferentJoin) {
+  TrackJoinView(true);
+  PlanCostEstimator estimator(&cluster_, &catalog_);
+  ViewMatcher matcher(&views_, &index_, &catalog_, &estimator);
+  // A self-join of fact has different relation classes.
+  const PlanPtr query = Join(Scan("fact"), Scan("fact"),
+                             Cmp(CompareOp::kEq, Col("fact.k"), Col("fact.k")));
+  auto rewritings = matcher.ComputeRewritings(query);
+  ASSERT_TRUE(rewritings.ok());
+  EXPECT_TRUE(rewritings->empty());
+}
+
+}  // namespace
+}  // namespace deepsea

@@ -1,0 +1,176 @@
+#include "plan/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsea {
+namespace {
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.Put(std::make_shared<Table>(
+        "fact", Schema({{"fact.k", DataType::kInt64},
+                        {"fact.v", DataType::kDouble}})));
+    catalog_.Put(std::make_shared<Table>(
+        "dim", Schema({{"dim.k", DataType::kInt64},
+                       {"dim.g", DataType::kInt64}})));
+  }
+
+  PlanPtr JoinPlan() {
+    return Join(Scan("fact"), Scan("dim"),
+                Cmp(CompareOp::kEq, Col("fact.k"), Col("dim.k")));
+  }
+
+  PlanSignature Sig(const PlanPtr& p) {
+    auto s = ComputeSignature(p, catalog_);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return s.ok() ? *s : PlanSignature{};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SignatureTest, ScanSignature) {
+  const PlanSignature s = Sig(Scan("fact"));
+  EXPECT_EQ(s.relations, (std::vector<std::string>{"fact"}));
+  EXPECT_EQ(s.output_columns.size(), 2u);
+  EXPECT_FALSE(s.has_aggregate);
+}
+
+TEST_F(SignatureTest, JoinMergesRelationsAndEquivalences) {
+  const PlanSignature s = Sig(JoinPlan());
+  EXPECT_EQ(s.relations, (std::vector<std::string>{"dim", "fact"}));
+  ASSERT_EQ(s.equiv_classes.size(), 1u);
+  EXPECT_TRUE(s.equiv_classes[0].count("fact.k"));
+  EXPECT_TRUE(s.equiv_classes[0].count("dim.k"));
+}
+
+TEST_F(SignatureTest, SelectionRangesAbsorbed) {
+  const PlanSignature s = Sig(Select(JoinPlan(), RangePredicate("fact.k", 10, 20)));
+  ASSERT_TRUE(s.ranges.count("fact.k"));
+  EXPECT_EQ(s.ranges.at("fact.k").lo, 10.0);
+  EXPECT_EQ(s.ranges.at("fact.k").hi, 20.0);
+}
+
+TEST_F(SignatureTest, SelectionPlacementIrrelevant) {
+  // Selection above the join vs pushed below produce equal signatures.
+  const PlanSignature above =
+      Sig(Select(JoinPlan(), RangePredicate("fact.k", 10, 20)));
+  const PlanPtr pushed_scan = Select(Scan("fact"), RangePredicate("fact.k", 10, 20));
+  const PlanSignature below = Sig(Join(
+      pushed_scan, Scan("dim"), Cmp(CompareOp::kEq, Col("fact.k"), Col("dim.k"))));
+  EXPECT_EQ(above, below);
+}
+
+TEST_F(SignatureTest, AggregateSignature) {
+  const PlanSignature s = Sig(Aggregate(
+      JoinPlan(), {"dim.g"}, {{AggFunc::kSum, "fact.v", "total"}}));
+  EXPECT_TRUE(s.has_aggregate);
+  EXPECT_EQ(s.group_by, (std::vector<std::string>{"dim.g"}));
+  EXPECT_EQ(s.agg_specs.size(), 1u);
+  EXPECT_TRUE(s.output_columns.count("dim.g"));
+  EXPECT_TRUE(s.output_columns.count("total"));
+}
+
+TEST_F(SignatureTest, ResidualPredicateTracked) {
+  const ExprPtr res = Or(Cmp(CompareOp::kGt, Col("fact.v"), LitD(1)),
+                         Cmp(CompareOp::kLt, Col("fact.v"), LitD(-1)));
+  const PlanSignature s = Sig(Select(JoinPlan(), res));
+  EXPECT_EQ(s.residuals.size(), 1u);
+  ASSERT_EQ(s.residual_exprs.size(), 1u);
+}
+
+// --- Subsumption matrix ---
+
+TEST_F(SignatureTest, IdenticalSignaturesMatch) {
+  const PlanSignature v = Sig(JoinPlan());
+  EXPECT_TRUE(SignatureSubsumes(v, v).matches);
+}
+
+TEST_F(SignatureTest, WiderViewRangeMatches) {
+  const PlanSignature v = Sig(Select(JoinPlan(), RangePredicate("fact.k", 0, 100)));
+  const PlanSignature q = Sig(Select(JoinPlan(), RangePredicate("fact.k", 10, 20)));
+  EXPECT_TRUE(SignatureSubsumes(v, q).matches);
+  // And NOT the other way around.
+  EXPECT_FALSE(SignatureSubsumes(q, v).matches);
+}
+
+TEST_F(SignatureTest, UnconstrainedViewMatchesConstrainedQuery) {
+  const PlanSignature v = Sig(JoinPlan());
+  const PlanSignature q = Sig(Select(JoinPlan(), RangePredicate("fact.k", 10, 20)));
+  EXPECT_TRUE(SignatureSubsumes(v, q).matches);
+}
+
+TEST_F(SignatureTest, DifferentRelationsNoMatch) {
+  const PlanSignature v = Sig(Scan("fact"));
+  const PlanSignature q = Sig(Scan("dim"));
+  EXPECT_FALSE(SignatureSubsumes(v, q).matches);
+}
+
+TEST_F(SignatureTest, ViewWithExtraResidualNoMatch) {
+  const ExprPtr res = Or(Cmp(CompareOp::kGt, Col("fact.v"), LitD(1)),
+                         Cmp(CompareOp::kLt, Col("fact.v"), LitD(-1)));
+  const PlanSignature v = Sig(Select(JoinPlan(), res));
+  const PlanSignature q = Sig(JoinPlan());
+  EXPECT_FALSE(SignatureSubsumes(v, q).matches);
+  // Query with the residual CAN use the view carrying it.
+  const PlanSignature q2 = Sig(Select(JoinPlan(), res));
+  EXPECT_TRUE(SignatureSubsumes(v, q2).matches);
+}
+
+TEST_F(SignatureTest, AggregateMismatchNoMatch) {
+  const PlanSignature v = Sig(JoinPlan());
+  const PlanSignature q = Sig(Aggregate(
+      JoinPlan(), {"dim.g"}, {{AggFunc::kSum, "fact.v", "total"}}));
+  EXPECT_FALSE(SignatureSubsumes(v, q).matches);
+  EXPECT_FALSE(SignatureSubsumes(q, v).matches);
+}
+
+TEST_F(SignatureTest, EqualAggregatesMatch) {
+  const PlanPtr agg = Aggregate(JoinPlan(), {"dim.g"},
+                                {{AggFunc::kSum, "fact.v", "total"}});
+  EXPECT_TRUE(SignatureSubsumes(Sig(agg), Sig(agg)).matches);
+}
+
+TEST_F(SignatureTest, AggregateCompensationOnlyOnGroupBy) {
+  const PlanPtr view_agg = Aggregate(JoinPlan(), {"dim.g"},
+                                     {{AggFunc::kSum, "fact.v", "total"}});
+  // Query additionally restricts dim.g (a group-by column): OK.
+  const PlanPtr q_ok = Aggregate(Select(JoinPlan(), RangePredicate("dim.g", 0, 5)),
+                                 {"dim.g"}, {{AggFunc::kSum, "fact.v", "total"}});
+  EXPECT_TRUE(SignatureSubsumes(Sig(view_agg), Sig(q_ok)).matches);
+  // Query restricts fact.k (aggregated away): cannot compensate.
+  const PlanPtr q_bad = Aggregate(
+      Select(JoinPlan(), RangePredicate("fact.k", 0, 5)), {"dim.g"},
+      {{AggFunc::kSum, "fact.v", "total"}});
+  EXPECT_FALSE(SignatureSubsumes(Sig(view_agg), Sig(q_bad)).matches);
+}
+
+TEST_F(SignatureTest, ViewConstrainingUnconstrainedColumnNoMatch) {
+  const PlanSignature v = Sig(Select(JoinPlan(), RangePredicate("fact.v", 0, 1)));
+  const PlanSignature q = Sig(Select(JoinPlan(), RangePredicate("fact.k", 10, 20)));
+  EXPECT_FALSE(SignatureSubsumes(v, q).matches);
+}
+
+TEST_F(SignatureTest, ProjectionDropsNeededColumnNoMatch) {
+  // View projects away fact.v which the query outputs.
+  const PlanPtr view = Project(JoinPlan(), {Col("fact.k")}, {"fact.k"});
+  const PlanSignature v = Sig(view);
+  const PlanSignature q = Sig(JoinPlan());
+  EXPECT_FALSE(SignatureSubsumes(v, q).matches);
+}
+
+TEST_F(SignatureTest, CanonicalStringStable) {
+  const PlanSignature a = Sig(Select(JoinPlan(), RangePredicate("fact.k", 1, 2)));
+  const PlanSignature b = Sig(Select(JoinPlan(), RangePredicate("fact.k", 1, 2)));
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST_F(SignatureTest, ClassOfFallsBackToSingleton) {
+  const PlanSignature s = Sig(JoinPlan());
+  EXPECT_EQ(s.ClassOf("fact.v"), (std::set<std::string>{"fact.v"}));
+  EXPECT_EQ(s.ClassOf("fact.k").size(), 2u);
+}
+
+}  // namespace
+}  // namespace deepsea

@@ -1,0 +1,283 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/pushdown.h"
+#include "plan/signature.h"
+#include "sql/lexer.h"
+#include "workload/bigbench.h"
+
+namespace deepsea {
+namespace {
+
+// ---------- lexer ----------
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("SeLeCt from JOIN on WHERE group BY as AND or NOT between");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 13u);  // 12 keywords + end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kSelect);
+  EXPECT_EQ((*tokens)[11].kind, TokenKind::kBetween);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("123 4.5 .5 1e3 'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].number, 123.0);
+  EXPECT_EQ((*tokens)[1].number, 4.5);
+  EXPECT_EQ((*tokens)[2].number, 0.5);
+  EXPECT_EQ((*tokens)[3].number, 1000.0);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[4].text, "hello world");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Tokenize("= != <> < <= > >= + - * / ( ) , .");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kGe);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("select 'oops").ok());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("select @x").ok());
+}
+
+// ---------- parser ----------
+
+TEST(ParserTest, SelectStarFromTable) {
+  auto plan = ParseSql("SELECT * FROM store_sales");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind(), PlanKind::kScan);
+  EXPECT_EQ((*plan)->table_name(), "store_sales");
+}
+
+TEST(ParserTest, ProjectionWithAliases) {
+  auto plan = ParseSql("SELECT t.a, t.b AS bee, t.a + 1 AS next FROM t");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ((*plan)->kind(), PlanKind::kProject);
+  EXPECT_EQ((*plan)->project_names()[0], "t.a");
+  EXPECT_EQ((*plan)->project_names()[1], "bee");
+  EXPECT_EQ((*plan)->project_names()[2], "next");
+}
+
+TEST(ParserTest, WhereSitsAboveJoin) {
+  auto plan = ParseSql(
+      "SELECT * FROM store_sales JOIN item ON store_sales.item_sk = "
+      "item.item_sk WHERE store_sales.item_sk BETWEEN 10 AND 20");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ((*plan)->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*plan)->child(0)->kind(), PlanKind::kJoin);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto plan = ParseSql("SELECT * FROM t WHERE t.a BETWEEN 5 AND 9");
+  ASSERT_TRUE(plan.ok());
+  const RangeExtraction ex = ExtractRanges((*plan)->predicate());
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_EQ(ex.ranges[0].lo, 5.0);
+  EXPECT_EQ(ex.ranges[0].hi, 9.0);
+}
+
+TEST(ParserTest, MultipleJoinsLeftDeep) {
+  auto plan = ParseSql(
+      "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ((*plan)->kind(), PlanKind::kJoin);
+  EXPECT_EQ((*plan)->child(0)->kind(), PlanKind::kJoin);
+  EXPECT_EQ((*plan)->child(1)->table_name(), "c");
+  EXPECT_EQ((*plan)->child(0)->child(0)->table_name(), "a");
+}
+
+TEST(ParserTest, InnerJoinTolerated) {
+  auto plan = ParseSql("SELECT * FROM a INNER JOIN b ON a.x = b.x");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind(), PlanKind::kJoin);
+}
+
+TEST(ParserTest, GroupByAggregates) {
+  auto plan = ParseSql(
+      "SELECT item.category_id, COUNT(*) AS cnt, SUM(store_sales.net_paid) AS"
+      " revenue FROM store_sales JOIN item ON store_sales.item_sk ="
+      " item.item_sk GROUP BY item.category_id");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ((*plan)->kind(), PlanKind::kAggregate);
+  EXPECT_EQ((*plan)->group_by(), (std::vector<std::string>{"item.category_id"}));
+  ASSERT_EQ((*plan)->aggregates().size(), 2u);
+  EXPECT_EQ((*plan)->aggregates()[0].fn, AggFunc::kCount);
+  EXPECT_EQ((*plan)->aggregates()[1].fn, AggFunc::kSum);
+  EXPECT_EQ((*plan)->aggregates()[1].output_name, "revenue");
+}
+
+TEST(ParserTest, AggregateWithoutAliasGetsDerivedName) {
+  auto plan = ParseSql("SELECT SUM(t.x) FROM t");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->aggregates()[0].output_name, "sum_t.x");
+}
+
+TEST(ParserTest, NonAggregateItemMustBeGrouped) {
+  auto plan = ParseSql("SELECT t.a, COUNT(*) AS n FROM t GROUP BY t.b");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(ParserTest, GroupByWithoutAggregatesFails) {
+  EXPECT_FALSE(ParseSql("SELECT t.a FROM t GROUP BY t.a").ok());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto plan = ParseSql("SELECT * FROM t WHERE t.a = 1 OR t.b = 2 AND t.c = 3");
+  ASSERT_TRUE(plan.ok());
+  // AND binds tighter: (a=1) OR ((b=2) AND (c=3)).
+  EXPECT_EQ((*plan)->predicate()->ToString(),
+            "((t.a = 1) OR ((t.b = 2) AND (t.c = 3)))");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto plan = ParseSql("SELECT t.a + t.b * 2 AS v FROM t");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->project_exprs()[0]->ToString(), "(t.a + (t.b * 2))");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  auto plan = ParseSql("SELECT * FROM t WHERE t.a > -5");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE((*plan)->predicate()->ToString().find("(0 - 5)"), std::string::npos);
+}
+
+TEST(ParserTest, SyntaxErrorsReported) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t JOIN u").ok());       // missing ON
+  EXPECT_FALSE(ParseSql("SELECT * FROM t trailing junk").ok());
+  EXPECT_FALSE(ParseSql("SELECT *, t.a FROM t").ok());
+}
+
+// ---------- end-to-end: SQL == builder-built plans ----------
+
+class SqlIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BigBenchDataset::Options data;
+    data.total_bytes = 10e9;
+    data.sample_rows_per_fact = 1500;
+    data.sample_rows_per_dim = 300;
+    ASSERT_TRUE(BigBenchDataset::Generate(data, &catalog_).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(SqlIntegrationTest, SqlQ30MatchesTemplateSignature) {
+  // The SQL rendering of template Q30 produces the same signature as
+  // the builder (so SQL queries share views with template queries).
+  auto sql_plan = ParseSql(
+      "SELECT item.category_id, SUM(store_sales.net_paid) AS revenue "
+      "FROM store_sales JOIN item ON store_sales.item_sk = item.item_sk "
+      "WHERE store_sales.item_sk BETWEEN 1000 AND 2000 "
+      "GROUP BY item.category_id");
+  ASSERT_TRUE(sql_plan.ok()) << sql_plan.status().ToString();
+  auto tmpl_plan = BigBenchTemplates::Build("Q30", 1000, 2000);
+  ASSERT_TRUE(tmpl_plan.ok());
+  auto sql_sig = ComputeSignature(*sql_plan, catalog_);
+  auto tmpl_sig = ComputeSignature(*tmpl_plan, catalog_);
+  ASSERT_TRUE(sql_sig.ok()) << sql_sig.status().ToString();
+  ASSERT_TRUE(tmpl_sig.ok());
+  // The SQL variant has no Project between Select and Join, so compare
+  // the aggregate-level abstractions that drive matching.
+  EXPECT_EQ(sql_sig->relations, tmpl_sig->relations);
+  EXPECT_EQ(sql_sig->group_by, tmpl_sig->group_by);
+  EXPECT_EQ(sql_sig->agg_specs, tmpl_sig->agg_specs);
+  ASSERT_TRUE(sql_sig->ranges.count("store_sales.item_sk"));
+}
+
+TEST_F(SqlIntegrationTest, SqlExecutesAndMatchesPushedDownPlan) {
+  auto plan = ParseSql(
+      "SELECT item.category_id, COUNT(*) AS cnt "
+      "FROM store_sales JOIN item ON store_sales.item_sk = item.item_sk "
+      "WHERE store_sales.item_sk BETWEEN 50000 AND 250000 "
+      "GROUP BY item.category_id");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Executor exec(&catalog_);
+  auto direct = exec.Execute(*plan);
+  auto pushed = exec.Execute(PushDownSelections(*plan, catalog_));
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_EQ(direct->rows.size(), pushed->rows.size());
+  EXPECT_GT(direct->rows.size(), 0u);
+}
+
+TEST_F(SqlIntegrationTest, SqlArithmeticExecutes) {
+  auto plan = ParseSql(
+      "SELECT store_sales.item_sk, store_sales.net_paid * 2 AS double_paid "
+      "FROM store_sales WHERE store_sales.net_paid > 100");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Executor exec(&catalog_);
+  auto result = exec.Execute(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->schema.num_columns(), 2u);
+  for (const Row& row : result->rows) {
+    EXPECT_GT(row[1].AsNumeric(), 200.0);
+  }
+}
+
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto plan = ParseSql(
+      "SELECT * FROM t WHERE t.a > 5 ORDER BY t.a DESC, t.b LIMIT 10");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ((*plan)->kind(), PlanKind::kLimit);
+  EXPECT_EQ((*plan)->limit(), 10);
+  const PlanPtr sort = (*plan)->child(0);
+  ASSERT_EQ(sort->kind(), PlanKind::kSort);
+  ASSERT_EQ(sort->sort_keys().size(), 2u);
+  EXPECT_EQ(sort->sort_keys()[0].column, "t.a");
+  EXPECT_FALSE(sort->sort_keys()[0].ascending);
+  EXPECT_EQ(sort->sort_keys()[1].column, "t.b");
+  EXPECT_TRUE(sort->sort_keys()[1].ascending);
+  EXPECT_EQ(sort->child(0)->kind(), PlanKind::kSelect);
+}
+
+TEST(ParserTest, OrderByAfterGroupBy) {
+  auto plan = ParseSql(
+      "SELECT t.g, COUNT(*) AS n FROM t GROUP BY t.g ORDER BY n DESC LIMIT 3");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ((*plan)->kind(), PlanKind::kLimit);
+  EXPECT_EQ((*plan)->child(0)->kind(), PlanKind::kSort);
+  EXPECT_EQ((*plan)->child(0)->child(0)->kind(), PlanKind::kAggregate);
+}
+
+TEST(ParserTest, LimitRequiresNumber) {
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t ORDER BY").ok());
+}
+
+TEST_F(SqlIntegrationTest, TopCategoriesByRevenue) {
+  auto plan = ParseSql(
+      "SELECT item.category_id, SUM(store_sales.net_paid) AS revenue "
+      "FROM store_sales JOIN item ON store_sales.item_sk = item.item_sk "
+      "GROUP BY item.category_id ORDER BY revenue DESC LIMIT 5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Executor exec(&catalog_);
+  auto result = exec.Execute(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_LE(result->rows.size(), 5u);
+  ASSERT_GE(result->rows.size(), 2u);
+  // Rows are in descending revenue order.
+  for (size_t i = 1; i < result->rows.size(); ++i) {
+    EXPECT_GE(result->rows[i - 1][1].AsNumeric(), result->rows[i][1].AsNumeric());
+  }
+}
+
+}  // namespace
+}  // namespace deepsea

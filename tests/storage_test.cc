@@ -1,0 +1,91 @@
+#include "storage/sim_fs.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsea {
+namespace {
+
+TEST(SimFsTest, CreateReadDelete) {
+  SimFs fs(128);
+  ASSERT_TRUE(fs.Create("a/x", 1000).ok());
+  EXPECT_TRUE(fs.Exists("a/x"));
+  auto size = fs.Size("a/x");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1000.0);
+  auto read = fs.Read("a/x");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(fs.ledger().bytes_read, 1000.0);
+  ASSERT_TRUE(fs.Delete("a/x").ok());
+  EXPECT_FALSE(fs.Exists("a/x"));
+  EXPECT_FALSE(fs.Delete("a/x").ok());
+}
+
+TEST(SimFsTest, CreateDuplicateFails) {
+  SimFs fs;
+  ASSERT_TRUE(fs.Create("f", 1).ok());
+  EXPECT_EQ(fs.Create("f", 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SimFsTest, PutReplaces) {
+  SimFs fs;
+  fs.Put("f", 100);
+  fs.Put("f", 300);
+  auto size = fs.Size("f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 300.0);
+  EXPECT_EQ(fs.ledger().files_created, 1);
+  EXPECT_EQ(fs.ledger().bytes_written, 400.0);
+}
+
+TEST(SimFsTest, NumBlocksRoundsUp) {
+  SimFs fs(128);
+  fs.Put("small", 1);
+  fs.Put("exact", 128);
+  fs.Put("big", 129);
+  fs.Put("empty", 0);
+  EXPECT_EQ(*fs.NumBlocks("small"), 1);
+  EXPECT_EQ(*fs.NumBlocks("exact"), 1);
+  EXPECT_EQ(*fs.NumBlocks("big"), 2);
+  EXPECT_EQ(*fs.NumBlocks("empty"), 0);
+}
+
+TEST(SimFsTest, PrefixAccounting) {
+  SimFs fs;
+  fs.Put("pool/v1/a", 10);
+  fs.Put("pool/v1/b", 20);
+  fs.Put("pool/v2/a", 40);
+  fs.Put("tmp/x", 100);
+  EXPECT_EQ(fs.TotalBytes("pool/"), 70.0);
+  EXPECT_EQ(fs.TotalBytes("pool/v1/"), 30.0);
+  EXPECT_EQ(fs.TotalBytes(), 170.0);
+  EXPECT_EQ(fs.List("pool/").size(), 3u);
+  EXPECT_EQ(fs.DeleteAll("pool/v1/"), 2);
+  EXPECT_EQ(fs.TotalBytes("pool/"), 40.0);
+}
+
+TEST(SimFsTest, LedgerTracksDeletes) {
+  SimFs fs;
+  fs.Put("a", 50);
+  ASSERT_TRUE(fs.Delete("a").ok());
+  EXPECT_EQ(fs.ledger().bytes_deleted, 50.0);
+  EXPECT_EQ(fs.ledger().files_deleted, 1);
+}
+
+TEST(SimFsTest, LedgerReset) {
+  SimFs fs;
+  fs.Put("a", 50);
+  fs.mutable_ledger()->Reset();
+  EXPECT_EQ(fs.ledger().bytes_written, 0.0);
+  EXPECT_TRUE(fs.Exists("a"));  // files survive a ledger reset
+}
+
+TEST(SimFsTest, ListIsSorted) {
+  SimFs fs;
+  fs.Put("b", 1);
+  fs.Put("a", 1);
+  fs.Put("c", 1);
+  EXPECT_EQ(fs.List(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace deepsea

@@ -1,0 +1,76 @@
+#include "exp/trace.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+
+namespace deepsea {
+namespace {
+
+QueryReport Report(int64_t index, double total, double base = 100.0) {
+  QueryReport r;
+  r.query_index = index;
+  r.base_seconds = base;
+  r.best_seconds = total;
+  r.total_seconds = total;
+  r.pool_bytes_after = 2e9;
+  return r;
+}
+
+TEST(QueryTraceTest, CumulativePerLabel) {
+  QueryTrace trace;
+  trace.Record("DS", Report(1, 10));
+  trace.Record("H", Report(1, 100));
+  trace.Record("DS", Report(2, 20));
+  trace.Record("H", Report(2, 100));
+  EXPECT_DOUBLE_EQ(trace.CumulativeSeconds("DS"), 30.0);
+  EXPECT_DOUBLE_EQ(trace.CumulativeSeconds("H"), 200.0);
+  EXPECT_DOUBLE_EQ(trace.CumulativeSeconds("unknown"), 0.0);
+  EXPECT_EQ(trace.size(), 4u);
+}
+
+TEST(QueryTraceTest, CsvShape) {
+  QueryTrace trace;
+  QueryReport r = Report(7, 42.5);
+  r.used_view = "v3";
+  r.fragments_read = 2;
+  r.created_views.push_back("v9");
+  r.created_fragments = 3;
+  trace.Record("DS", r);
+  const std::string csv = trace.ToCsv();
+  const auto lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(Split(lines[0], ',').size(), 13u);
+  const auto fields = Split(lines[1], ',');
+  ASSERT_EQ(fields.size(), 13u);
+  EXPECT_EQ(fields[0], "DS");
+  EXPECT_EQ(fields[1], "7");
+  EXPECT_EQ(fields[7], "v3");
+  EXPECT_EQ(fields[8], "2");
+  EXPECT_EQ(fields[9], "1");
+  EXPECT_EQ(fields[10], "3");
+}
+
+TEST(QueryTraceTest, WriteCsvRoundTrip) {
+  QueryTrace trace;
+  trace.Record("DS", Report(1, 5));
+  const std::string path = "/tmp/deepsea_trace_test.csv";
+  ASSERT_TRUE(trace.WriteCsv(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buffer[4096];
+  const size_t n = std::fread(buffer, 1, sizeof(buffer), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, n), trace.ToCsv());
+}
+
+TEST(QueryTraceTest, WriteToInvalidPathFails) {
+  QueryTrace trace;
+  EXPECT_FALSE(trace.WriteCsv("/nonexistent-dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace deepsea

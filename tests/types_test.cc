@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace deepsea {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{1}).is_int64());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+  EXPECT_TRUE(Value(1.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, NumericCrossTypeCompare) {
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(5.0)), 0);
+  EXPECT_LT(Value(int64_t{4}).Compare(Value(4.5)), 0);
+  EXPECT_GT(Value(5.5).Compare(Value(int64_t{5})), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value().Compare(Value(int64_t{0})), 0);
+  EXPECT_GT(Value("a").Compare(Value()), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, OperatorsConsistent) {
+  EXPECT_TRUE(Value(1.0) < Value(2.0));
+  EXPECT_TRUE(Value(2.0) >= Value(2.0));
+  EXPECT_TRUE(Value(int64_t{3}) != Value(int64_t{4}));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // int64(5) == double(5.0) so their hashes must match.
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value("k").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+TEST(ValueTest, HashRowOrderSensitive) {
+  const Row a = {Value(int64_t{1}), Value(int64_t{2})};
+  const Row b = {Value(int64_t{2}), Value(int64_t{1})};
+  EXPECT_NE(HashRow(a), HashRow(b));
+  EXPECT_EQ(HashRow(a), HashRow({Value(int64_t{1}), Value(int64_t{2})}));
+}
+
+TEST(SchemaTest, ShortName) {
+  ColumnDef c{"store_sales.item_sk", DataType::kInt64};
+  EXPECT_EQ(c.ShortName(), "item_sk");
+  ColumnDef plain{"x", DataType::kDouble};
+  EXPECT_EQ(plain.ShortName(), "x");
+}
+
+TEST(SchemaTest, FindColumnQualifiedAndShort) {
+  Schema s({{"t.a", DataType::kInt64}, {"t.b", DataType::kDouble}});
+  EXPECT_EQ(s.FindColumn("t.a").value(), 0u);
+  EXPECT_EQ(s.FindColumn("b").value(), 1u);
+  EXPECT_FALSE(s.FindColumn("c").has_value());
+}
+
+TEST(SchemaTest, AmbiguousShortNameRejected) {
+  Schema s({{"t.a", DataType::kInt64}, {"u.a", DataType::kInt64}});
+  EXPECT_FALSE(s.FindColumn("a").has_value());
+  EXPECT_TRUE(s.FindColumn("t.a").has_value());
+}
+
+TEST(SchemaTest, Concat) {
+  Schema l({{"t.a", DataType::kInt64}});
+  Schema r({{"u.b", DataType::kDouble}});
+  Schema joined = l.Concat(r);
+  ASSERT_EQ(joined.num_columns(), 2u);
+  EXPECT_EQ(joined.column(0).name, "t.a");
+  EXPECT_EQ(joined.column(1).name, "u.b");
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"t.a", DataType::kInt64}});
+  EXPECT_EQ(s.ToString(), "(t.a:INT64)");
+}
+
+}  // namespace
+}  // namespace deepsea

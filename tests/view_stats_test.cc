@@ -1,0 +1,166 @@
+#include "core/view_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace deepsea {
+namespace {
+
+TEST(DecayTest, PaperFormula) {
+  DecayFunction dec(DecayConfig{/*t_max=*/100.0, /*enabled=*/true});
+  EXPECT_DOUBLE_EQ(dec(10, 5), 0.5);      // t / t_now
+  EXPECT_DOUBLE_EQ(dec(200, 50), 0.0);    // older than t_max
+  EXPECT_DOUBLE_EQ(dec(100, 100), 1.0);   // just now
+  EXPECT_DOUBLE_EQ(dec(0, 0), 1.0);       // degenerate start
+}
+
+TEST(DecayTest, MonotonicallyDecreasingInAge) {
+  DecayFunction dec(DecayConfig{1000.0, true});
+  double prev = 1.0;
+  for (double t = 100; t >= 10; t -= 10) {
+    const double w = dec(100, t);
+    EXPECT_LE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(DecayTest, DisabledIsIdentity) {
+  DecayFunction dec(DecayConfig{10.0, false});
+  EXPECT_DOUBLE_EQ(dec(1000, 1), 1.0);
+}
+
+TEST(ViewStatsTest, AccumulatedBenefitDecays) {
+  DecayFunction dec(DecayConfig{1000.0, true});
+  ViewStats stats;
+  stats.RecordUse(50, 100);   // at t=100: weight 0.5 -> 50
+  stats.RecordUse(100, 100);  // weight 1.0 -> 100
+  EXPECT_DOUBLE_EQ(stats.AccumulatedBenefit(100, dec), 150.0);
+  EXPECT_DOUBLE_EQ(stats.UndecayedBenefit(), 200.0);
+}
+
+TEST(ViewStatsTest, BenefitTimesOut) {
+  DecayFunction dec(DecayConfig{10.0, true});
+  ViewStats stats;
+  stats.RecordUse(5, 100);
+  EXPECT_GT(stats.AccumulatedBenefit(10, dec), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AccumulatedBenefit(100, dec), 0.0);
+}
+
+TEST(ViewStatsTest, ValueFormula) {
+  DecayFunction dec(DecayConfig{1000.0, true});
+  ViewStats stats;
+  stats.creation_cost = 200;
+  stats.size_bytes = 1000;
+  stats.RecordUse(100, 50);
+  // Phi = COST * B / S = 200 * 50 / 1000 = 10 at t=100.
+  EXPECT_DOUBLE_EQ(stats.Value(100, dec), 10.0);
+}
+
+TEST(ViewStatsTest, LastUse) {
+  ViewStats stats;
+  EXPECT_EQ(stats.LastUse(), 0.0);
+  stats.RecordUse(5, 1);
+  stats.RecordUse(9, 1);
+  stats.RecordUse(7, 1);
+  EXPECT_EQ(stats.LastUse(), 9.0);
+}
+
+TEST(FragmentStatsTest, DecayedHits) {
+  DecayFunction dec(DecayConfig{1000.0, true});
+  FragmentStats f;
+  f.RecordHit(50);
+  f.RecordHit(100);
+  EXPECT_DOUBLE_EQ(f.DecayedHits(100, dec), 1.5);
+  EXPECT_DOUBLE_EQ(f.RawHits(), 2.0);
+}
+
+TEST(FragmentStatsTest, BenefitProportionalToSizeFraction) {
+  DecayFunction dec(DecayConfig{1000.0, true});
+  FragmentStats f;
+  f.size_bytes = 100;
+  f.RecordHit(100);
+  // B = hits * S(I)/S(V) * COST(V) = 1 * 0.1 * 500 = 50.
+  EXPECT_DOUBLE_EQ(f.Benefit(100, dec, 1000, 500), 50.0);
+  // Phi = COST * B / S = 500 * 50 / 100 = 250.
+  EXPECT_DOUBLE_EQ(f.Value(100, dec, 1000, 500), 250.0);
+}
+
+TEST(FragmentStatsTest, AdjustedHitsOverride) {
+  DecayFunction dec(DecayConfig{1000.0, true});
+  FragmentStats f;
+  f.size_bytes = 100;
+  // No real hits, but MLE smoothing assigns 4 adjusted hits.
+  EXPECT_DOUBLE_EQ(f.Benefit(100, dec, 1000, 500, /*adjusted_hits=*/4.0), 200.0);
+}
+
+TEST(PolicyTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(StrategyKind::kHive), "H");
+  EXPECT_STREQ(StrategyName(StrategyKind::kNoPartition), "NP");
+  EXPECT_STREQ(StrategyName(StrategyKind::kEquiDepth), "E");
+  EXPECT_STREQ(StrategyName(StrategyKind::kNoRefine), "NR");
+  EXPECT_STREQ(StrategyName(StrategyKind::kDeepSea), "DS");
+}
+
+TEST(PolicyTest, DeepSeaViewValueUsesDecay) {
+  DecayFunction dec(DecayConfig{1000.0, true});
+  ViewStats stats;
+  stats.creation_cost = 100;
+  stats.size_bytes = 100;
+  stats.RecordUse(50, 10);
+  const double v_now = ViewValue(ValueModel::kDeepSea, stats, 100, dec);
+  const double v_later = ViewValue(ValueModel::kDeepSea, stats, 500, dec);
+  EXPECT_GT(v_now, v_later);
+}
+
+TEST(PolicyTest, NectarIgnoresAccumulatedBenefit) {
+  DecayFunction dec;
+  ViewStats poor, rich;
+  poor.creation_cost = rich.creation_cost = 100;
+  poor.size_bytes = rich.size_bytes = 100;
+  poor.RecordUse(50, 1);      // tiny saving
+  rich.RecordUse(50, 10000);  // huge saving
+  EXPECT_DOUBLE_EQ(ViewValue(ValueModel::kNectar, poor, 100, dec),
+                   ViewValue(ValueModel::kNectar, rich, 100, dec));
+  EXPECT_LT(ViewValue(ValueModel::kNectarPlus, poor, 100, dec),
+            ViewValue(ValueModel::kNectarPlus, rich, 100, dec));
+}
+
+TEST(PolicyTest, NectarValueDropsWithIdleTime) {
+  DecayFunction dec;
+  ViewStats stats;
+  stats.creation_cost = 100;
+  stats.size_bytes = 100;
+  stats.RecordUse(10, 100);
+  EXPECT_GT(ViewValue(ValueModel::kNectar, stats, 11, dec),
+            ViewValue(ValueModel::kNectar, stats, 1000, dec));
+  EXPECT_GT(ViewValue(ValueModel::kNectarPlus, stats, 11, dec),
+            ViewValue(ValueModel::kNectarPlus, stats, 1000, dec));
+}
+
+TEST(PolicyTest, FilterBenefitModelSpecific) {
+  DecayFunction dec(DecayConfig{10.0, true});
+  ViewStats stats;
+  stats.RecordUse(5, 100);
+  // Old event: decayed filter sees ~0, undecayed sees 100.
+  EXPECT_DOUBLE_EQ(ViewBenefitForFilter(ValueModel::kDeepSea, stats, 1000, dec),
+                   0.0);
+  EXPECT_DOUBLE_EQ(ViewBenefitForFilter(ValueModel::kNectarPlus, stats, 1000, dec),
+                   100.0);
+}
+
+TEST(PolicyTest, FragmentValueModels) {
+  DecayFunction dec;
+  FragmentStats f;
+  f.size_bytes = 100;
+  f.RecordHit(90);
+  const double ds = FragmentValue(ValueModel::kDeepSea, f, 1000, 500, 100, dec);
+  const double n = FragmentValue(ValueModel::kNectar, f, 1000, 500, 100, dec);
+  const double np = FragmentValue(ValueModel::kNectarPlus, f, 1000, 500, 100, dec);
+  EXPECT_GT(ds, 0.0);
+  EXPECT_GT(n, 0.0);
+  EXPECT_GT(np, 0.0);
+}
+
+}  // namespace
+}  // namespace deepsea

@@ -1,0 +1,244 @@
+#include <map>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "plan/signature.h"
+#include "workload/bigbench.h"
+#include "workload/range_generator.h"
+#include "workload/sdss.h"
+
+namespace deepsea {
+namespace {
+
+TEST(RangeGeneratorTest, SelectivityFractions) {
+  EXPECT_DOUBLE_EQ(SelectivityFraction(Selectivity::kSmall), 0.01);
+  EXPECT_DOUBLE_EQ(SelectivityFraction(Selectivity::kMedium), 0.05);
+  EXPECT_DOUBLE_EQ(SelectivityFraction(Selectivity::kBig), 0.25);
+}
+
+TEST(RangeGeneratorTest, WidthMatchesSelectivity) {
+  RangeGenerator gen(Interval(0, 1000), Selectivity::kMedium, Skew::kUniform, 1);
+  for (int i = 0; i < 100; ++i) {
+    const Interval iv = gen.Next();
+    EXPECT_NEAR(iv.Width(), 50.0, 1e-9);
+    EXPECT_GE(iv.lo, 0.0);
+    EXPECT_LE(iv.hi, 1000.0);
+  }
+}
+
+TEST(RangeGeneratorTest, UniformMidpointsSpread) {
+  RangeGenerator gen(Interval(0, 1000), Selectivity::kSmall, Skew::kUniform, 2);
+  int low = 0, high = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double mid = gen.Next().Mid();
+    if (mid < 500) ++low;
+    if (mid >= 500) ++high;
+  }
+  EXPECT_GT(low, 400);
+  EXPECT_GT(high, 400);
+}
+
+TEST(RangeGeneratorTest, HeavySkewConcentrates) {
+  RangeGenerator gen(Interval(0, 1000), Selectivity::kSmall, Skew::kHeavy, 3);
+  int near_center = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double mid = gen.Next().Mid();
+    if (std::abs(mid - 500) < 25) ++near_center;
+  }
+  EXPECT_GT(near_center, 950);  // sigma is 2.5 of 1000
+}
+
+TEST(RangeGeneratorTest, LightSkewWiderThanHeavy) {
+  RangeGenerator light(Interval(0, 1000), Selectivity::kSmall, Skew::kLight, 4);
+  RangeGenerator heavy(Interval(0, 1000), Selectivity::kSmall, Skew::kHeavy, 4);
+  double light_spread = 0, heavy_spread = 0;
+  for (int i = 0; i < 500; ++i) {
+    light_spread += std::abs(light.Next().Mid() - 500);
+    heavy_spread += std::abs(heavy.Next().Mid() - 500);
+  }
+  EXPECT_GT(light_spread, 5 * heavy_spread);
+}
+
+TEST(RangeGeneratorTest, CustomCenterRespected) {
+  RangeGenerator::Config cfg;
+  cfg.domain = Interval(0, 400000);
+  cfg.selectivity_fraction = 0.01;
+  cfg.skew = Skew::kHeavy;
+  cfg.center = 20000;
+  RangeGenerator gen(cfg, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(gen.Next().Mid(), 20000, 5000);
+  }
+}
+
+TEST(RangeGeneratorTest, Deterministic) {
+  RangeGenerator a(Interval(0, 100), Selectivity::kSmall, Skew::kLight, 42);
+  RangeGenerator b(Interval(0, 100), Selectivity::kSmall, Skew::kLight, 42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfRangeGeneratorTest, HotBucketDominates) {
+  ZipfRangeGenerator gen(Interval(0, 1000), 0.01, 50, 1.5, 6);
+  std::map<int, int> bucket_counts;
+  for (int i = 0; i < 2000; ++i) {
+    bucket_counts[static_cast<int>(gen.Next().Mid() / 20.0)]++;
+  }
+  int max_count = 0;
+  for (const auto& [b, c] : bucket_counts) max_count = std::max(max_count, c);
+  // The hottest bucket receives far more than the uniform share (40).
+  EXPECT_GT(max_count, 400);
+}
+
+TEST(SdssTraceModelTest, TraceDeterministicAndInDomain) {
+  SdssTraceModel m1(SdssTraceModel::Config{}, 99);
+  SdssTraceModel m2(SdssTraceModel::Config{}, 99);
+  const auto t1 = m1.GenerateTrace(500);
+  const auto t2 = m2.GenerateTrace(500);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i], t2[i]);
+    EXPECT_GE(t1[i].lo, -20.0);
+    EXPECT_LE(t1[i].hi, 400.0);
+  }
+}
+
+TEST(SdssTraceModelTest, HotSpotNear250) {
+  SdssTraceModel model;
+  const auto trace = model.GenerateTrace(5000);
+  const auto hist = SdssTraceModel::HitHistogram(trace, Interval(-20, 400), 30);
+  // The 240-270 band must be hotter than the cold 340-370 band.
+  EXPECT_GT(hist.MassInRange(Interval(240, 270)),
+            5 * hist.MassInRange(Interval(340, 370)) + 1);
+}
+
+TEST(SdssTraceModelTest, RegimeShiftsTowards100) {
+  SdssTraceModel model;
+  const auto trace = model.GenerateTrace(10000);
+  double early_mass_100 = 0, late_mass_100 = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const bool near100 = trace[i].Mid() > 80 && trace[i].Mid() < 130;
+    if (i < 3000 && near100) early_mass_100 += 1;
+    if (i >= 3000 && near100) late_mass_100 += 1;
+  }
+  // Late phase has 7000 queries vs 3000 early; normalize.
+  EXPECT_GT(late_mass_100 / 7000.0, 2.0 * early_mass_100 / 3000.0);
+}
+
+TEST(SdssTraceModelTest, AccessDensityPeaks) {
+  SdssTraceModel model;
+  const auto density = model.AccessDensity(105);
+  EXPECT_GT(density.MassInRange(Interval(230, 270)),
+            density.MassInRange(Interval(0, 40)));
+  EXPECT_GT(density.MassInRange(Interval(90, 120)),
+            density.MassInRange(Interval(300, 330)));
+}
+
+TEST(SdssTraceModelTest, MapRangeLinear) {
+  const Interval mapped = SdssTraceModel::MapRange(
+      Interval(190, 200), Interval(-20, 400), Interval(0, 420000));
+  EXPECT_NEAR(mapped.lo, 210000.0, 1e-6);
+  EXPECT_NEAR(mapped.hi, 220000.0, 1e-6);
+}
+
+class BigBenchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BigBenchDataset::Options opts;
+    opts.total_bytes = 100e9;
+    opts.sample_rows_per_fact = 1000;
+    opts.sample_rows_per_dim = 100;
+    ASSERT_TRUE(BigBenchDataset::Generate(opts, &catalog_).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(BigBenchTest, AllTablesRegistered) {
+  for (const char* t :
+       {"item", "customer", "store_sales", "web_clickstreams", "web_sales"}) {
+    EXPECT_TRUE(catalog_.Contains(t)) << t;
+  }
+}
+
+TEST_F(BigBenchTest, LogicalBytesApproximatelyTotal) {
+  EXPECT_NEAR(catalog_.TotalLogicalBytes(), 100e9, 1e9);
+}
+
+TEST_F(BigBenchTest, FactsHaveItemSkHistograms) {
+  for (const std::string& t : BigBenchDataset::FactTables()) {
+    auto table = catalog_.Get(t);
+    ASSERT_TRUE(table.ok());
+    const AttributeHistogram* h = (*table)->GetHistogram(t + ".item_sk");
+    ASSERT_NE(h, nullptr) << t;
+    EXPECT_NEAR(h->total_count(),
+                static_cast<double>((*table)->logical_row_count()),
+                (*table)->logical_row_count() * 0.01);
+  }
+}
+
+TEST_F(BigBenchTest, AllTemplatesBuildAndHaveSignatures) {
+  for (const std::string& name : BigBenchTemplates::Names()) {
+    auto plan = BigBenchTemplates::Build(name, 1000, 2000);
+    ASSERT_TRUE(plan.ok()) << name;
+    auto schema = (*plan)->OutputSchema(catalog_);
+    EXPECT_TRUE(schema.ok()) << name << ": " << schema.status().ToString();
+    auto sig = ComputeSignature(*plan, catalog_);
+    EXPECT_TRUE(sig.ok()) << name << ": " << sig.status().ToString();
+    if (sig.ok()) {
+      EXPECT_TRUE(sig->has_aggregate) << name;
+      auto fact = BigBenchTemplates::FactTableOf(name);
+      ASSERT_TRUE(fact.ok());
+      EXPECT_TRUE(sig->ranges.count(*fact + ".item_sk")) << name;
+    }
+  }
+}
+
+TEST_F(BigBenchTest, SharedJoinViewsAcrossTemplates) {
+  // Q1, Q20, Q30 all join store_sales with item: the join subplans must
+  // have identical signatures (that is what enables cross-template
+  // view reuse).
+  auto q1 = BigBenchTemplates::Build("Q1", 0, 100);
+  auto q30 = BigBenchTemplates::Build("Q30", 500, 900);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q30.ok());
+  // The shared view is the Project (over the join) under the Select
+  // which is child(0) of the Aggregate.
+  const PlanPtr join1 = (*q1)->child(0)->child(0);
+  const PlanPtr join30 = (*q30)->child(0)->child(0);
+  ASSERT_EQ(join1->kind(), PlanKind::kProject);
+  auto s1 = ComputeSignature(join1, catalog_);
+  auto s30 = ComputeSignature(join30, catalog_);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s30.ok());
+  EXPECT_EQ(s1->ToString(), s30->ToString());
+}
+
+TEST_F(BigBenchTest, SkewedDistributionShapesSamples) {
+  // Regenerate with an extreme item_sk distribution and verify samples
+  // follow it.
+  Catalog skewed;
+  BigBenchDataset::Options opts;
+  opts.total_bytes = 1e9;
+  opts.sample_rows_per_fact = 2000;
+  AttributeHistogram dist(Interval(0, 100), 10);
+  dist.AddRange(Interval(0, 10), 95);
+  dist.AddRange(Interval(10, 100), 5);
+  opts.item_sk_distribution = dist;
+  ASSERT_TRUE(BigBenchDataset::Generate(opts, &skewed).ok());
+  auto ss = skewed.Get("store_sales");
+  ASSERT_TRUE(ss.ok());
+  int hot = 0;
+  const auto idx = (*ss)->schema().FindColumn("store_sales.item_sk");
+  ASSERT_TRUE(idx.has_value());
+  for (const Row& row : (*ss)->rows()) {
+    if (row[*idx].AsNumeric() < 0.1 * opts.item_sk_max) ++hot;
+  }
+  EXPECT_GT(hot, 0.85 * (*ss)->rows().size());
+}
+
+TEST_F(BigBenchTest, UnknownTemplateFails) {
+  EXPECT_FALSE(BigBenchTemplates::Build("Q99", 0, 1).ok());
+  EXPECT_FALSE(BigBenchTemplates::FactTableOf("Q99").ok());
+}
+
+}  // namespace
+}  // namespace deepsea
