@@ -9,6 +9,7 @@
 #include "core/engine.h"
 #include "core/mle_model.h"
 #include "core/partition_match.h"
+#include "exp/trace.h"
 #include "plan/signature.h"
 #include "rewrite/filter_tree.h"
 #include "workload/bigbench.h"
@@ -132,6 +133,23 @@ BENCHMARK_F(WorkloadFixture, BM_ProcessQueryThroughput)(benchmark::State& state)
   EngineOptions opts;
   opts.benefit_cost_threshold = 0.02;
   DeepSeaEngine engine(&catalog_, opts);
+  RangeGenerator gen(Interval(0, 400000), Selectivity::kSmall, Skew::kHeavy, 3);
+  for (auto _ : state) {
+    const Interval r = gen.Next();
+    auto plan = BigBenchTemplates::Build("Q30", r.lo, r.hi);
+    benchmark::DoNotOptimize(engine.ProcessQuery(*plan));
+  }
+}
+
+// Same pipeline with a TraceObserver attached: the delta vs
+// BM_ProcessQueryThroughput is the cost of the observer seam (stage
+// wall-clock timing + event dispatch), which should stay in the noise.
+BENCHMARK_F(WorkloadFixture, BM_ProcessQueryThroughputObserved)(benchmark::State& state) {
+  EngineOptions opts;
+  opts.benefit_cost_threshold = 0.02;
+  DeepSeaEngine engine(&catalog_, opts);
+  TraceObserver observer("bench", nullptr);
+  engine.set_observer(&observer);
   RangeGenerator gen(Interval(0, 400000), Selectivity::kSmall, Skew::kHeavy, 3);
   for (auto _ : state) {
     const Interval r = gen.Next();

@@ -1,15 +1,43 @@
 #include "core/engine.h"
 
-#include <algorithm>
-#include <cmath>
-#include <set>
-
-#include "common/str_util.h"
-#include "core/partition_match.h"
-#include "plan/pushdown.h"
-#include "plan/signature.h"
+#include <chrono>
 
 namespace deepsea {
+
+namespace {
+
+/// Brackets one pipeline stage with observer notifications. Wall-clock
+/// time is measured only while an observer is attached, so benches and
+/// experiments without observers pay nothing for the seam.
+class StageScope {
+ public:
+  StageScope(EngineObserver* observer, EngineStage stage,
+             const QueryContext& ctx)
+      : observer_(observer), stage_(stage), ctx_(ctx) {
+    if (observer_ != nullptr) {
+      observer_->OnStageStart(stage_, ctx_);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  /// Ends the stage, reporting the simulated seconds it charged.
+  void Finish(double sim_seconds) {
+    if (observer_ == nullptr) return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    observer_->OnStageEnd(stage_, ctx_, sim_seconds, wall);
+    observer_ = nullptr;
+  }
+
+ private:
+  EngineObserver* observer_;
+  EngineStage stage_;
+  const QueryContext& ctx_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 DeepSeaEngine::DeepSeaEngine(Catalog* catalog, EngineOptions options)
     : catalog_(catalog),
@@ -18,187 +46,90 @@ DeepSeaEngine::DeepSeaEngine(Catalog* catalog, EngineOptions options)
       estimator_(&cluster_, catalog, options.estimator),
       decay_(options.decay),
       mle_(options.mle),
-      fs_(options.cluster.block_bytes),
-      executor_(catalog) {
-  matcher_ = std::make_unique<ViewMatcher>(&views_, &index_, catalog, &estimator_);
-}
-
-Result<Interval> DeepSeaEngine::ColumnDomain(const std::string& column) const {
-  const size_t pos = column.rfind('.');
-  if (pos == std::string::npos) {
-    return Status::InvalidArgument("unqualified partition column: " + column);
-  }
-  const std::string table_name = column.substr(0, pos);
-  DEEPSEA_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(table_name));
-  const AttributeHistogram* hist = table->GetHistogram(column);
-  if (hist != nullptr) return hist->domain();
-  return table->SampleMinMax(column);
-}
-
-double DeepSeaEngine::RangeFractionOfBaseColumn(const std::string& column,
-                                                const Interval& iv) const {
-  const size_t pos = column.rfind('.');
-  if (pos == std::string::npos) return 1.0;
-  auto table = catalog_->Get(column.substr(0, pos));
-  if (!table.ok()) return 1.0;
-  const AttributeHistogram* hist = (*table)->GetHistogram(column);
-  if (hist == nullptr || hist->empty()) return 1.0;
-  return hist->FractionInRange(iv);
-}
-
-Result<AttributeHistogram> DeepSeaEngine::DeriveViewHistogram(
-    const ViewInfo& view, const std::string& attr) const {
-  const size_t pos = attr.rfind('.');
-  if (pos == std::string::npos) {
-    return Status::InvalidArgument("unqualified partition column: " + attr);
-  }
-  const std::string table_name = attr.substr(0, pos);
-  DEEPSEA_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(table_name));
-  auto view_table = catalog_->Get(view.id);
-  const double view_rows =
-      view_table.ok() ? static_cast<double>((*view_table)->logical_row_count()) : 0.0;
-  const AttributeHistogram* hist = table->GetHistogram(attr);
-  if (hist != nullptr && !hist->empty()) {
-    AttributeHistogram out = *hist;
-    if (view_rows > 0.0) out.NormalizeTo(view_rows);
-    return out;
-  }
-  // Fall back to a uniform distribution over the sample domain.
-  DEEPSEA_ASSIGN_OR_RETURN(Interval domain, table->SampleMinMax(attr));
-  AttributeHistogram out(domain, options_.view_histogram_bins);
-  out.AddRange(domain, std::max(view_rows, 1.0));
-  return out;
-}
-
-double DeepSeaEngine::FragmentBytes(const ViewInfo& view, const std::string& attr,
-                                    const Interval& iv) const {
-  auto view_table = catalog_->Get(view.id);
-  if (!view_table.ok()) return 0.0;
-  const AttributeHistogram* hist = (*view_table)->GetHistogram(attr);
-  const double total = view.stats.size_bytes;
-  if (hist != nullptr && !hist->empty()) {
-    return hist->FractionInRange(iv) * total;
-  }
-  const auto* part = view.GetPartition(attr);
-  if (part != nullptr && part->domain.Width() > 0.0) {
-    return iv.OverlapWidth(part->domain) / part->domain.Width() * total;
-  }
-  return total;
-}
-
-double DeepSeaEngine::EstimateCandidateBytes(const PartitionState& part,
-                                             const Interval& iv) const {
-  // Paper Section 7.2: assume uniformity within each overlapping
-  // fragment and sum relative overlaps.
-  double est = 0.0;
-  for (const FragmentStats& f : part.fragments) {
-    if (!f.materialized) continue;
-    const double w = f.interval.Width();
-    if (w <= 0.0) continue;
-    est += f.interval.OverlapWidth(iv) / w * f.size_bytes;
-  }
-  return est;
-}
-
-void DeepSeaEngine::RegisterViewTable(ViewInfo* view) {
-  if (catalog_->Contains(view->id)) return;
-  auto schema = view->plan->OutputSchema(*catalog_);
-  if (!schema.ok()) return;
-  auto est = estimator_.Estimate(view->plan);
-  if (!est.ok()) return;
-  const double compression = options_.view_storage_compression;
-  auto table = std::make_shared<Table>(view->id, *schema);
-  table->set_logical_row_count(static_cast<uint64_t>(std::max(est->out_rows, 0.0)));
-  table->set_avg_row_bytes(std::max(est->avg_row_bytes * compression, 1.0));
-  catalog_->Put(table);
-  // Initial (estimated) view statistics: S(V) and COST(V). COST is the
-  // cost of computing the defining plan plus writing its (compressed)
-  // output.
-  view->stats.size_bytes = est->out_bytes * compression;
-  view->stats.creation_cost =
-      est->seconds + cluster_.WriteSeconds(view->stats.size_bytes);
-}
-
-std::string DeepSeaEngine::FragmentPath(const ViewInfo& view,
-                                        const std::string& attr,
-                                        const Interval& iv) const {
-  return StrFormat("pool/%s/%s/%s", view.id.c_str(), attr.c_str(),
-                   iv.ToString().c_str());
-}
+      executor_(catalog),
+      pool_(catalog, &options_, &cluster_, &estimator_),
+      rewrite_planner_(catalog, &estimator_, pool_.mutable_views(), &index_),
+      candidate_generator_(catalog, &options_, &cluster_, pool_.mutable_views(),
+                           &index_, &pool_),
+      selection_planner_(catalog, &options_, &cluster_, &decay_, &mle_,
+                         pool_.mutable_views()) {}
 
 Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   ++clock_;
   QueryReport report;
   report.query_index = clock_;
 
-  const PlanPtr base_plan = PushDownSelections(query, *catalog_);
-  DEEPSEA_ASSIGN_OR_RETURN(PlanCost base, estimator_.Estimate(base_plan));
-  report.base_seconds = base.seconds;
-  report.best_seconds = base.seconds;
-  report.map_tasks = base.map_tasks;
+  // All per-query scratch state lives in the QueryContext: ProcessQuery
+  // holds no engine members between stages, so it is re-entrant by
+  // construction (pool state aside).
+  QueryContext ctx(query, clock_);
+  if (observer_ != nullptr) observer_->OnQueryStart(clock_, query);
 
-  PlanPtr executed_plan = base_plan;
+  {
+    StageScope stage(observer_, EngineStage::kRewrite, ctx);
+    DEEPSEA_RETURN_IF_ERROR(rewrite_planner_.PlanBase(&ctx, &report));
+    if (options_.strategy != StrategyKind::kHive) {
+      DEEPSEA_RETURN_IF_ERROR(rewrite_planner_.PlanBest(&ctx, &report));
+    }
+    stage.Finish(report.best_seconds);
+  }
 
   if (options_.strategy != StrategyKind::kHive) {
-    // 1. Rewritings over all tracked views (Alg. 1 line 1).
-    DEEPSEA_ASSIGN_OR_RETURN(std::vector<Rewriting> rewritings,
-                             matcher_->ComputeRewritings(query));
-    // 2. Statistics update (line 2).
-    UpdateStatsFromRewritings(rewritings, base.seconds);
-    // 3. Q_best: cheapest executable rewriting, if it beats the base
-    //    plan (line 3).
-    current_cover_view_.clear();
-    current_cover_attr_.clear();
-    current_cover_.clear();
-    for (const Rewriting& rw : rewritings) {
-      if (!rw.executable) continue;
-      if (rw.est_seconds < report.best_seconds) {
-        report.best_seconds = rw.est_seconds;
-        report.used_view = rw.view_id;
-        report.fragments_read = static_cast<int>(rw.fragments.size());
-        executed_plan = rw.plan;
-        current_cover_view_ = rw.view_id;
-        current_cover_attr_ = rw.partition_attr;
-        current_cover_ = rw.fragments;
-        auto est = estimator_.Estimate(rw.plan);
-        if (est.ok()) report.map_tasks = est->map_tasks;
-      }
-      break;  // rewritings are sorted by estimated cost
+    {
+      StageScope stage(observer_, EngineStage::kCandidates, ctx);
+      // View candidates come from Q_best (Alg. 1 line 4): when the
+      // query is answered from a view, the rewritten plan's subplans
+      // are the candidates — so views that already serve the query are
+      // not repeatedly re-offered — while partition candidates always
+      // come from the query's selection contexts (they drive refinement
+      // of the serving view).
+      const PlanPtr candidate_plan =
+          report.used_view.empty() ? ctx.query : ctx.executed_plan;
+      candidate_generator_.RegisterViewCandidates(candidate_plan,
+                                                  report.base_seconds, &ctx);
+      candidate_generator_.RegisterPartitionCandidates(&ctx);
+      stage.Finish(0.0);
     }
-    // 4. Candidates (lines 4-5). View candidates come from Q_best
-    //    (Alg. 1 line 4): when the query is answered from a view, the
-    //    rewritten plan's subplans are the candidates — so views that
-    //    already serve the query are not repeatedly re-offered — while
-    //    partition candidates always come from the query's selection
-    //    contexts (they drive refinement of the serving view).
-    const PlanPtr candidate_plan =
-        report.used_view.empty() ? query : executed_plan;
-    RegisterViewCandidates(candidate_plan, base.seconds);
-    RegisterPartitionCandidates(query);
-    // 5.-6. Selection, instrumentation, materialization (lines 6-8).
-    RunSelection(query, &report);
+
+    SelectionDecision decision;
+    {
+      StageScope stage(observer_, EngineStage::kSelection, ctx);
+      decision = selection_planner_.PlanSelection(ctx, report.base_seconds);
+      stage.Finish(0.0);
+    }
+    {
+      StageScope stage(observer_, EngineStage::kApply, ctx);
+      pool_.Apply(decision, ctx, &report);
+      stage.Finish(report.materialize_seconds);
+    }
+
     // Maintenance: merge co-accessed adjacent fragments (Section 11
     // extension; disabled by default).
     if (options_.merge.enabled) {
-      report.materialize_seconds += RunMergePass(&report);
+      StageScope stage(observer_, EngineStage::kMerge, ctx);
+      const double merge_seconds =
+          pool_.RunMergePass(ctx.t_now(), decay_, &report);
+      report.materialize_seconds += merge_seconds;
+      stage.Finish(merge_seconds);
     }
+
     // When a view that feeds a selection of this query was created, the
     // query was executed in instrumented form: that selection is not
     // pushed below the materialized subquery, so the execution cost is
     // that of the original (non-pushed) plan; the partitioned write
-    // cost has been charged to materialize_seconds by RunSelection.
+    // cost has been charged to materialize_seconds by Apply.
     bool unpushed = false;
     for (const std::string& id : report.created_views) {
-      for (const VCand& c : current_vcand_) {
+      for (const ViewCandidate& c : ctx.view_candidates) {
         if (c.view->id == id && c.under_select) unpushed = true;
       }
     }
     if (unpushed) {
-      auto est = estimator_.Estimate(query);
+      auto est = estimator_.Estimate(ctx.query);
       if (est.ok()) {
         report.best_seconds = est->seconds;
         report.map_tasks = est->map_tasks;
-        executed_plan = query;
+        ctx.executed_plan = ctx.query;
       }
     }
   }
@@ -207,7 +138,9 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   report.pool_bytes_after = PoolBytes();
 
   if (options_.physical_execution) {
-    DEEPSEA_RETURN_IF_ERROR(PhysicalExecute(executed_plan, &report));
+    StageScope stage(observer_, EngineStage::kPhysical, ctx);
+    DEEPSEA_RETURN_IF_ERROR(PhysicalExecute(ctx.executed_plan, &report));
+    stage.Finish(0.0);
   }
 
   totals_.total_seconds += report.total_seconds;
@@ -220,702 +153,15 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   totals_.fragments_evicted += report.evicted_fragments;
   totals_.fragments_merged += report.merged_fragments;
   if (!report.used_view.empty()) totals_.queries_answered_from_views += 1;
+  if (observer_ != nullptr) observer_->OnQueryEnd(report);
   return report;
-}
-
-void DeepSeaEngine::UpdateStatsFromRewritings(
-    const std::vector<Rewriting>& rewritings, double base_seconds) {
-  const double t_now = static_cast<double>(clock_);
-  std::set<std::string> seen_views;
-  std::set<std::string> seen_partitions;
-  for (const Rewriting& rw : rewritings) {
-    ViewInfo* view = views_.Get(rw.view_id);
-    if (view == nullptr) continue;
-    // View benefit: once per view per query, using its best rewriting
-    // (the list is sorted by cost, so the first occurrence is best).
-    if (seen_views.insert(rw.view_id).second) {
-      const double saving = base_seconds - rw.est_seconds;
-      if (saving > 0.0) view->stats.RecordUse(t_now, saving);
-    }
-    // Fragment hits: every tracked fragment overlapping the query range
-    // "was or could have been used" (Section 7.1).
-    if (rw.has_query_range && !rw.partition_attr.empty()) {
-      const std::string pkey = rw.view_id + "/" + rw.partition_attr;
-      if (seen_partitions.insert(pkey).second) {
-        PartitionState* part = view->GetPartition(rw.partition_attr);
-        if (part != nullptr) {
-          for (FragmentStats& f : part->fragments) {
-            if (f.interval.Overlaps(rw.query_range)) f.RecordHit(t_now, rw.query_range);
-          }
-        }
-      }
-    }
-  }
-}
-
-void DeepSeaEngine::RegisterViewCandidates(const PlanPtr& query,
-                                           double base_seconds) {
-  current_vcand_.clear();
-  const double t_now = static_cast<double>(clock_);
-  const std::vector<SelectionContext> contexts = ExtractSelectionContexts(query);
-  for (const PlanPtr& sp : EnumerateViewCandidates(query)) {
-    auto sig = ComputeSignature(sp, *catalog_);
-    if (!sig.ok()) continue;
-    const bool known = views_.FindBySignature(sig->ToString()) != nullptr;
-    ViewInfo* view = views_.Track(sp, *sig);
-    if (!known) {
-      RegisterViewTable(view);
-      if (!catalog_->Contains(view->id)) continue;  // unsupported plan shape
-      index_.Insert(view->signature, view->id);
-    }
-    const SelectionContext* ctx = nullptr;
-    for (const SelectionContext& c : contexts) {
-      if (c.selected_input.get() == sp.get()) {
-        ctx = &c;
-        break;
-      }
-    }
-    current_vcand_.push_back({view, ctx != nullptr});
-    // ADDCANDIDATES "initial rough estimate" of benefits (Alg. 1 line
-    // 5): a view that directly feeds a selection of this query could
-    // have answered it; seed one benefit event with the estimated
-    // saving of reading only the selected slice of the view. Aggregate
-    // views are not seeded — their signatures embed the selection
-    // constants, so optimism would materialize one-shot query caches.
-    if (!known && ctx != nullptr && sp->kind() != PlanKind::kAggregate) {
-      double fraction = 1.0;
-      auto domain = ColumnDomain(ctx->column);
-      if (domain.ok()) {
-        const auto clamped = ctx->range.Intersect(*domain);
-        if (clamped.has_value()) {
-          fraction = RangeFractionOfBaseColumn(ctx->column, *clamped);
-        }
-      }
-      const double read_bytes = fraction * view->stats.size_bytes;
-      const double est_reuse = cluster_.MapPhaseSeconds({read_bytes}) +
-                               2.0 * cluster_.config().job_startup_seconds +
-                               cluster_.ShuffleSeconds(read_bytes);
-      const double saving = base_seconds - est_reuse;
-      if (saving > 0.0) view->stats.RecordUse(t_now, saving);
-    }
-  }
-}
-
-void DeepSeaEngine::RegisterPartitionCandidates(const PlanPtr& query) {
-  current_pcand_.clear();
-  if (options_.strategy == StrategyKind::kNoPartition) return;
-  const double t_now = static_cast<double>(clock_);
-  for (const SelectionContext& ctx : ExtractSelectionContexts(query)) {
-    auto sig = ComputeSignature(ctx.selected_input, *catalog_);
-    if (!sig.ok()) continue;
-    ViewInfo* view = views_.FindBySignature(sig->ToString());
-    if (view == nullptr) continue;  // selections over non-candidate shapes
-    auto domain = ColumnDomain(ctx.column);
-    if (!domain.ok()) continue;
-    PartitionState* part = view->EnsurePartition(ctx.column, *domain);
-    if (part->pending.empty()) part->pending = {*domain};
-    // Attach the derived histogram to the view table once per attribute
-    // so fragment sizes reflect the data distribution.
-    auto view_table = catalog_->Get(view->id);
-    if (view_table.ok() && (*view_table)->GetHistogram(ctx.column) == nullptr) {
-      auto hist = DeriveViewHistogram(*view, ctx.column);
-      if (hist.ok()) (*view_table)->SetHistogram(ctx.column, *hist);
-    }
-    const auto clamped = ctx.range.Intersect(*domain);
-    if (!clamped.has_value()) continue;
-    const Interval range = *clamped;
-    // Snapped variant used for fragment-boundary generation (hits keep
-    // the true range for distribution fidelity).
-    Interval gen_range = range;
-    if (options_.candidate_snap_fraction > 0.0) {
-      const double step = options_.candidate_snap_fraction * domain->Width();
-      if (step > 0.0) {
-        gen_range.lo = Clamp(std::floor(range.lo / step) * step, domain->lo,
-                             domain->hi);
-        gen_range.hi = Clamp(std::ceil(range.hi / step) * step, domain->lo,
-                             domain->hi);
-        gen_range.lo_inclusive = true;
-        gen_range.hi_inclusive = true;
-      }
-    }
-
-    // The query range counts as covered when the materialized fragments
-    // of the partition can answer it (partial materialization under a
-    // tight pool may leave gaps even after the view entered the pool).
-    const std::vector<Interval> mats = part->MaterializedIntervals();
-    const bool covered =
-        !mats.empty() && PartitionMatch(mats, gen_range).ok();
-    if (!covered) {
-      // EquiDepth partitions by histogram at creation time; selection
-      // endpoints are irrelevant to it.
-      if (options_.strategy == StrategyKind::kEquiDepth) continue;
-      // Refine the pending (planned) fragmentation at the range
-      // endpoints (Definition 7, unmaterialized case). Pieces that are
-      // already materialized stay untouched.
-      std::vector<Interval> next;
-      for (const Interval& f : part->pending) {
-        const FragmentStats* fstat = part->Find(f);
-        const bool frozen = fstat != nullptr && fstat->materialized;
-        const std::vector<Interval> pieces =
-            frozen ? std::vector<Interval>{}
-                   : GeneratePartitionCandidates({f}, gen_range);
-        if (pieces.empty()) {
-          next.push_back(f);
-          continue;
-        }
-        // Splitting: pieces partition f (plus f's covered middle).
-        for (const Interval& p : pieces) next.push_back(p);
-        // Track stats for every piece; pieces overlapping the query
-        // range count the current query as a hit.
-        for (const Interval& p : pieces) {
-          FragmentStats* tracked = part->Track(p, /*est_size_bytes=*/0.0);
-          if (p.Overlaps(range)) tracked->RecordHit(t_now, range);
-        }
-      }
-      part->pending = std::move(next);
-      continue;
-    }
-    // Post-creation refinement candidates (Definition 7 cases over
-    // P(V, A)): only strategies that repartition generate them.
-    if (options_.strategy != StrategyKind::kDeepSea) continue;
-    const std::vector<Interval> existing = part->MaterializedIntervals();
-    for (const Interval& cand : GeneratePartitionCandidates(existing, gen_range)) {
-      const double est_bytes = EstimateCandidateBytes(*part, cand);
-      if (options_.enforce_block_lower_bound && est_bytes < fs_.block_bytes()) {
-        continue;  // fragments below one block are never created
-      }
-      FragmentStats* fstat = part->Track(cand, est_bytes);
-      if (fstat->materialized) continue;
-      fstat->size_bytes = est_bytes;
-      if (cand.Overlaps(range)) fstat->RecordHit(t_now, range);
-      // COST(I_cand): read the overlapping materialized fragments,
-      // write the new fragment (Section 7.2; w_write >> w_read).
-      std::vector<double> read_files;
-      for (const FragmentStats& f : part->fragments) {
-        if (f.materialized && f.interval.Overlaps(cand)) {
-          read_files.push_back(f.size_bytes);
-        }
-      }
-      FragCandidate fc;
-      fc.view = view;
-      fc.attr = ctx.column;
-      fc.interval = cand;
-      fc.est_bytes = est_bytes;
-      fc.est_cost_seconds = cluster_.MapPhaseSeconds(read_files) +
-                            cluster_.PartitionedWriteSeconds(est_bytes, 1);
-      // Marginal read saving: current cover of the candidate's interval
-      // vs reading the candidate alone.
-      double cover_seconds;
-      auto cover = PartitionMatchIntervals(existing, cand);
-      if (cover.ok()) {
-        std::vector<double> cover_bytes;
-        for (const Interval& c : *cover) {
-          const FragmentStats* cf = part->Find(c);
-          cover_bytes.push_back(cf != nullptr ? cf->size_bytes : 0.0);
-        }
-        cover_seconds = cluster_.MapPhaseSeconds(cover_bytes);
-      } else {
-        cover_seconds = cluster_.MapPhaseSeconds({view->stats.size_bytes});
-      }
-      fc.per_hit_saving_seconds =
-          std::max(0.0, cover_seconds - cluster_.MapPhaseSeconds({est_bytes}));
-      current_pcand_.push_back(std::move(fc));
-    }
-  }
-}
-
-std::vector<Interval> DeepSeaEngine::InitialFragmentation(
-    ViewInfo* view, const std::string& attr) {
-  PartitionState* part = view->GetPartition(attr);
-  if (part == nullptr) return {};
-  if (options_.strategy == StrategyKind::kEquiDepth) {
-    auto view_table = catalog_->Get(view->id);
-    std::vector<double> bounds;
-    if (view_table.ok()) {
-      const AttributeHistogram* hist = (*view_table)->GetHistogram(attr);
-      if (hist != nullptr) {
-        bounds = hist->EquiDepthBoundaries(options_.equi_depth_fragments);
-      }
-    }
-    if (bounds.size() < 2) {
-      const auto pieces = part->domain.SplitEqual(options_.equi_depth_fragments);
-      return pieces;
-    }
-    std::vector<Interval> out;
-    for (size_t i = 0; i + 1 < bounds.size(); ++i) {
-      const bool last = i + 2 == bounds.size();
-      out.push_back(Interval(bounds[i], bounds[i + 1], /*lo_inc=*/true,
-                             /*hi_inc=*/last));
-    }
-    return out;
-  }
-  if (options_.strategy == StrategyKind::kNoPartition) {
-    return {part->domain};
-  }
-  // DeepSea / NoRefine: the workload-aware pending fragmentation.
-  if (part->pending.empty()) return {part->domain};
-  std::vector<Interval> out = part->pending;
-  std::sort(out.begin(), out.end(), IntervalLess);
-  return out;
-}
-
-std::vector<Interval> DeepSeaEngine::ApplyFragmentBounds(
-    const ViewInfo& view, const std::string& attr,
-    std::vector<Interval> frags) const {
-  // Upper bound phi: split oversized fragments into equi-size pieces.
-  if (options_.max_fragment_fraction > 0.0) {
-    const double limit = options_.max_fragment_fraction * view.stats.size_bytes;
-    std::vector<Interval> split;
-    for (const Interval& f : frags) {
-      const double bytes = FragmentBytes(view, attr, f);
-      if (bytes > limit && limit > 0.0) {
-        const int pieces = static_cast<int>(std::ceil(bytes / limit));
-        for (const Interval& p : f.SplitEqual(pieces)) split.push_back(p);
-      } else {
-        split.push_back(f);
-      }
-    }
-    frags = std::move(split);
-  }
-  // Lower bound: merge adjacent fragments smaller than a block.
-  if (options_.enforce_block_lower_bound && frags.size() > 1) {
-    std::sort(frags.begin(), frags.end(), IntervalLess);
-    std::vector<Interval> merged;
-    for (const Interval& f : frags) {
-      if (!merged.empty() &&
-          FragmentBytes(view, attr, merged.back()) < fs_.block_bytes()) {
-        Interval& prev = merged.back();
-        prev = Interval(prev.lo, f.hi, prev.lo_inclusive, f.hi_inclusive);
-      } else {
-        merged.push_back(f);
-      }
-    }
-    frags = std::move(merged);
-  }
-  return frags;
-}
-
-double DeepSeaEngine::MaterializeView(ViewInfo* view, QueryReport* report) {
-  // Determine the partition attribute: the one with pending state.
-  std::string attr;
-  for (const auto& [a, p] : view->partitions) {
-    (void)p;
-    attr = a;
-    break;
-  }
-  double extra_seconds = 0.0;
-  auto est = estimator_.Estimate(view->plan);
-  const double view_bytes = est.ok() ? est->out_bytes * options_.view_storage_compression : view->stats.size_bytes;
-  view->stats.size_bytes = view_bytes;
-  view->stats.size_is_actual = true;
-
-  if (attr.empty() || options_.strategy == StrategyKind::kNoPartition) {
-    // Whole-view materialization (NP).
-    fs_.Put(StrFormat("pool/%s/full", view->id.c_str()), view_bytes);
-    view->whole_materialized = true;
-    extra_seconds = cluster_.PartitionedWriteSeconds(view_bytes, 1);
-  } else {
-    PartitionState* part = view->GetPartition(attr);
-    std::vector<Interval> frags =
-        ApplyFragmentBounds(*view, attr, InitialFragmentation(view, attr));
-    for (const Interval& iv : frags) {
-      const double bytes = FragmentBytes(*view, attr, iv);
-      FragmentStats* fstat = part->Track(iv, bytes);
-      fstat->size_bytes = bytes;
-      fstat->materialized = true;
-      fs_.Put(FragmentPath(*view, attr, iv), bytes);
-      ++report->created_fragments;
-    }
-    extra_seconds = cluster_.PartitionedWriteSeconds(
-        view_bytes, static_cast<int64_t>(frags.size()));
-  }
-  // Actual creation cost: computing the defining plan (done as part of
-  // the instrumented query) plus the durable partitioned write.
-  view->stats.creation_cost =
-      (est.ok() ? est->seconds : view->stats.creation_cost) + extra_seconds;
-  view->stats.cost_is_actual = true;
-  report->created_views.push_back(view->id);
-  return extra_seconds;
-}
-
-double DeepSeaEngine::MaterializeFragment(ViewInfo* view, PartitionState* part,
-                                          const Interval& iv,
-                                          QueryReport* report) {
-  const std::string& attr = part->attr;
-  double seconds = 0.0;
-  // Fragments currently materialized that overlap the new one. Tracked
-  // by interval, not pointer: Track() below may grow the fragment
-  // vector and invalidate references.
-  std::vector<Interval> parents;
-  std::vector<double> parent_bytes_to_read;
-  const bool cover_matches = view->id == current_cover_view_ &&
-                             attr == current_cover_attr_;
-  for (const FragmentStats& f : part->fragments) {
-    if (f.materialized && f.interval.Overlaps(iv) && f.interval != iv) {
-      parents.push_back(f.interval);
-      // Parents the current query's cover already read are free to
-      // re-scan: the partition operator forks the new fragment off the
-      // same map stream (repartitioning as a by-product of answering).
-      const bool read_by_query =
-          cover_matches &&
-          std::find(current_cover_.begin(), current_cover_.end(), f.interval) !=
-              current_cover_.end();
-      if (!read_by_query) parent_bytes_to_read.push_back(f.size_bytes);
-    }
-  }
-  // Read the overlapping parents (not already streamed by the query) to
-  // extract the new fragment's rows.
-  seconds += cluster_.MapPhaseSeconds(parent_bytes_to_read);
-
-  const double bytes = FragmentBytes(*view, attr, iv);
-  FragmentStats* fstat = part->Track(iv, bytes);
-  fstat->size_bytes = bytes;
-  fstat->materialized = true;
-  fs_.Put(FragmentPath(*view, attr, iv), bytes);
-  ++report->created_fragments;
-  seconds += cluster_.PartitionedWriteSeconds(bytes, 1);
-
-  if (!options_.overlapping_fragments) {
-    // Horizontal partitioning: the parents must be split — their whole
-    // content is rewritten as complement pieces and the parents evicted
-    // (Section 1, "Overlapping Fragments": the split cost DeepSea's
-    // overlapping mode avoids).
-    for (const Interval& p : parents) {
-      std::vector<Interval> pieces;
-      auto [left, rest] = p.SplitBefore(iv.lo);
-      if (!left.IsEmpty() && left.Width() > 0.0 && !iv.Contains(left)) {
-        pieces.push_back(left);
-      }
-      auto [rest2, right] = p.SplitAfter(iv.hi);
-      (void)rest;
-      (void)rest2;
-      if (!right.IsEmpty() && right.Width() > 0.0 && !iv.Contains(right)) {
-        pieces.push_back(right);
-      }
-      for (const Interval& piece : pieces) {
-        const double piece_bytes = FragmentBytes(*view, attr, piece);
-        FragmentStats* pstat = part->Track(piece, piece_bytes);
-        pstat->size_bytes = piece_bytes;
-        pstat->materialized = true;
-        fs_.Put(FragmentPath(*view, attr, piece), piece_bytes);
-        ++report->created_fragments;
-        seconds += cluster_.PartitionedWriteSeconds(piece_bytes, 1);
-      }
-      // Re-resolve the parent after the Track calls above (the fragment
-      // vector may have been reallocated).
-      FragmentStats* parent_stat = part->Find(p);
-      if (parent_stat != nullptr) {
-        EvictFragment(view, part, parent_stat);
-        --report->evicted_fragments;  // split, not a policy eviction
-      }
-    }
-  }
-  return seconds;
-}
-
-void DeepSeaEngine::EvictFragment(ViewInfo* view, PartitionState* part,
-                                  FragmentStats* frag) {
-  if (!frag->materialized) return;
-  frag->materialized = false;
-  (void)fs_.Delete(FragmentPath(*view, part->attr, frag->interval));
-}
-
-void DeepSeaEngine::EvictWholeView(ViewInfo* view) {
-  if (!view->whole_materialized) return;
-  view->whole_materialized = false;
-  (void)fs_.Delete(StrFormat("pool/%s/full", view->id.c_str()));
-}
-
-void DeepSeaEngine::RunSelection(const PlanPtr& query, QueryReport* report) {
-  (void)query;
-  const double t_now = static_cast<double>(clock_);
-
-  struct Item {
-    enum Kind {
-      kPoolFragment,
-      kPoolWhole,
-      kNewView,          // whole-view creation (unpartitioned)
-      kNewViewFragment,  // one fragment of a view's initial partitioning
-      kNewFragment,      // refinement of an existing partition
-    } kind;
-    double value = 0.0;
-    double size = 0.0;
-    ViewInfo* view = nullptr;
-    PartitionState* part = nullptr;
-    Interval interval;
-    const FragCandidate* cand = nullptr;
-  };
-  std::vector<Item> items;
-
-  // --- V_sel: filter view candidates by benefit >= cost (Section 7.2).
-  //     Partially materialized views stay eligible: their still-
-  //     uncovered planned fragments are offered every query (top-up).
-  for (const VCand& cand : current_vcand_) {
-    ViewInfo* v = cand.view;
-    if (v->stats.size_bytes <= 0.0) continue;
-    const double benefit =
-        ViewBenefitForFilter(options_.value_model, v->stats, t_now, decay_);
-    // Zero-benefit candidates (e.g. one-shot aggregate views that have
-    // never matched another query) are never admitted, even when the
-    // threshold is relaxed to force eager materialization.
-    if (benefit <= 0.0 ||
-        benefit < options_.benefit_cost_threshold * v->stats.creation_cost) {
-      continue;
-    }
-    // With a partition, the view enters the selection as individual
-    // fragments (the paper's "finer granularity of control", Section
-    // 1): under a tight pool only the valuable (hot) fragments are
-    // materialized. A view may carry partitions on several attributes
-    // (Section 4 permits multiple partitions per view); each offers its
-    // fragments independently.
-    if (v->partitions.empty() ||
-        options_.strategy == StrategyKind::kNoPartition) {
-      if (v->whole_materialized) continue;
-      Item it;
-      it.kind = Item::kNewView;
-      it.view = v;
-      it.size = v->stats.size_bytes;
-      it.value = ViewValue(options_.value_model, v->stats, t_now, decay_);
-      items.push_back(it);
-      continue;
-    }
-    for (auto& [attr, part_ref] : v->partitions) {
-      PartitionState* part = &part_ref;
-      const std::vector<Interval> mats = part->MaterializedIntervals();
-      const std::vector<Interval> planned =
-          ApplyFragmentBounds(*v, attr, InitialFragmentation(v, attr));
-      for (const Interval& iv : planned) {
-        // Skip planned pieces whose extent the pool already covers
-        // (exactly materialized, or covered by refinement fragments).
-        if (!mats.empty() && PartitionMatch(mats, iv).ok()) continue;
-        // Inherit hit history from tracked pieces the (possibly merged
-        // or split) planned fragment covers, so hot planned fragments
-        // carry their evidence into the ranking.
-        std::vector<FragmentHit> inherited;
-        if (part->Find(iv) == nullptr) {
-          for (const FragmentStats& p : part->fragments) {
-            if (iv.Contains(p.interval)) {
-              inherited.insert(inherited.end(), p.hits.begin(), p.hits.end());
-            }
-          }
-        }
-        FragmentStats* fstat = part->Track(iv, FragmentBytes(*v, attr, iv));
-        if (fstat->hits.empty() && !inherited.empty()) fstat->hits = inherited;
-        if (fstat->materialized) continue;
-        fstat->size_bytes = FragmentBytes(*v, attr, iv);
-        // Top-up filter: once the view is in the pool, adding a fragment
-        // for a still-uncovered range requires recomputing the view's
-        // query (Section 7.1: the cost of a fragment not in the pool is
-        // the view's creation cost). Only top up when the accumulated
-        // hits on the range amortize that (mirrors the P_sel filter);
-        // initial creation admits the planned set as a unit.
-        if (v->InPool()) {
-          const double hits = fstat->DecayedHits(t_now, decay_);
-          const double read_cost =
-              cluster_.MapPhaseSeconds({fstat->size_bytes}) +
-              2.0 * cluster_.config().job_startup_seconds;
-          const double per_hit_saving =
-              std::max(0.0, report->base_seconds - read_cost);
-          if (hits * per_hit_saving <
-              options_.fragment_benefit_threshold * v->stats.creation_cost) {
-            continue;
-          }
-        }
-        Item it;
-        it.kind = Item::kNewViewFragment;
-        it.view = v;
-        it.part = part;
-        it.interval = iv;
-        it.size = fstat->size_bytes;
-        it.value = FragmentValue(options_.value_model, *fstat,
-                                 v->stats.size_bytes, v->stats.creation_cost,
-                                 t_now, decay_);
-        items.push_back(it);
-      }
-    }
-  }
-
-  // --- MLE smoothing per partition (computed once, reused below).
-  const bool use_mle = options_.use_mle_smoothing &&
-                       options_.value_model == ValueModel::kDeepSea;
-  std::map<const PartitionState*, MleFragmentModel::AdjustedHits> adjusted;
-  auto adjusted_hits_for = [&](const PartitionState* part,
-                               const FragmentStats* frag) -> double {
-    if (!use_mle) return -1.0;
-    auto it = adjusted.find(part);
-    if (it == adjusted.end()) {
-      it = adjusted
-               .emplace(part, mle_.Adjust(part->fragments, part->domain, t_now,
-                                          decay_))
-               .first;
-    }
-    const auto& adj = it->second;
-    for (size_t i = 0; i < part->fragments.size(); ++i) {
-      if (&part->fragments[i] == frag) return adj.hits[i];
-    }
-    return -1.0;
-  };
-
-  // --- P_sel: filter refinement candidates by benefit >= cost.
-  for (const FragCandidate& fc : current_pcand_) {
-    PartitionState* part = fc.view->GetPartition(fc.attr);
-    if (part == nullptr) continue;
-    FragmentStats* fstat = part->Find(fc.interval);
-    if (fstat == nullptr || fstat->materialized) continue;
-    const double adj = adjusted_hits_for(part, fstat);
-    const double hits =
-        adj >= 0.0 ? adj : fstat->DecayedHits(t_now, decay_);
-    // Marginal admission: expected read-time saving over the current
-    // cover must amortize the creation cost (see FragCandidate doc).
-    const double benefit = hits * fc.per_hit_saving_seconds;
-    if (benefit < options_.fragment_benefit_threshold * fc.est_cost_seconds) {
-      continue;
-    }
-    Item it;
-    it.kind = Item::kNewFragment;
-    it.view = fc.view;
-    it.part = part;
-    it.interval = fc.interval;
-    it.size = fc.est_bytes;
-    it.cand = &fc;
-    it.value = FragmentValue(options_.value_model, *fstat,
-                             fc.view->stats.size_bytes,
-                             fc.view->stats.creation_cost, t_now, decay_, adj);
-    items.push_back(it);
-  }
-
-  // --- Existing pool content: every materialized fragment / whole view
-  //     partakes individually (Section 7.3).
-  for (ViewInfo* v : views_.AllViews()) {
-    if (v->whole_materialized) {
-      Item it;
-      it.kind = Item::kPoolWhole;
-      it.view = v;
-      it.size = v->stats.size_bytes;
-      it.value = ViewValue(options_.value_model, v->stats, t_now, decay_);
-      items.push_back(it);
-    }
-    for (auto& [attr, part] : v->partitions) {
-      (void)attr;
-      for (FragmentStats& f : part.fragments) {
-        if (!f.materialized) continue;
-        Item it;
-        it.kind = Item::kPoolFragment;
-        it.view = v;
-        it.part = &part;
-        it.interval = f.interval;
-        it.size = f.size_bytes;
-        it.value = FragmentValue(options_.value_model, f, v->stats.size_bytes,
-                                 v->stats.creation_cost, t_now, decay_,
-                                 adjusted_hits_for(&part, &f));
-        items.push_back(it);
-      }
-    }
-  }
-
-  // --- Greedy knapsack by value (Section 7.3).
-  std::stable_sort(items.begin(), items.end(),
-                   [](const Item& a, const Item& b) { return a.value > b.value; });
-  double budget = options_.pool_limit_bytes;
-  std::vector<const Item*> admit;
-  std::vector<const Item*> reject;
-  for (const Item& it : items) {
-    if (it.size <= budget) {
-      admit.push_back(&it);
-      budget -= it.size;
-    } else {
-      reject.push_back(&it);
-    }
-  }
-
-  // Evict rejected pool content first (frees the simulated FS), then
-  // materialize admitted new content.
-  for (const Item* it : reject) {
-    if (it->kind == Item::kPoolWhole) {
-      EvictWholeView(it->view);
-      ++report->evicted_fragments;
-    } else if (it->kind == Item::kPoolFragment) {
-      FragmentStats* f = it->part->Find(it->interval);
-      if (f != nullptr && f->materialized) {
-        EvictFragment(it->view, it->part, f);
-        ++report->evicted_fragments;
-      }
-    }
-  }
-  // Admitted initial fragments are created together per view (one
-  // instrumented partitioned write).
-  struct NewViewWork {
-    double bytes = 0.0;
-    int64_t count = 0;
-  };
-  std::map<ViewInfo*, NewViewWork> new_view_work;
-  for (const Item* it : admit) {
-    if (it->kind == Item::kNewView) {
-      report->materialize_seconds += MaterializeView(it->view, report);
-    } else if (it->kind == Item::kNewFragment) {
-      report->materialize_seconds +=
-          MaterializeFragment(it->view, it->part, it->interval, report);
-    } else if (it->kind == Item::kNewViewFragment) {
-      FragmentStats* f = it->part->Find(it->interval);
-      if (f == nullptr || f->materialized) continue;
-      f->size_bytes = it->size;
-      f->materialized = true;
-      fs_.Put(FragmentPath(*it->view, it->part->attr, it->interval), it->size);
-      ++report->created_fragments;
-      NewViewWork& work = new_view_work[it->view];
-      work.bytes += it->size;
-      work.count += 1;
-    }
-  }
-  for (auto& [view, work] : new_view_work) {
-    const double extra = cluster_.PartitionedWriteSeconds(work.bytes, work.count);
-    report->materialize_seconds += extra;
-    auto est = estimator_.Estimate(view->plan);
-    if (est.ok()) {
-      view->stats.size_bytes = est->out_bytes * options_.view_storage_compression;
-      view->stats.size_is_actual = true;
-      view->stats.creation_cost = est->seconds + extra;
-      view->stats.cost_is_actual = true;
-    }
-    report->created_views.push_back(view->id);
-  }
-}
-
-double DeepSeaEngine::RunMergePass(QueryReport* report) {
-  const double t_now = static_cast<double>(clock_);
-  double seconds = 0.0;
-  int merges = 0;
-  auto candidates = FindMergeCandidates(&views_, options_.merge, t_now, decay_);
-  for (const MergeCandidate& cand : candidates) {
-    if (merges >= options_.merge.max_merges_per_query) break;
-    FragmentStats& a = cand.part->fragments[cand.left_index];
-    FragmentStats& b = cand.part->fragments[cand.right_index];
-    if (!a.materialized || !b.materialized) continue;  // stale candidate
-    // Read both parents, write the merged fragment.
-    seconds += cluster_.MapPhaseSeconds({a.size_bytes, b.size_bytes});
-    const double merged_bytes = a.size_bytes + b.size_bytes;
-    seconds += cluster_.PartitionedWriteSeconds(merged_bytes, 1);
-    // Union the hit histories so the merged fragment keeps its record.
-    std::vector<FragmentHit> hits = a.hits;
-    hits.insert(hits.end(), b.hits.begin(), b.hits.end());
-    EvictFragment(cand.view, cand.part, &a);
-    EvictFragment(cand.view, cand.part, &b);
-    FragmentStats* merged = cand.part->Track(cand.merged, merged_bytes);
-    merged->size_bytes = merged_bytes;
-    merged->materialized = true;
-    if (merged->hits.empty()) merged->hits = std::move(hits);
-    fs_.Put(FragmentPath(*cand.view, cand.part->attr, cand.merged), merged_bytes);
-    ++merges;
-    ++report->merged_fragments;
-  }
-  return seconds;
 }
 
 Status DeepSeaEngine::PhysicalExecute(const PlanPtr& plan, QueryReport* report) {
   // Materialize sample tables for views created this query so future
   // ViewRef reads return real rows.
   for (const std::string& id : report->created_views) {
-    ViewInfo* view = views_.Get(id);
+    ViewInfo* view = pool_.mutable_views()->Get(id);
     if (view == nullptr) continue;
     auto rows = executor_.Execute(view->plan);
     if (!rows.ok()) return rows.status();

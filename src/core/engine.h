@@ -1,158 +1,51 @@
 #ifndef DEEPSEA_CORE_ENGINE_H_
 #define DEEPSEA_CORE_ENGINE_H_
 
-#include <limits>
-#include <map>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "catalog/table.h"
 #include "common/result.h"
-#include "core/candidates.h"
+#include "core/candidate_generator.h"
 #include "core/decay.h"
-#include "core/merge.h"
+#include "core/engine_observer.h"
+#include "core/engine_options.h"
 #include "core/mle_model.h"
-#include "core/policy.h"
+#include "core/pool_manager.h"
+#include "core/query_context.h"
+#include "core/rewrite_planner.h"
+#include "core/selection_planner.h"
 #include "core/view_catalog.h"
 #include "exec/executor.h"
 #include "plan/plan.h"
 #include "rewrite/filter_tree.h"
-#include "rewrite/matcher.h"
 #include "sim/cluster.h"
 #include "sim/cost_model.h"
 #include "storage/sim_fs.h"
 
 namespace deepsea {
 
-/// All knobs of a DeepSea engine instance. Defaults are the paper's
-/// DeepSea configuration; baselines are expressed by changing strategy
-/// and/or value_model (see core/policy.h).
-struct EngineOptions {
-  StrategyKind strategy = StrategyKind::kDeepSea;
-  ValueModel value_model = ValueModel::kDeepSea;
-
-  /// S_max: pool size limit in bytes (infinite by default).
-  double pool_limit_bytes = std::numeric_limits<double>::infinity();
-
-  DecayConfig decay;
-  MleConfig mle;
-  /// DeepSea's fragment-correlation smoothing (Section 7.1); the Nectar
-  /// value models never use it regardless of this flag.
-  bool use_mle_smoothing = true;
-
-  /// Allow overlapping fragments (Section 3 / 10.4). When false, every
-  /// refinement splits the overlapped fragments (read + rewrite them).
-  bool overlapping_fragments = true;
-
-  /// Number of fragments for the EquiDepth strategy ("E-k").
-  int equi_depth_fragments = 6;
-
-  /// phi, the maximum fragment size relative to the view (Section 9,
-  /// "Bounding Fragment Size"); <= 0 disables the upper bound.
-  double max_fragment_fraction = 0.0;
-  /// Enforce the file-system block size as fragment lower bound.
-  bool enforce_block_lower_bound = true;
-
-  /// When true, also execute queries over the physical sample data and
-  /// materialize real view tables (correctness path). When false, only
-  /// the cost model runs (fast; used by large experiments).
-  bool physical_execution = false;
-
-  EstimatorConfig estimator;
-  ClusterConfig cluster;
-
-  /// View admission threshold: materialize a view candidate when its
-  /// accumulated benefit >= threshold * creation cost. The paper's
-  /// filter uses 1.0; the default here is lower because our per-query
-  /// saving estimates are conservative (they ignore reuse by other
-  /// templates sharing the view). Set to ~0 to reproduce the paper's
-  /// controlled sequences where the first query materializes.
-  double benefit_cost_threshold = 0.5;
-
-  /// Fragment refinement threshold: create a refinement fragment when
-  /// hits * marginal read saving >= threshold * creation cost (the
-  /// paper's P_sel filter uses 1.0). Kept separate from view admission
-  /// so that benches forcing eager view creation do not also disable
-  /// the repartitioning cost-benefit test.
-  double fragment_benefit_threshold = 1.0;
-
-  /// Histogram resolution for view partition-attribute histograms.
-  int view_histogram_bins = 256;
-
-  /// Materialized views are stored columnar-compressed (ORC-style), so
-  /// their on-disk footprint is a fraction of the raw intermediate
-  /// result's width. Applied to view sizes, fragment sizes, and the
-  /// read/write costs that depend on them.
-  double view_storage_compression = 0.6;
-
-  /// Fragment-merging extension (paper Section 11 future work): merge
-  /// adjacent fragments that are mostly accessed together. Off by
-  /// default; see core/merge.h.
-  MergeConfig merge;
-
-  /// Fragment boundaries are snapped outward to a grid of this fraction
-  /// of the attribute domain before candidate generation, so queries
-  /// whose ranges jitter around the same hot region converge on one
-  /// refinement fragment instead of spawning a near-duplicate per
-  /// query. 0 disables snapping (exact Definition 7 endpoints).
-  double candidate_snap_fraction = 0.005;
-};
-
-/// Per-query outcome of ProcessQuery.
-struct QueryReport {
-  int64_t query_index = 0;
-  /// Cost of the conventional (selection-pushed) plan with no views.
-  double base_seconds = 0.0;
-  /// Cost of the plan actually chosen (view-based or base).
-  double best_seconds = 0.0;
-  /// Overhead charged this query for view/fragment materialization and
-  /// repartitioning.
-  double materialize_seconds = 0.0;
-  /// Total simulated time charged: best + materialize.
-  double total_seconds = 0.0;
-
-  std::string used_view;             ///< view answering the query ("" = none)
-  int fragments_read = 0;
-  int64_t map_tasks = 0;             ///< map tasks of the executed plan
-  std::vector<std::string> created_views;
-  int created_fragments = 0;
-  int evicted_fragments = 0;
-  int merged_fragments = 0;          ///< merge-pass merges this query
-  double pool_bytes_after = 0.0;
-
-  bool physically_executed = false;
-  ExecResult physical;               ///< result rows (physical mode only)
-};
-
-/// Aggregate counters across a workload run.
-struct EngineTotals {
-  double total_seconds = 0.0;
-  double base_seconds = 0.0;
-  double materialize_seconds = 0.0;
-  int64_t map_tasks = 0;
-  int64_t queries = 0;
-  int64_t views_created = 0;
-  int64_t fragments_created = 0;
-  int64_t fragments_evicted = 0;
-  int64_t fragments_merged = 0;
-  int64_t queries_answered_from_views = 0;
-};
-
-/// The DeepSea engine: owns the materialized-view pool state (view
-/// catalog + simulated FS), and processes one query at a time following
-/// Algorithm 1:
-///   1. compute rewritings (ViewMatcher over the filter tree),
-///   2. update view/fragment statistics,
-///   3. select the cheapest executable rewriting (Q_best),
-///   4. compute view candidates (Def. 6) and partition candidates
-///      (Def. 7) and register them in STAT,
-///   5. filter candidates (benefit >= cost, Section 7.2) and greedily
-///      select the next configuration under S_max (Section 7.3),
-///   6. instrument + "execute" the query: charge simulated time for the
-///      chosen plan plus materialization/repartitioning work, update
-///      the pool (SimFs files, catalog view tables), and
-///   7. update statistics with actual sizes.
+/// The DeepSea engine: a thin, re-entrant orchestrator over the four
+/// pipeline stages of Algorithm 1, wired per query through a fresh
+/// QueryContext value object:
+///
+///   1. RewritePlanner     — rewriting enumeration, statistics update,
+///                           Q_best choice (lines 1-3);
+///   2. CandidateGenerator — view candidates (Def. 6) and partition
+///                           candidates (Def. 7), registered in STAT
+///                           (lines 4-5);
+///   3. SelectionPlanner   — benefit >= cost filtering (Section 7.2)
+///                           and the greedy knapsack under S_max
+///                           (Section 7.3), emitted as a declarative
+///                           SelectionDecision;
+///   4. PoolManager        — owns the pool state (view catalog +
+///                           simulated FS); applies the decision,
+///                           charges materialization time, and runs the
+///                           Section 11 merge pass.
+///
+/// An EngineObserver can be attached to watch stage boundaries and pool
+/// mutations (see core/engine_observer.h); with no observer attached
+/// the pipeline pays no timing overhead.
 class DeepSeaEngine {
  public:
   /// `catalog` must outlive the engine and contain the base tables.
@@ -161,16 +54,29 @@ class DeepSeaEngine {
   Result<QueryReport> ProcessQuery(const PlanPtr& query);
 
   const EngineOptions& options() const { return options_; }
-  const ViewCatalog& views() const { return views_; }
-  ViewCatalog* mutable_views() { return &views_; }
-  const SimFs& fs() const { return fs_; }
+  const ViewCatalog& views() const { return pool_.views(); }
+  ViewCatalog* mutable_views() { return pool_.mutable_views(); }
+  const SimFs& fs() const { return pool_.fs(); }
   const ClusterModel& cluster() const { return cluster_; }
   const PlanCostEstimator& estimator() const { return estimator_; }
   const EngineTotals& totals() const { return totals_; }
   Catalog* catalog() { return catalog_; }
 
+  /// The pool-state component (view catalog + simulated FS + the
+  /// materialize/evict/merge primitives).
+  const PoolManager& pool() const { return pool_; }
+  PoolManager* mutable_pool() { return &pool_; }
+
+  /// Attaches an observer to the pipeline (nullptr detaches). The
+  /// observer must outlive the engine or be detached before it dies.
+  void set_observer(EngineObserver* observer) {
+    observer_ = observer;
+    pool_.set_observer(observer);
+  }
+  EngineObserver* observer() const { return observer_; }
+
   /// Current pool occupancy in bytes (S(C)).
-  double PoolBytes() const { return views_.PoolBytes(); }
+  double PoolBytes() const { return pool_.PoolBytes(); }
 
   /// Logical clock (number of queries processed).
   int64_t now() const { return clock_; }
@@ -192,94 +98,7 @@ class DeepSeaEngine {
   /// saved one is larger.
   Status LoadState(const std::string& state);
 
-  /// A view candidate of the current query (V_cand member).
-  /// `under_select` is true when the view's subplan feeds a selection
-  /// of this query — materializing such a view requires executing the
-  /// query without pushing that selection down (Section 10.2).
-  struct VCand {
-    ViewInfo* view;
-    bool under_select;
-  };
-
-  /// A fragment refinement candidate of the current query (P_cand).
-  struct FragCandidate {
-    ViewInfo* view;
-    std::string attr;
-    Interval interval;
-    double est_bytes;
-    double est_cost_seconds;
-    /// Seconds saved per hit by reading this fragment instead of the
-    /// current materialized cover of its interval. The admission filter
-    /// uses this *marginal* saving (hits * per_hit_saving >= cost)
-    /// rather than the paper's absolute fragment benefit, which would
-    /// keep re-creating near-duplicates of already well-covered hot
-    /// ranges; ranking/eviction still uses the paper's Phi.
-    double per_hit_saving_seconds;
-  };
-
-  /// Candidates registered while processing the most recent query
-  /// (exposed for tests and diagnostics).
-  const std::vector<VCand>& current_view_candidates() const {
-    return current_vcand_;
-  }
-  const std::vector<FragCandidate>& current_fragment_candidates() const {
-    return current_pcand_;
-  }
-
  private:
-  // --- Algorithm 1 steps ---
-  void UpdateStatsFromRewritings(const std::vector<Rewriting>& rewritings,
-                                 double base_seconds);
-  void RegisterViewCandidates(const PlanPtr& query, double base_seconds);
-  void RegisterPartitionCandidates(const PlanPtr& query);
-  // Runs filtering + greedy selection; mutates pool state and returns
-  // the materialization seconds charged plus created/evicted counts.
-  void RunSelection(const PlanPtr& query, QueryReport* report);
-  // Fragment-merging maintenance pass (Section 11 extension); returns
-  // the simulated seconds charged.
-  double RunMergePass(QueryReport* report);
-
-  // --- helpers ---
-  /// Ensures `view` is registered as a relational catalog table with
-  /// estimated logical statistics (needed by the cost estimator).
-  void RegisterViewTable(ViewInfo* view);
-  /// Domain of `column` from its base table histogram/sample.
-  Result<Interval> ColumnDomain(const std::string& column) const;
-  /// Fraction of the base table's rows whose `column` value lies in
-  /// `iv` (1.0 when no statistics exist).
-  double RangeFractionOfBaseColumn(const std::string& column,
-                                   const Interval& iv) const;
-  /// Histogram for a view's partition attribute, derived from the base
-  /// table's distribution scaled to the view's cardinality.
-  Result<AttributeHistogram> DeriveViewHistogram(const ViewInfo& view,
-                                                 const std::string& attr) const;
-  /// Estimated bytes of fragment `iv` of `view` partitioned on `attr`.
-  double FragmentBytes(const ViewInfo& view, const std::string& attr,
-                       const Interval& iv) const;
-  /// Paper's uniform-within-fragment size estimate for a candidate
-  /// (Section 7.2) over the currently tracked fragments.
-  double EstimateCandidateBytes(const PartitionState& part,
-                                const Interval& iv) const;
-  /// The initial fragmentation used when first materializing a view
-  /// partition under the configured strategy.
-  std::vector<Interval> InitialFragmentation(ViewInfo* view,
-                                             const std::string& attr);
-  /// Applies the phi upper bound: splits any interval whose estimated
-  /// size exceeds max_fragment_fraction * S(V).
-  std::vector<Interval> ApplyFragmentBounds(const ViewInfo& view,
-                                            const std::string& attr,
-                                            std::vector<Interval> frags) const;
-  /// Materializes `view` (initial partitioned creation). Returns the
-  /// extra simulated seconds charged.
-  double MaterializeView(ViewInfo* view, QueryReport* report);
-  /// Creates one refinement fragment (overlapping or by splitting).
-  double MaterializeFragment(ViewInfo* view, PartitionState* part,
-                             const Interval& iv, QueryReport* report);
-  /// Evicts a fragment (or whole view) from the pool.
-  void EvictFragment(ViewInfo* view, PartitionState* part, FragmentStats* frag);
-  void EvictWholeView(ViewInfo* view);
-  std::string FragmentPath(const ViewInfo& view, const std::string& attr,
-                           const Interval& iv) const;
   /// Physically executes the plan and materializes selected view sample
   /// tables when physical execution is enabled.
   Status PhysicalExecute(const PlanPtr& plan, QueryReport* report);
@@ -290,24 +109,19 @@ class DeepSeaEngine {
   PlanCostEstimator estimator_;
   DecayFunction decay_;
   MleFragmentModel mle_;
-  SimFs fs_;
-  ViewCatalog views_;
   FilterTree index_;
-  std::unique_ptr<ViewMatcher> matcher_;
   Executor executor_;
+  EngineObserver* observer_ = nullptr;
+
+  // Pool state, then the stages that plan over it (construction order
+  // matters: the planners hold pointers into pool_).
+  PoolManager pool_;
+  RewritePlanner rewrite_planner_;
+  CandidateGenerator candidate_generator_;
+  SelectionPlanner selection_planner_;
+
   EngineTotals totals_;
   int64_t clock_ = 0;
-
-  std::vector<VCand> current_vcand_;
-  std::vector<FragCandidate> current_pcand_;
-
-  /// The fragment cover read by the current query's chosen rewriting.
-  /// Repartitioning is "a by-product of query answering" (Section 2):
-  /// refinement fragments extracted from parents the query read anyway
-  /// are not charged a second read.
-  std::string current_cover_view_;
-  std::string current_cover_attr_;
-  std::vector<Interval> current_cover_;
 };
 
 }  // namespace deepsea

@@ -1,0 +1,23 @@
+#include "core/engine_observer.h"
+
+namespace deepsea {
+
+const char* EngineStageName(EngineStage stage) {
+  switch (stage) {
+    case EngineStage::kRewrite:
+      return "rewrite";
+    case EngineStage::kCandidates:
+      return "candidates";
+    case EngineStage::kSelection:
+      return "selection";
+    case EngineStage::kApply:
+      return "apply";
+    case EngineStage::kMerge:
+      return "merge";
+    case EngineStage::kPhysical:
+      return "physical";
+  }
+  return "unknown";
+}
+
+}  // namespace deepsea

@@ -1,0 +1,102 @@
+#ifndef DEEPSEA_CORE_ENGINE_OBSERVER_H_
+#define DEEPSEA_CORE_ENGINE_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/interval.h"
+#include "core/view_catalog.h"
+#include "plan/plan.h"
+
+namespace deepsea {
+
+class QueryContext;
+struct QueryReport;
+
+/// The pipeline stages of DeepSeaEngine::ProcessQuery (Algorithm 1).
+enum class EngineStage {
+  kRewrite,     ///< rewriting enumeration + Q_best choice (lines 1-3)
+  kCandidates,  ///< view/partition candidate generation (lines 4-5)
+  kSelection,   ///< filtering + greedy knapsack planning (Sections 7.2-7.3)
+  kApply,       ///< decision application: materialize/evict (lines 6-8)
+  kMerge,       ///< fragment-merge maintenance pass (Section 11 extension)
+  kPhysical,    ///< physical sample execution (correctness path)
+};
+
+const char* EngineStageName(EngineStage stage);
+
+/// Observation seam of the query pipeline. The engine (and its
+/// PoolManager) invoke these hooks at stage boundaries and on every
+/// pool mutation. Implementations must not mutate engine state; all
+/// arguments are only valid for the duration of the call.
+///
+/// Timing semantics of OnStageEnd:
+///  * `sim_seconds` is the simulated time the stage charged to the
+///    current query (0 for stages that charge nothing);
+///  * `wall_seconds` is host wall-clock time spent inside the stage
+///    (measured only while an observer is attached, so benches without
+///    observers pay no timing overhead).
+///
+/// The default implementations are all no-ops, so subclasses override
+/// only what they consume. See exp/trace.h for TraceObserver, which
+/// feeds the CSV telemetry used by the experiment harnesses.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void OnQueryStart(int64_t query_index, const PlanPtr& query) {
+    (void)query_index;
+    (void)query;
+  }
+  virtual void OnStageStart(EngineStage stage, const QueryContext& ctx) {
+    (void)stage;
+    (void)ctx;
+  }
+  virtual void OnStageEnd(EngineStage stage, const QueryContext& ctx,
+                          double sim_seconds, double wall_seconds) {
+    (void)stage;
+    (void)ctx;
+    (void)sim_seconds;
+    (void)wall_seconds;
+  }
+
+  /// A whole view (NP-style) or initial partitioned creation entered the
+  /// pool; `sim_seconds` is the charged materialization time.
+  virtual void OnMaterializeView(const ViewInfo& view, double sim_seconds) {
+    (void)view;
+    (void)sim_seconds;
+  }
+  /// One fragment entered the pool (initial fragment or refinement).
+  virtual void OnMaterializeFragment(const ViewInfo& view,
+                                     const std::string& attr,
+                                     const Interval& interval, double bytes) {
+    (void)view;
+    (void)attr;
+    (void)interval;
+    (void)bytes;
+  }
+  /// A fragment left the pool. `attr` is empty for whole-view eviction.
+  /// Fired for policy evictions and also for parents removed by
+  /// horizontal splits and merge passes.
+  virtual void OnEvict(const ViewInfo& view, const std::string& attr,
+                       const Interval& interval, double bytes) {
+    (void)view;
+    (void)attr;
+    (void)interval;
+    (void)bytes;
+  }
+  /// Two adjacent fragments were merged into `merged` (Section 11).
+  virtual void OnMerge(const ViewInfo& view, const std::string& attr,
+                       const Interval& merged, double bytes) {
+    (void)view;
+    (void)attr;
+    (void)merged;
+    (void)bytes;
+  }
+
+  virtual void OnQueryEnd(const QueryReport& report) { (void)report; }
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_ENGINE_OBSERVER_H_

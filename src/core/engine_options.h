@@ -1,0 +1,135 @@
+#ifndef DEEPSEA_CORE_ENGINE_OPTIONS_H_
+#define DEEPSEA_CORE_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/decay.h"
+#include "core/merge.h"
+#include "core/mle_model.h"
+#include "core/policy.h"
+#include "exec/executor.h"
+#include "sim/cluster.h"
+#include "sim/cost_model.h"
+
+namespace deepsea {
+
+/// All knobs of a DeepSea engine instance. Defaults are the paper's
+/// DeepSea configuration; baselines are expressed by changing strategy
+/// and/or value_model (see core/policy.h).
+struct EngineOptions {
+  StrategyKind strategy = StrategyKind::kDeepSea;
+  ValueModel value_model = ValueModel::kDeepSea;
+
+  /// S_max: pool size limit in bytes (infinite by default).
+  double pool_limit_bytes = std::numeric_limits<double>::infinity();
+
+  DecayConfig decay;
+  MleConfig mle;
+  /// DeepSea's fragment-correlation smoothing (Section 7.1); the Nectar
+  /// value models never use it regardless of this flag.
+  bool use_mle_smoothing = true;
+
+  /// Allow overlapping fragments (Section 3 / 10.4). When false, every
+  /// refinement splits the overlapped fragments (read + rewrite them).
+  bool overlapping_fragments = true;
+
+  /// Number of fragments for the EquiDepth strategy ("E-k").
+  int equi_depth_fragments = 6;
+
+  /// phi, the maximum fragment size relative to the view (Section 9,
+  /// "Bounding Fragment Size"); <= 0 disables the upper bound.
+  double max_fragment_fraction = 0.0;
+  /// Enforce the file-system block size as fragment lower bound.
+  bool enforce_block_lower_bound = true;
+
+  /// When true, also execute queries over the physical sample data and
+  /// materialize real view tables (correctness path). When false, only
+  /// the cost model runs (fast; used by large experiments).
+  bool physical_execution = false;
+
+  EstimatorConfig estimator;
+  ClusterConfig cluster;
+
+  /// View admission threshold: materialize a view candidate when its
+  /// accumulated benefit >= threshold * creation cost. The paper's
+  /// filter uses 1.0; the default here is lower because our per-query
+  /// saving estimates are conservative (they ignore reuse by other
+  /// templates sharing the view). Set to ~0 to reproduce the paper's
+  /// controlled sequences where the first query materializes.
+  double benefit_cost_threshold = 0.5;
+
+  /// Fragment refinement threshold: create a refinement fragment when
+  /// hits * marginal read saving >= threshold * creation cost (the
+  /// paper's P_sel filter uses 1.0). Kept separate from view admission
+  /// so that benches forcing eager view creation do not also disable
+  /// the repartitioning cost-benefit test.
+  double fragment_benefit_threshold = 1.0;
+
+  /// Histogram resolution for view partition-attribute histograms.
+  int view_histogram_bins = 256;
+
+  /// Materialized views are stored columnar-compressed (ORC-style), so
+  /// their on-disk footprint is a fraction of the raw intermediate
+  /// result's width. Applied to view sizes, fragment sizes, and the
+  /// read/write costs that depend on them.
+  double view_storage_compression = 0.6;
+
+  /// Fragment-merging extension (paper Section 11 future work): merge
+  /// adjacent fragments that are mostly accessed together. Off by
+  /// default; see core/merge.h.
+  MergeConfig merge;
+
+  /// Fragment boundaries are snapped outward to a grid of this fraction
+  /// of the attribute domain before candidate generation, so queries
+  /// whose ranges jitter around the same hot region converge on one
+  /// refinement fragment instead of spawning a near-duplicate per
+  /// query. 0 disables snapping (exact Definition 7 endpoints).
+  double candidate_snap_fraction = 0.005;
+};
+
+/// Per-query outcome of ProcessQuery.
+struct QueryReport {
+  int64_t query_index = 0;
+  /// Cost of the conventional (selection-pushed) plan with no views.
+  double base_seconds = 0.0;
+  /// Cost of the plan actually chosen (view-based or base).
+  double best_seconds = 0.0;
+  /// Overhead charged this query for view/fragment materialization and
+  /// repartitioning.
+  double materialize_seconds = 0.0;
+  /// Total simulated time charged: best + materialize.
+  double total_seconds = 0.0;
+
+  std::string used_view;             ///< view answering the query ("" = none)
+  int fragments_read = 0;
+  int64_t map_tasks = 0;             ///< map tasks of the executed plan
+  std::vector<std::string> created_views;
+  int created_fragments = 0;
+  int evicted_fragments = 0;
+  int merged_fragments = 0;          ///< merge-pass merges this query
+  double pool_bytes_after = 0.0;
+
+  bool physically_executed = false;
+  ExecResult physical;               ///< result rows (physical mode only)
+};
+
+/// Aggregate counters across a workload run.
+struct EngineTotals {
+  double total_seconds = 0.0;
+  double base_seconds = 0.0;
+  double materialize_seconds = 0.0;
+  int64_t map_tasks = 0;
+  int64_t queries = 0;
+  int64_t views_created = 0;
+  int64_t fragments_created = 0;
+  int64_t fragments_evicted = 0;
+  int64_t fragments_merged = 0;
+  int64_t queries_answered_from_views = 0;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_ENGINE_OPTIONS_H_

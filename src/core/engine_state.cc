@@ -18,6 +18,7 @@
 
 #include "common/str_util.h"
 #include "core/engine.h"
+#include "core/view_sizing.h"
 #include "plan/plan_serde.h"
 #include "plan/signature.h"
 
@@ -44,7 +45,7 @@ Result<Interval> ParseInterval(const std::vector<std::string>& parts, size_t at)
 Result<std::string> DeepSeaEngine::SaveState() const {
   std::string out = "DEEPSEA-STATE 1\n";
   out += StrFormat("CLOCK %lld\n", static_cast<long long>(clock_));
-  for (const ViewInfo* view : views_.AllViews()) {
+  for (const ViewInfo* view : pool_.views().AllViews()) {
     if (!view->plan) continue;
     out += "VIEW\n";
     const std::string plan_text = SerializePlan(view->plan);
@@ -116,10 +117,11 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
     }
     DEEPSEA_ASSIGN_OR_RETURN(PlanPtr plan, DeserializePlan(plan_text));
     DEEPSEA_ASSIGN_OR_RETURN(PlanSignature sig, ComputeSignature(plan, *catalog_));
-    const bool known = views_.FindBySignature(sig.ToString()) != nullptr;
-    ViewInfo* view = views_.Track(plan, sig);
+    ViewCatalog* views = pool_.mutable_views();
+    const bool known = views->FindBySignature(sig.ToString()) != nullptr;
+    ViewInfo* view = views->Track(plan, sig);
     if (!known) {
-      RegisterViewTable(view);
+      pool_.RegisterViewTable(view);
       index_.Insert(view->signature, view->id);
     }
 
@@ -136,8 +138,8 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
       view->stats.cost_is_actual = parts[4] == "1";
       view->whole_materialized = parts[5] == "1";
       if (view->whole_materialized) {
-        fs_.Put(StrFormat("pool/%s/full", view->id.c_str()),
-                view->stats.size_bytes);
+        pool_.mutable_fs()->Put(StrFormat("pool/%s/full", view->id.c_str()),
+                                view->stats.size_bytes);
       }
       ++i;
     }
@@ -158,7 +160,7 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
         auto view_table = catalog_->Get(view->id);
         if (view_table.ok() &&
             (*view_table)->GetHistogram(parts[1]) == nullptr) {
-          auto hist = DeriveViewHistogram(*view, parts[1]);
+          auto hist = DeriveViewHistogram(*catalog_, options_, *view, parts[1]);
           if (hist.ok()) (*view_table)->SetHistogram(parts[1], *hist);
         }
       } else if (parts[0] == "PENDING" && parts.size() == 5 && part != nullptr) {
@@ -171,7 +173,8 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
         frag->materialized = parts[6] == "1";
         frag->hits.clear();
         if (frag->materialized) {
-          fs_.Put(FragmentPath(*view, part->attr, iv), frag->size_bytes);
+          pool_.mutable_fs()->Put(FragmentPath(*view, part->attr, iv),
+                                  frag->size_bytes);
         }
       } else if (parts[0] == "HIT" && parts.size() == 7 && frag != nullptr) {
         FragmentHit hit;

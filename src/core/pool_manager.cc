@@ -1,0 +1,282 @@
+#include "core/pool_manager.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/merge.h"
+#include "core/view_sizing.h"
+
+namespace deepsea {
+
+void PoolManager::RegisterViewTable(ViewInfo* view) {
+  if (catalog_->Contains(view->id)) return;
+  auto schema = view->plan->OutputSchema(*catalog_);
+  if (!schema.ok()) return;
+  auto est = estimator_->Estimate(view->plan);
+  if (!est.ok()) return;
+  const double compression = options_->view_storage_compression;
+  auto table = std::make_shared<Table>(view->id, *schema);
+  table->set_logical_row_count(static_cast<uint64_t>(std::max(est->out_rows, 0.0)));
+  table->set_avg_row_bytes(std::max(est->avg_row_bytes * compression, 1.0));
+  catalog_->Put(table);
+  // Initial (estimated) view statistics: S(V) and COST(V). COST is the
+  // cost of computing the defining plan plus writing its (compressed)
+  // output.
+  view->stats.size_bytes = est->out_bytes * compression;
+  view->stats.creation_cost =
+      est->seconds + cluster_->WriteSeconds(view->stats.size_bytes);
+}
+
+double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
+  // Determine the partition attribute: the one with pending state.
+  std::string attr;
+  for (const auto& [a, p] : view->partitions) {
+    (void)p;
+    attr = a;
+    break;
+  }
+  double extra_seconds = 0.0;
+  auto est = estimator_->Estimate(view->plan);
+  const double view_bytes = est.ok()
+                                ? est->out_bytes * options_->view_storage_compression
+                                : view->stats.size_bytes;
+  view->stats.size_bytes = view_bytes;
+  view->stats.size_is_actual = true;
+
+  if (attr.empty() || options_->strategy == StrategyKind::kNoPartition) {
+    // Whole-view materialization (NP).
+    fs_.Put(StrFormat("pool/%s/full", view->id.c_str()), view_bytes);
+    view->whole_materialized = true;
+    extra_seconds = cluster_->PartitionedWriteSeconds(view_bytes, 1);
+  } else {
+    PartitionState* part = view->GetPartition(attr);
+    std::vector<Interval> frags = ApplyFragmentBounds(
+        *catalog_, *options_, *view, attr,
+        InitialFragmentation(*catalog_, *options_, view, attr));
+    for (const Interval& iv : frags) {
+      const double bytes = FragmentBytes(*catalog_, *view, attr, iv);
+      FragmentStats* fstat = part->Track(iv, bytes);
+      fstat->size_bytes = bytes;
+      fstat->materialized = true;
+      fs_.Put(FragmentPath(*view, attr, iv), bytes);
+      ++report->created_fragments;
+      if (observer_ != nullptr) {
+        observer_->OnMaterializeFragment(*view, attr, iv, bytes);
+      }
+    }
+    extra_seconds = cluster_->PartitionedWriteSeconds(
+        view_bytes, static_cast<int64_t>(frags.size()));
+  }
+  // Actual creation cost: computing the defining plan (done as part of
+  // the instrumented query) plus the durable partitioned write.
+  view->stats.creation_cost =
+      (est.ok() ? est->seconds : view->stats.creation_cost) + extra_seconds;
+  view->stats.cost_is_actual = true;
+  report->created_views.push_back(view->id);
+  if (observer_ != nullptr) observer_->OnMaterializeView(*view, extra_seconds);
+  return extra_seconds;
+}
+
+double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
+                                        const Interval& iv,
+                                        const QueryContext& ctx,
+                                        QueryReport* report) {
+  const std::string& attr = part->attr;
+  double seconds = 0.0;
+  // Fragments currently materialized that overlap the new one. Tracked
+  // by interval, not pointer: Track() below may grow the fragment
+  // vector and invalidate references.
+  std::vector<Interval> parents;
+  std::vector<double> parent_bytes_to_read;
+  const bool cover_matches =
+      view->id == ctx.cover_view() && attr == ctx.cover_attr();
+  for (const FragmentStats& f : part->fragments) {
+    if (f.materialized && f.interval.Overlaps(iv) && f.interval != iv) {
+      parents.push_back(f.interval);
+      // Parents the current query's cover already read are free to
+      // re-scan: the partition operator forks the new fragment off the
+      // same map stream (repartitioning as a by-product of answering).
+      const bool read_by_query = cover_matches && ctx.CoverContains(f.interval);
+      if (!read_by_query) parent_bytes_to_read.push_back(f.size_bytes);
+    }
+  }
+  // Read the overlapping parents (not already streamed by the query) to
+  // extract the new fragment's rows.
+  seconds += cluster_->MapPhaseSeconds(parent_bytes_to_read);
+
+  const double bytes = FragmentBytes(*catalog_, *view, attr, iv);
+  FragmentStats* fstat = part->Track(iv, bytes);
+  fstat->size_bytes = bytes;
+  fstat->materialized = true;
+  fs_.Put(FragmentPath(*view, attr, iv), bytes);
+  ++report->created_fragments;
+  seconds += cluster_->PartitionedWriteSeconds(bytes, 1);
+  if (observer_ != nullptr) {
+    observer_->OnMaterializeFragment(*view, attr, iv, bytes);
+  }
+
+  if (!options_->overlapping_fragments) {
+    // Horizontal partitioning: the parents must be split — their whole
+    // content is rewritten as complement pieces and the parents evicted
+    // (Section 1, "Overlapping Fragments": the split cost DeepSea's
+    // overlapping mode avoids).
+    for (const Interval& p : parents) {
+      std::vector<Interval> pieces;
+      auto [left, rest] = p.SplitBefore(iv.lo);
+      if (!left.IsEmpty() && left.Width() > 0.0 && !iv.Contains(left)) {
+        pieces.push_back(left);
+      }
+      auto [rest2, right] = p.SplitAfter(iv.hi);
+      (void)rest;
+      (void)rest2;
+      if (!right.IsEmpty() && right.Width() > 0.0 && !iv.Contains(right)) {
+        pieces.push_back(right);
+      }
+      for (const Interval& piece : pieces) {
+        const double piece_bytes = FragmentBytes(*catalog_, *view, attr, piece);
+        FragmentStats* pstat = part->Track(piece, piece_bytes);
+        pstat->size_bytes = piece_bytes;
+        pstat->materialized = true;
+        fs_.Put(FragmentPath(*view, attr, piece), piece_bytes);
+        ++report->created_fragments;
+        seconds += cluster_->PartitionedWriteSeconds(piece_bytes, 1);
+        if (observer_ != nullptr) {
+          observer_->OnMaterializeFragment(*view, attr, piece, piece_bytes);
+        }
+      }
+      // Re-resolve the parent after the Track calls above (the fragment
+      // vector may have been reallocated).
+      FragmentStats* parent_stat = part->Find(p);
+      if (parent_stat != nullptr) {
+        EvictFragment(view, part, parent_stat);
+        --report->evicted_fragments;  // split, not a policy eviction
+      }
+    }
+  }
+  return seconds;
+}
+
+void PoolManager::EvictFragment(ViewInfo* view, PartitionState* part,
+                                FragmentStats* frag) {
+  if (!frag->materialized) return;
+  frag->materialized = false;
+  (void)fs_.Delete(FragmentPath(*view, part->attr, frag->interval));
+  if (observer_ != nullptr) {
+    observer_->OnEvict(*view, part->attr, frag->interval, frag->size_bytes);
+  }
+}
+
+void PoolManager::EvictWholeView(ViewInfo* view) {
+  if (!view->whole_materialized) return;
+  view->whole_materialized = false;
+  (void)fs_.Delete(StrFormat("pool/%s/full", view->id.c_str()));
+  if (observer_ != nullptr) {
+    observer_->OnEvict(*view, "", Interval(), view->stats.size_bytes);
+  }
+}
+
+void PoolManager::Apply(const SelectionDecision& decision,
+                        const QueryContext& ctx, QueryReport* report) {
+  // Admitted initial fragments are created together per view (one
+  // instrumented partitioned write). Keyed by ViewInfo pointer exactly
+  // as the pre-decomposition engine did, preserving charge order.
+  struct NewViewWork {
+    double bytes = 0.0;
+    int64_t count = 0;
+  };
+  std::map<ViewInfo*, NewViewWork> new_view_work;
+
+  for (const SelectionAction& a : decision.actions) {
+    switch (a.kind) {
+      case SelectionAction::Kind::kEvictWholeView:
+        EvictWholeView(a.view);
+        ++report->evicted_fragments;
+        break;
+      case SelectionAction::Kind::kEvictFragment: {
+        FragmentStats* f = a.part->Find(a.interval);
+        if (f != nullptr && f->materialized) {
+          EvictFragment(a.view, a.part, f);
+          ++report->evicted_fragments;
+        }
+        break;
+      }
+      case SelectionAction::Kind::kMaterializeView:
+        report->materialize_seconds += MaterializeView(a.view, report);
+        break;
+      case SelectionAction::Kind::kMaterializeRefinement:
+        report->materialize_seconds +=
+            MaterializeFragment(a.view, a.part, a.interval, ctx, report);
+        break;
+      case SelectionAction::Kind::kMaterializeViewFragment: {
+        FragmentStats* f = a.part->Find(a.interval);
+        if (f == nullptr || f->materialized) continue;
+        f->size_bytes = a.size_bytes;
+        f->materialized = true;
+        fs_.Put(FragmentPath(*a.view, a.part->attr, a.interval), a.size_bytes);
+        ++report->created_fragments;
+        if (observer_ != nullptr) {
+          observer_->OnMaterializeFragment(*a.view, a.part->attr, a.interval,
+                                           a.size_bytes);
+        }
+        NewViewWork& work = new_view_work[a.view];
+        work.bytes += a.size_bytes;
+        work.count += 1;
+        break;
+      }
+    }
+  }
+
+  for (auto& [view, work] : new_view_work) {
+    const double extra =
+        cluster_->PartitionedWriteSeconds(work.bytes, work.count);
+    report->materialize_seconds += extra;
+    auto est = estimator_->Estimate(view->plan);
+    if (est.ok()) {
+      view->stats.size_bytes = est->out_bytes * options_->view_storage_compression;
+      view->stats.size_is_actual = true;
+      view->stats.creation_cost = est->seconds + extra;
+      view->stats.cost_is_actual = true;
+    }
+    report->created_views.push_back(view->id);
+    if (observer_ != nullptr) observer_->OnMaterializeView(*view, extra);
+  }
+}
+
+double PoolManager::RunMergePass(double t_now, const DecayFunction& decay,
+                                 QueryReport* report) {
+  double seconds = 0.0;
+  int merges = 0;
+  auto candidates = FindMergeCandidates(&views_, options_->merge, t_now, decay);
+  for (const MergeCandidate& cand : candidates) {
+    if (merges >= options_->merge.max_merges_per_query) break;
+    FragmentStats& a = cand.part->fragments[cand.left_index];
+    FragmentStats& b = cand.part->fragments[cand.right_index];
+    if (!a.materialized || !b.materialized) continue;  // stale candidate
+    // Read both parents, write the merged fragment.
+    seconds += cluster_->MapPhaseSeconds({a.size_bytes, b.size_bytes});
+    const double merged_bytes = a.size_bytes + b.size_bytes;
+    seconds += cluster_->PartitionedWriteSeconds(merged_bytes, 1);
+    // Union the hit histories so the merged fragment keeps its record.
+    std::vector<FragmentHit> hits = a.hits;
+    hits.insert(hits.end(), b.hits.begin(), b.hits.end());
+    EvictFragment(cand.view, cand.part, &a);
+    EvictFragment(cand.view, cand.part, &b);
+    FragmentStats* merged = cand.part->Track(cand.merged, merged_bytes);
+    merged->size_bytes = merged_bytes;
+    merged->materialized = true;
+    if (merged->hits.empty()) merged->hits = std::move(hits);
+    fs_.Put(FragmentPath(*cand.view, cand.part->attr, cand.merged),
+            merged_bytes);
+    ++merges;
+    ++report->merged_fragments;
+    if (observer_ != nullptr) {
+      observer_->OnMerge(*cand.view, cand.part->attr, cand.merged,
+                         merged_bytes);
+    }
+  }
+  return seconds;
+}
+
+}  // namespace deepsea

@@ -1,0 +1,91 @@
+#ifndef DEEPSEA_CORE_POOL_MANAGER_H_
+#define DEEPSEA_CORE_POOL_MANAGER_H_
+
+#include <string>
+
+#include "catalog/table.h"
+#include "core/decay.h"
+#include "core/engine_observer.h"
+#include "core/engine_options.h"
+#include "core/query_context.h"
+#include "core/selection_planner.h"
+#include "core/view_catalog.h"
+#include "sim/cluster.h"
+#include "sim/cost_model.h"
+#include "storage/sim_fs.h"
+
+namespace deepsea {
+
+/// Stage 4 of the pipeline and the owner of all durable pool state: the
+/// view catalog (STAT) and the simulated file system. PoolManager is
+/// the only component that flips `materialized` flags, creates/deletes
+/// SimFs files, and charges materialization seconds — the planner
+/// stages merely read the pool and emit SelectionDecisions for Apply to
+/// execute. It also runs the Section 11 fragment-merge maintenance
+/// pass and registers view tables (estimated logical statistics) in the
+/// relational catalog.
+class PoolManager {
+ public:
+  PoolManager(Catalog* catalog, const EngineOptions* options,
+              const ClusterModel* cluster, const PlanCostEstimator* estimator)
+      : catalog_(catalog),
+        options_(options),
+        cluster_(cluster),
+        estimator_(estimator),
+        fs_(options->cluster.block_bytes) {}
+
+  const ViewCatalog& views() const { return views_; }
+  ViewCatalog* mutable_views() { return &views_; }
+  const SimFs& fs() const { return fs_; }
+  SimFs* mutable_fs() { return &fs_; }
+
+  /// Current pool occupancy in bytes (S(C)).
+  double PoolBytes() const { return views_.PoolBytes(); }
+
+  /// Observer for materialize/evict/merge events (nullptr = silent).
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Ensures `view` is registered as a relational catalog table with
+  /// estimated logical statistics (needed by the cost estimator).
+  void RegisterViewTable(ViewInfo* view);
+
+  /// Executes a SelectionDecision: evictions first, then
+  /// materializations. Charges report->materialize_seconds and updates
+  /// the created/evicted counters. `ctx` supplies the current query's
+  /// fragment cover (parents already read by the query are free to
+  /// re-scan during repartitioning).
+  void Apply(const SelectionDecision& decision, const QueryContext& ctx,
+             QueryReport* report);
+
+  /// Fragment-merging maintenance pass (Section 11 extension); returns
+  /// the simulated seconds charged.
+  double RunMergePass(double t_now, const DecayFunction& decay,
+                      QueryReport* report);
+
+  // --- creation / eviction primitives (used by Apply and by state
+  //     restore; exposed for direct stage tests) ---
+
+  /// Materializes `view` (initial partitioned creation). Returns the
+  /// extra simulated seconds charged.
+  double MaterializeView(ViewInfo* view, QueryReport* report);
+  /// Creates one refinement fragment (overlapping or by splitting).
+  double MaterializeFragment(ViewInfo* view, PartitionState* part,
+                             const Interval& iv, const QueryContext& ctx,
+                             QueryReport* report);
+  /// Evicts a fragment (or whole view) from the pool.
+  void EvictFragment(ViewInfo* view, PartitionState* part, FragmentStats* frag);
+  void EvictWholeView(ViewInfo* view);
+
+ private:
+  Catalog* catalog_;
+  const EngineOptions* options_;
+  const ClusterModel* cluster_;
+  const PlanCostEstimator* estimator_;
+  SimFs fs_;
+  ViewCatalog views_;
+  EngineObserver* observer_ = nullptr;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_POOL_MANAGER_H_

@@ -1,0 +1,77 @@
+#include "core/rewrite_planner.h"
+
+#include <set>
+#include <string>
+
+#include "plan/pushdown.h"
+
+namespace deepsea {
+
+Status RewritePlanner::PlanBase(QueryContext* ctx, QueryReport* report) {
+  ctx->base_plan = PushDownSelections(ctx->query, *catalog_);
+  DEEPSEA_ASSIGN_OR_RETURN(PlanCost base, estimator_->Estimate(ctx->base_plan));
+  report->base_seconds = base.seconds;
+  report->best_seconds = base.seconds;
+  report->map_tasks = base.map_tasks;
+  ctx->executed_plan = ctx->base_plan;
+  return Status::OK();
+}
+
+Status RewritePlanner::PlanBest(QueryContext* ctx, QueryReport* report) {
+  // 1. Rewritings over all tracked views (Alg. 1 line 1).
+  DEEPSEA_ASSIGN_OR_RETURN(std::vector<Rewriting> rewritings,
+                           matcher_->ComputeRewritings(ctx->query));
+  // 2. Statistics update (line 2).
+  UpdateStatsFromRewritings(rewritings, report->base_seconds, ctx->t_now());
+  // 3. Q_best: cheapest executable rewriting, if it beats the base
+  //    plan (line 3).
+  ctx->ClearCover();
+  for (const Rewriting& rw : rewritings) {
+    if (!rw.executable) continue;
+    if (rw.est_seconds < report->best_seconds) {
+      report->best_seconds = rw.est_seconds;
+      report->used_view = rw.view_id;
+      report->fragments_read = static_cast<int>(rw.fragments.size());
+      ctx->executed_plan = rw.plan;
+      ctx->SetCover(rw.view_id, rw.partition_attr, rw.fragments);
+      auto est = estimator_->Estimate(rw.plan);
+      if (est.ok()) report->map_tasks = est->map_tasks;
+    }
+    break;  // rewritings are sorted by estimated cost
+  }
+  return Status::OK();
+}
+
+void RewritePlanner::UpdateStatsFromRewritings(
+    const std::vector<Rewriting>& rewritings, double base_seconds,
+    double t_now) {
+  std::set<std::string> seen_views;
+  std::set<std::string> seen_partitions;
+  for (const Rewriting& rw : rewritings) {
+    ViewInfo* view = views_->Get(rw.view_id);
+    if (view == nullptr) continue;
+    // View benefit: once per view per query, using its best rewriting
+    // (the list is sorted by cost, so the first occurrence is best).
+    if (seen_views.insert(rw.view_id).second) {
+      const double saving = base_seconds - rw.est_seconds;
+      if (saving > 0.0) view->stats.RecordUse(t_now, saving);
+    }
+    // Fragment hits: every tracked fragment overlapping the query range
+    // "was or could have been used" (Section 7.1).
+    if (rw.has_query_range && !rw.partition_attr.empty()) {
+      const std::string pkey = rw.view_id + "/" + rw.partition_attr;
+      if (seen_partitions.insert(pkey).second) {
+        PartitionState* part = view->GetPartition(rw.partition_attr);
+        if (part != nullptr) {
+          for (FragmentStats& f : part->fragments) {
+            if (f.interval.Overlaps(rw.query_range)) {
+              f.RecordHit(t_now, rw.query_range);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace deepsea

@@ -1,0 +1,258 @@
+#include "core/selection_planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/partition_match.h"
+#include "core/policy.h"
+#include "core/view_sizing.h"
+
+namespace deepsea {
+
+SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
+                                                  double base_seconds) {
+  const double t_now = ctx.t_now();
+
+  struct Item {
+    enum Kind {
+      kPoolFragment,
+      kPoolWhole,
+      kNewView,          // whole-view creation (unpartitioned)
+      kNewViewFragment,  // one fragment of a view's initial partitioning
+      kNewFragment,      // refinement of an existing partition
+    } kind;
+    double value = 0.0;
+    double size = 0.0;
+    ViewInfo* view = nullptr;
+    PartitionState* part = nullptr;
+    Interval interval;
+  };
+  std::vector<Item> items;
+
+  // --- V_sel: filter view candidates by benefit >= cost (Section 7.2).
+  //     Partially materialized views stay eligible: their still-
+  //     uncovered planned fragments are offered every query (top-up).
+  for (const ViewCandidate& cand : ctx.view_candidates) {
+    ViewInfo* v = cand.view;
+    if (v->stats.size_bytes <= 0.0) continue;
+    const double benefit =
+        ViewBenefitForFilter(options_->value_model, v->stats, t_now, *decay_);
+    // Zero-benefit candidates (e.g. one-shot aggregate views that have
+    // never matched another query) are never admitted, even when the
+    // threshold is relaxed to force eager materialization.
+    if (benefit <= 0.0 ||
+        benefit < options_->benefit_cost_threshold * v->stats.creation_cost) {
+      continue;
+    }
+    // With a partition, the view enters the selection as individual
+    // fragments (the paper's "finer granularity of control", Section
+    // 1): under a tight pool only the valuable (hot) fragments are
+    // materialized. A view may carry partitions on several attributes
+    // (Section 4 permits multiple partitions per view); each offers its
+    // fragments independently.
+    if (v->partitions.empty() ||
+        options_->strategy == StrategyKind::kNoPartition) {
+      if (v->whole_materialized) continue;
+      Item it;
+      it.kind = Item::kNewView;
+      it.view = v;
+      it.size = v->stats.size_bytes;
+      it.value = ViewValue(options_->value_model, v->stats, t_now, *decay_);
+      items.push_back(it);
+      continue;
+    }
+    for (auto& [attr, part_ref] : v->partitions) {
+      PartitionState* part = &part_ref;
+      const std::vector<Interval> mats = part->MaterializedIntervals();
+      const std::vector<Interval> planned = ApplyFragmentBounds(
+          *catalog_, *options_, *v, attr,
+          InitialFragmentation(*catalog_, *options_, v, attr));
+      for (const Interval& iv : planned) {
+        // Skip planned pieces whose extent the pool already covers
+        // (exactly materialized, or covered by refinement fragments).
+        if (!mats.empty() && PartitionMatch(mats, iv).ok()) continue;
+        // Inherit hit history from tracked pieces the (possibly merged
+        // or split) planned fragment covers, so hot planned fragments
+        // carry their evidence into the ranking.
+        std::vector<FragmentHit> inherited;
+        if (part->Find(iv) == nullptr) {
+          for (const FragmentStats& p : part->fragments) {
+            if (iv.Contains(p.interval)) {
+              inherited.insert(inherited.end(), p.hits.begin(), p.hits.end());
+            }
+          }
+        }
+        FragmentStats* fstat =
+            part->Track(iv, FragmentBytes(*catalog_, *v, attr, iv));
+        if (fstat->hits.empty() && !inherited.empty()) fstat->hits = inherited;
+        if (fstat->materialized) continue;
+        fstat->size_bytes = FragmentBytes(*catalog_, *v, attr, iv);
+        // Top-up filter: once the view is in the pool, adding a fragment
+        // for a still-uncovered range requires recomputing the view's
+        // query (Section 7.1: the cost of a fragment not in the pool is
+        // the view's creation cost). Only top up when the accumulated
+        // hits on the range amortize that (mirrors the P_sel filter);
+        // initial creation admits the planned set as a unit.
+        if (v->InPool()) {
+          const double hits = fstat->DecayedHits(t_now, *decay_);
+          const double read_cost =
+              cluster_->MapPhaseSeconds({fstat->size_bytes}) +
+              2.0 * cluster_->config().job_startup_seconds;
+          const double per_hit_saving =
+              std::max(0.0, base_seconds - read_cost);
+          if (hits * per_hit_saving <
+              options_->fragment_benefit_threshold * v->stats.creation_cost) {
+            continue;
+          }
+        }
+        Item it;
+        it.kind = Item::kNewViewFragment;
+        it.view = v;
+        it.part = part;
+        it.interval = iv;
+        it.size = fstat->size_bytes;
+        it.value = FragmentValue(options_->value_model, *fstat,
+                                 v->stats.size_bytes, v->stats.creation_cost,
+                                 t_now, *decay_);
+        items.push_back(it);
+      }
+    }
+  }
+
+  // --- MLE smoothing per partition (computed once, reused below).
+  const bool use_mle = options_->use_mle_smoothing &&
+                       options_->value_model == ValueModel::kDeepSea;
+  std::map<const PartitionState*, MleFragmentModel::AdjustedHits> adjusted;
+  auto adjusted_hits_for = [&](const PartitionState* part,
+                               const FragmentStats* frag) -> double {
+    if (!use_mle) return -1.0;
+    auto it = adjusted.find(part);
+    if (it == adjusted.end()) {
+      it = adjusted
+               .emplace(part, mle_->Adjust(part->fragments, part->domain,
+                                           t_now, *decay_))
+               .first;
+    }
+    const auto& adj = it->second;
+    for (size_t i = 0; i < part->fragments.size(); ++i) {
+      if (&part->fragments[i] == frag) return adj.hits[i];
+    }
+    return -1.0;
+  };
+
+  // --- P_sel: filter refinement candidates by benefit >= cost.
+  for (const FragmentCandidate& fc : ctx.fragment_candidates) {
+    PartitionState* part = fc.view->GetPartition(fc.attr);
+    if (part == nullptr) continue;
+    FragmentStats* fstat = part->Find(fc.interval);
+    if (fstat == nullptr || fstat->materialized) continue;
+    const double adj = adjusted_hits_for(part, fstat);
+    const double hits =
+        adj >= 0.0 ? adj : fstat->DecayedHits(t_now, *decay_);
+    // Marginal admission: expected read-time saving over the current
+    // cover must amortize the creation cost (see FragmentCandidate doc).
+    const double benefit = hits * fc.per_hit_saving_seconds;
+    if (benefit < options_->fragment_benefit_threshold * fc.est_cost_seconds) {
+      continue;
+    }
+    Item it;
+    it.kind = Item::kNewFragment;
+    it.view = fc.view;
+    it.part = part;
+    it.interval = fc.interval;
+    it.size = fc.est_bytes;
+    it.value = FragmentValue(options_->value_model, *fstat,
+                             fc.view->stats.size_bytes,
+                             fc.view->stats.creation_cost, t_now, *decay_, adj);
+    items.push_back(it);
+  }
+
+  // --- Existing pool content: every materialized fragment / whole view
+  //     partakes individually (Section 7.3).
+  for (ViewInfo* v : views_->AllViews()) {
+    if (v->whole_materialized) {
+      Item it;
+      it.kind = Item::kPoolWhole;
+      it.view = v;
+      it.size = v->stats.size_bytes;
+      it.value = ViewValue(options_->value_model, v->stats, t_now, *decay_);
+      items.push_back(it);
+    }
+    for (auto& [attr, part] : v->partitions) {
+      (void)attr;
+      for (FragmentStats& f : part.fragments) {
+        if (!f.materialized) continue;
+        Item it;
+        it.kind = Item::kPoolFragment;
+        it.view = v;
+        it.part = &part;
+        it.interval = f.interval;
+        it.size = f.size_bytes;
+        it.value = FragmentValue(options_->value_model, f, v->stats.size_bytes,
+                                 v->stats.creation_cost, t_now, *decay_,
+                                 adjusted_hits_for(&part, &f));
+        items.push_back(it);
+      }
+    }
+  }
+
+  // --- Greedy knapsack by value (Section 7.3).
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.value > b.value; });
+  double budget = options_->pool_limit_bytes;
+  std::vector<const Item*> admit;
+  std::vector<const Item*> reject;
+  for (const Item& it : items) {
+    if (it.size <= budget) {
+      admit.push_back(&it);
+      budget -= it.size;
+    } else {
+      reject.push_back(&it);
+    }
+  }
+
+  // Declarative decision: evict rejected pool content first (frees the
+  // simulated FS), then materialize admitted new content in greedy
+  // order. Admitted pool content and rejected new candidates need no
+  // action.
+  SelectionDecision decision;
+  for (const Item* it : reject) {
+    if (it->kind == Item::kPoolWhole) {
+      SelectionAction a;
+      a.kind = SelectionAction::Kind::kEvictWholeView;
+      a.view = it->view;
+      decision.actions.push_back(a);
+    } else if (it->kind == Item::kPoolFragment) {
+      SelectionAction a;
+      a.kind = SelectionAction::Kind::kEvictFragment;
+      a.view = it->view;
+      a.part = it->part;
+      a.interval = it->interval;
+      decision.actions.push_back(a);
+    }
+  }
+  for (const Item* it : admit) {
+    SelectionAction a;
+    a.view = it->view;
+    a.part = it->part;
+    a.interval = it->interval;
+    a.size_bytes = it->size;
+    switch (it->kind) {
+      case Item::kNewView:
+        a.kind = SelectionAction::Kind::kMaterializeView;
+        break;
+      case Item::kNewViewFragment:
+        a.kind = SelectionAction::Kind::kMaterializeViewFragment;
+        break;
+      case Item::kNewFragment:
+        a.kind = SelectionAction::Kind::kMaterializeRefinement;
+        break;
+      default:
+        continue;  // pool content that stays: nothing to do
+    }
+    decision.actions.push_back(a);
+  }
+  return decision;
+}
+
+}  // namespace deepsea

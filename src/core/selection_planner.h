@@ -1,0 +1,84 @@
+#ifndef DEEPSEA_CORE_SELECTION_PLANNER_H_
+#define DEEPSEA_CORE_SELECTION_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "core/decay.h"
+#include "core/engine_options.h"
+#include "core/mle_model.h"
+#include "core/query_context.h"
+#include "core/view_catalog.h"
+#include "sim/cluster.h"
+
+namespace deepsea {
+
+/// One pool mutation chosen by the greedy selection. Actions reference
+/// live STAT entries (view/partition pointers stay valid: ViewCatalog
+/// stores views behind unique_ptr and partitions in a node-stable map),
+/// but fragment entries are re-resolved by interval at apply time
+/// because applying earlier actions may grow the fragment vectors.
+struct SelectionAction {
+  enum class Kind {
+    kEvictWholeView,           ///< drop an NP-style whole view
+    kEvictFragment,            ///< drop one materialized fragment
+    kMaterializeView,          ///< whole-view creation (unpartitioned)
+    kMaterializeViewFragment,  ///< one fragment of a view's initial partitioning
+    kMaterializeRefinement,    ///< refinement of an existing partition
+  };
+  Kind kind;
+  ViewInfo* view = nullptr;
+  PartitionState* part = nullptr;  ///< null for whole-view actions
+  Interval interval;               ///< unused for whole-view actions
+  double size_bytes = 0.0;         ///< estimated bytes (new content only)
+};
+
+/// The declarative outcome of one selection round (Section 7.3): the
+/// actions are ordered for application — evictions first (freeing the
+/// simulated FS), then materializations in greedy-value order.
+/// PoolManager::Apply executes them; nothing is mutated in the pool
+/// until then.
+struct SelectionDecision {
+  std::vector<SelectionAction> actions;
+
+  bool empty() const { return actions.empty(); }
+};
+
+/// Stage 3 of the pipeline: benefit/cost filtering of the candidates
+/// (Section 7.2) followed by the greedy knapsack over
+/// ALLCAND = V_sel ∪ P_sel ∪ pool content under S_max (Section 7.3).
+/// Planning updates candidate *statistics* tracking (fragments entering
+/// STAT, inherited hit histories) — that is the paper's bookkeeping —
+/// but leaves all pool state (materialized flags, SimFs files, charged
+/// seconds) to PoolManager::Apply.
+class SelectionPlanner {
+ public:
+  SelectionPlanner(const Catalog* catalog, const EngineOptions* options,
+                   const ClusterModel* cluster, const DecayFunction* decay,
+                   MleFragmentModel* mle, ViewCatalog* views)
+      : catalog_(catalog),
+        options_(options),
+        cluster_(cluster),
+        decay_(decay),
+        mle_(mle),
+        views_(views) {}
+
+  /// Produces this query's reconfiguration decision. `base_seconds` is
+  /// the query's conventional-plan cost (drives the fragment top-up
+  /// filter).
+  SelectionDecision PlanSelection(const QueryContext& ctx,
+                                  double base_seconds);
+
+ private:
+  const Catalog* catalog_;
+  const EngineOptions* options_;
+  const ClusterModel* cluster_;
+  const DecayFunction* decay_;
+  MleFragmentModel* mle_;
+  ViewCatalog* views_;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_SELECTION_PLANNER_H_

@@ -1,0 +1,173 @@
+#include "core/view_sizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace deepsea {
+
+Result<Interval> ColumnDomain(const Catalog& catalog,
+                              const std::string& column) {
+  const size_t pos = column.rfind('.');
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("unqualified partition column: " + column);
+  }
+  const std::string table_name = column.substr(0, pos);
+  DEEPSEA_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(table_name));
+  const AttributeHistogram* hist = table->GetHistogram(column);
+  if (hist != nullptr) return hist->domain();
+  return table->SampleMinMax(column);
+}
+
+double RangeFractionOfBaseColumn(const Catalog& catalog,
+                                 const std::string& column,
+                                 const Interval& iv) {
+  const size_t pos = column.rfind('.');
+  if (pos == std::string::npos) return 1.0;
+  auto table = catalog.Get(column.substr(0, pos));
+  if (!table.ok()) return 1.0;
+  const AttributeHistogram* hist = (*table)->GetHistogram(column);
+  if (hist == nullptr || hist->empty()) return 1.0;
+  return hist->FractionInRange(iv);
+}
+
+Result<AttributeHistogram> DeriveViewHistogram(const Catalog& catalog,
+                                               const EngineOptions& options,
+                                               const ViewInfo& view,
+                                               const std::string& attr) {
+  const size_t pos = attr.rfind('.');
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("unqualified partition column: " + attr);
+  }
+  const std::string table_name = attr.substr(0, pos);
+  DEEPSEA_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(table_name));
+  auto view_table = catalog.Get(view.id);
+  const double view_rows =
+      view_table.ok() ? static_cast<double>((*view_table)->logical_row_count())
+                      : 0.0;
+  const AttributeHistogram* hist = table->GetHistogram(attr);
+  if (hist != nullptr && !hist->empty()) {
+    AttributeHistogram out = *hist;
+    if (view_rows > 0.0) out.NormalizeTo(view_rows);
+    return out;
+  }
+  // Fall back to a uniform distribution over the sample domain.
+  DEEPSEA_ASSIGN_OR_RETURN(Interval domain, table->SampleMinMax(attr));
+  AttributeHistogram out(domain, options.view_histogram_bins);
+  out.AddRange(domain, std::max(view_rows, 1.0));
+  return out;
+}
+
+double FragmentBytes(const Catalog& catalog, const ViewInfo& view,
+                     const std::string& attr, const Interval& iv) {
+  auto view_table = catalog.Get(view.id);
+  if (!view_table.ok()) return 0.0;
+  const AttributeHistogram* hist = (*view_table)->GetHistogram(attr);
+  const double total = view.stats.size_bytes;
+  if (hist != nullptr && !hist->empty()) {
+    return hist->FractionInRange(iv) * total;
+  }
+  const auto* part = view.GetPartition(attr);
+  if (part != nullptr && part->domain.Width() > 0.0) {
+    return iv.OverlapWidth(part->domain) / part->domain.Width() * total;
+  }
+  return total;
+}
+
+double EstimateCandidateBytes(const PartitionState& part, const Interval& iv) {
+  // Paper Section 7.2: assume uniformity within each overlapping
+  // fragment and sum relative overlaps.
+  double est = 0.0;
+  for (const FragmentStats& f : part.fragments) {
+    if (!f.materialized) continue;
+    const double w = f.interval.Width();
+    if (w <= 0.0) continue;
+    est += f.interval.OverlapWidth(iv) / w * f.size_bytes;
+  }
+  return est;
+}
+
+std::string FragmentPath(const ViewInfo& view, const std::string& attr,
+                         const Interval& iv) {
+  return StrFormat("pool/%s/%s/%s", view.id.c_str(), attr.c_str(),
+                   iv.ToString().c_str());
+}
+
+std::vector<Interval> InitialFragmentation(const Catalog& catalog,
+                                           const EngineOptions& options,
+                                           ViewInfo* view,
+                                           const std::string& attr) {
+  PartitionState* part = view->GetPartition(attr);
+  if (part == nullptr) return {};
+  if (options.strategy == StrategyKind::kEquiDepth) {
+    auto view_table = catalog.Get(view->id);
+    std::vector<double> bounds;
+    if (view_table.ok()) {
+      const AttributeHistogram* hist = (*view_table)->GetHistogram(attr);
+      if (hist != nullptr) {
+        bounds = hist->EquiDepthBoundaries(options.equi_depth_fragments);
+      }
+    }
+    if (bounds.size() < 2) {
+      const auto pieces = part->domain.SplitEqual(options.equi_depth_fragments);
+      return pieces;
+    }
+    std::vector<Interval> out;
+    for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+      const bool last = i + 2 == bounds.size();
+      out.push_back(Interval(bounds[i], bounds[i + 1], /*lo_inc=*/true,
+                             /*hi_inc=*/last));
+    }
+    return out;
+  }
+  if (options.strategy == StrategyKind::kNoPartition) {
+    return {part->domain};
+  }
+  // DeepSea / NoRefine: the workload-aware pending fragmentation.
+  if (part->pending.empty()) return {part->domain};
+  std::vector<Interval> out = part->pending;
+  std::sort(out.begin(), out.end(), IntervalLess);
+  return out;
+}
+
+std::vector<Interval> ApplyFragmentBounds(const Catalog& catalog,
+                                          const EngineOptions& options,
+                                          const ViewInfo& view,
+                                          const std::string& attr,
+                                          std::vector<Interval> frags) {
+  // Upper bound phi: split oversized fragments into equi-size pieces.
+  if (options.max_fragment_fraction > 0.0) {
+    const double limit = options.max_fragment_fraction * view.stats.size_bytes;
+    std::vector<Interval> split;
+    for (const Interval& f : frags) {
+      const double bytes = FragmentBytes(catalog, view, attr, f);
+      if (bytes > limit && limit > 0.0) {
+        const int pieces = static_cast<int>(std::ceil(bytes / limit));
+        for (const Interval& p : f.SplitEqual(pieces)) split.push_back(p);
+      } else {
+        split.push_back(f);
+      }
+    }
+    frags = std::move(split);
+  }
+  // Lower bound: merge adjacent fragments smaller than a block.
+  if (options.enforce_block_lower_bound && frags.size() > 1) {
+    std::sort(frags.begin(), frags.end(), IntervalLess);
+    std::vector<Interval> merged;
+    for (const Interval& f : frags) {
+      if (!merged.empty() &&
+          FragmentBytes(catalog, view, attr, merged.back()) <
+              options.cluster.block_bytes) {
+        Interval& prev = merged.back();
+        prev = Interval(prev.lo, f.hi, prev.lo_inclusive, f.hi_inclusive);
+      } else {
+        merged.push_back(f);
+      }
+    }
+    frags = std::move(merged);
+  }
+  return frags;
+}
+
+}  // namespace deepsea

@@ -6,12 +6,13 @@
 
 namespace deepsea {
 
-Result<RunResult> ExperimentRunner::Run(
-    const StrategySpec& strategy,
-    const std::vector<WorkloadQuery>& workload) const {
+Result<RunResult> ExperimentRunner::Run(const StrategySpec& strategy,
+                                        const std::vector<WorkloadQuery>& workload,
+                                        EngineObserver* observer) const {
   Catalog catalog;
   DEEPSEA_RETURN_IF_ERROR(BigBenchDataset::Generate(data_options_, &catalog));
   DeepSeaEngine engine(&catalog, strategy.options);
+  if (observer != nullptr) engine.set_observer(observer);
 
   RunResult out;
   out.label = strategy.label;

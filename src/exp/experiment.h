@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "core/engine.h"
+#include "core/engine_observer.h"
 #include "workload/bigbench.h"
 
 namespace deepsea {
@@ -48,9 +49,13 @@ class ExperimentRunner {
 
   const BigBenchDataset::Options& data_options() const { return data_options_; }
 
-  /// Runs `workload` under `strategy` on a fresh catalog.
+  /// Runs `workload` under `strategy` on a fresh catalog. When
+  /// `observer` is non-null it is attached to the engine for the run
+  /// (e.g. a TraceObserver collecting per-query telemetry and
+  /// per-stage timing; see exp/trace.h).
   Result<RunResult> Run(const StrategySpec& strategy,
-                        const std::vector<WorkloadQuery>& workload) const;
+                        const std::vector<WorkloadQuery>& workload,
+                        EngineObserver* observer = nullptr) const;
 
   /// Total logical bytes of the base tables (for pool-size fractions).
   Result<double> BaseTableBytes() const;

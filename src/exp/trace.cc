@@ -65,4 +65,67 @@ double QueryTrace::CumulativeSeconds(const std::string& label) const {
   return 0.0;
 }
 
+void TraceObserver::OnStageEnd(EngineStage stage, const QueryContext& ctx,
+                               double sim_seconds, double wall_seconds) {
+  (void)ctx;
+  StageStats& s = stages_[static_cast<size_t>(stage)];
+  ++s.calls;
+  s.sim_seconds += sim_seconds;
+  s.wall_seconds += wall_seconds;
+}
+
+void TraceObserver::OnMaterializeView(const ViewInfo& view,
+                                      double sim_seconds) {
+  (void)view;
+  (void)sim_seconds;
+  ++views_materialized_;
+}
+
+void TraceObserver::OnMaterializeFragment(const ViewInfo& view,
+                                          const std::string& attr,
+                                          const Interval& interval,
+                                          double bytes) {
+  (void)view;
+  (void)attr;
+  (void)interval;
+  (void)bytes;
+  ++fragments_materialized_;
+}
+
+void TraceObserver::OnEvict(const ViewInfo& view, const std::string& attr,
+                            const Interval& interval, double bytes) {
+  (void)view;
+  (void)attr;
+  (void)interval;
+  (void)bytes;
+  ++evictions_;
+}
+
+void TraceObserver::OnMerge(const ViewInfo& view, const std::string& attr,
+                            const Interval& merged, double bytes) {
+  (void)view;
+  (void)attr;
+  (void)merged;
+  (void)bytes;
+  ++merges_;
+}
+
+void TraceObserver::OnQueryEnd(const QueryReport& report) {
+  ++queries_;
+  if (trace_ != nullptr) trace_->Record(label_, report);
+}
+
+std::string TraceObserver::StageSummaryCsv() const {
+  std::string out = "label,stage,calls,sim_s,wall_s\n";
+  for (size_t i = 0; i < kStageCount; ++i) {
+    const StageStats& s = stages_[i];
+    if (s.calls == 0) continue;
+    out += StrFormat("%s,%s,%lld,%.3f,%.6f\n", label_.c_str(),
+                     EngineStageName(static_cast<EngineStage>(i)),
+                     static_cast<long long>(s.calls), s.sim_seconds,
+                     s.wall_seconds);
+  }
+  return out;
+}
+
 }  // namespace deepsea

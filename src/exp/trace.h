@@ -1,10 +1,12 @@
 #ifndef DEEPSEA_EXP_TRACE_H_
 #define DEEPSEA_EXP_TRACE_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/engine_observer.h"
 
 namespace deepsea {
 
@@ -50,6 +52,63 @@ class QueryTrace {
     double pool_bytes;
   };
   std::vector<TraceRow> rows_;
+};
+
+/// EngineObserver that feeds a QueryTrace: attach it to an engine via
+/// `engine.set_observer(&obs)` and every processed query lands in the
+/// trace automatically — no per-query Record calls in the driver. On
+/// top of the per-query CSV rows it aggregates per-stage simulated and
+/// wall-clock time plus pool-mutation counts across the run.
+class TraceObserver : public EngineObserver {
+ public:
+  /// `trace` may be null: the observer then only aggregates stage
+  /// timings (useful for profiling without telemetry rows).
+  TraceObserver(std::string label, QueryTrace* trace)
+      : label_(std::move(label)), trace_(trace) {}
+
+  void OnStageEnd(EngineStage stage, const QueryContext& ctx,
+                  double sim_seconds, double wall_seconds) override;
+  void OnMaterializeView(const ViewInfo& view, double sim_seconds) override;
+  void OnMaterializeFragment(const ViewInfo& view, const std::string& attr,
+                             const Interval& interval, double bytes) override;
+  void OnEvict(const ViewInfo& view, const std::string& attr,
+               const Interval& interval, double bytes) override;
+  void OnMerge(const ViewInfo& view, const std::string& attr,
+               const Interval& merged, double bytes) override;
+  void OnQueryEnd(const QueryReport& report) override;
+
+  /// Cumulative timing of one pipeline stage across all queries seen.
+  struct StageStats {
+    int64_t calls = 0;
+    double sim_seconds = 0.0;
+    double wall_seconds = 0.0;
+  };
+  const StageStats& stage(EngineStage s) const {
+    return stages_[static_cast<size_t>(s)];
+  }
+
+  int64_t queries() const { return queries_; }
+  int64_t views_materialized() const { return views_materialized_; }
+  int64_t fragments_materialized() const { return fragments_materialized_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t merges() const { return merges_; }
+
+  /// CSV of the stage aggregates:
+  /// label,stage,calls,sim_s,wall_s
+  std::string StageSummaryCsv() const;
+
+ private:
+  static constexpr size_t kStageCount =
+      static_cast<size_t>(EngineStage::kPhysical) + 1;
+
+  std::string label_;
+  QueryTrace* trace_;
+  std::array<StageStats, kStageCount> stages_{};
+  int64_t queries_ = 0;
+  int64_t views_materialized_ = 0;
+  int64_t fragments_materialized_ = 0;
+  int64_t evictions_ = 0;
+  int64_t merges_ = 0;
 };
 
 }  // namespace deepsea

@@ -1,0 +1,166 @@
+// Golden-trace regression test: a fixed 200-query SDSS-patterned
+// workload is run through ProcessQuery under the DS, NP and Nectar+
+// strategies, and the full QueryReport sequence is compared field by
+// field against a checked-in golden file. The golden file was recorded
+// at the pre-pipeline-refactor commit; any semantic drift in Algorithm 1
+// (rewriting choice, candidate generation, selection, materialization
+// charging, eviction) shows up as a line diff here.
+//
+// Regenerate (only when a behaviour change is *intended*):
+//   DEEPSEA_REGEN_GOLDEN=1 ./golden_trace_test
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "core/engine.h"
+#include "workload/bigbench.h"
+#include "workload/sdss.h"
+
+namespace deepsea {
+namespace {
+
+#ifndef DEEPSEA_GOLDEN_DIR
+#define DEEPSEA_GOLDEN_DIR "tests/golden"
+#endif
+
+constexpr int kQueries = 200;
+constexpr uint64_t kSeed = 2017;
+
+// Mirrors bench/bench_util.h BaseOptions(): the paper-experiment
+// configuration (eager admission, fragment-size bounding on).
+EngineOptions BaseOptions() {
+  EngineOptions o;
+  o.benefit_cost_threshold = 0.02;
+  o.enforce_block_lower_bound = true;
+  o.max_fragment_fraction = 0.1;
+  return o;
+}
+
+struct GoldenStrategy {
+  const char* label;
+  EngineOptions options;
+};
+
+std::vector<GoldenStrategy> Strategies() {
+  GoldenStrategy ds{"DS", BaseOptions()};
+  ds.options.strategy = StrategyKind::kDeepSea;
+  GoldenStrategy np{"NP", BaseOptions()};
+  np.options.strategy = StrategyKind::kNoPartition;
+  GoldenStrategy nplus{"N+", BaseOptions()};
+  nplus.options.value_model = ValueModel::kNectarPlus;
+  nplus.options.use_mle_smoothing = false;
+  return {ds, np, nplus};
+}
+
+// The Section 10.1 workload shape: SDSS selection ranges mapped onto
+// item_sk over randomly chosen join templates (same construction as
+// bench::SdssWorkload, pinned here so bench tweaks cannot silently
+// invalidate the golden file).
+struct GoldenQuery {
+  std::string template_name;
+  Interval range;
+};
+
+std::vector<GoldenQuery> Workload() {
+  SdssTraceModel sdss(SdssTraceModel::Config{}, kSeed);
+  const auto trace = sdss.GenerateTrace(kQueries);
+  const Interval ra(-20.0, 400.0);
+  const Interval item_sk(0.0, 400000.0);
+  Rng rng(kSeed + 1);
+  const auto names = BigBenchTemplates::Names();
+  std::vector<GoldenQuery> out;
+  out.reserve(trace.size());
+  for (const Interval& r : trace) {
+    const std::string& name =
+        names[static_cast<size_t>(rng.UniformInt(0, names.size() - 1))];
+    out.push_back({name, SdssTraceModel::MapRange(r, ra, item_sk)});
+  }
+  return out;
+}
+
+BigBenchDataset::Options DataOptions() {
+  BigBenchDataset::Options o;
+  o.total_bytes = 100e9;
+  o.sample_rows_per_fact = 256;
+  o.sample_rows_per_dim = 64;
+  o.seed = 7;
+  SdssTraceModel sdss(SdssTraceModel::Config{}, kSeed);
+  o.item_sk_distribution = sdss.AccessDensity(420);
+  return o;
+}
+
+// One line per QueryReport capturing every field that the simulator
+// derives from Algorithm 1 decisions. Doubles use %.17g: bit-identical
+// round-trip, so any floating-point divergence is caught.
+std::string FormatReport(const std::string& label, const QueryReport& r) {
+  std::string created;
+  for (size_t i = 0; i < r.created_views.size(); ++i) {
+    if (i > 0) created += ";";
+    created += r.created_views[i];
+  }
+  return StrFormat(
+      "%s,%lld,%.17g,%.17g,%.17g,%.17g,%s,%d,%s,%d,%d,%d,%.17g", label.c_str(),
+      static_cast<long long>(r.query_index), r.base_seconds, r.best_seconds,
+      r.materialize_seconds, r.total_seconds, r.used_view.c_str(),
+      r.fragments_read, created.c_str(), r.created_fragments,
+      r.evicted_fragments, r.merged_fragments, r.pool_bytes_after);
+}
+
+std::vector<std::string> ComputeTrace() {
+  const auto workload = Workload();
+  std::vector<std::string> lines;
+  lines.reserve(workload.size() * 3);
+  for (const GoldenStrategy& strat : Strategies()) {
+    // Fresh catalog per strategy (identical seed => identical data), as
+    // in ExperimentRunner: strategies never share state.
+    Catalog catalog;
+    Status gen = BigBenchDataset::Generate(DataOptions(), &catalog);
+    EXPECT_TRUE(gen.ok()) << gen.ToString();
+    DeepSeaEngine engine(&catalog, strat.options);
+    for (const GoldenQuery& q : workload) {
+      auto plan = BigBenchTemplates::Build(q.template_name, q.range.lo,
+                                           q.range.hi);
+      EXPECT_TRUE(plan.ok());
+      auto report = engine.ProcessQuery(*plan);
+      EXPECT_TRUE(report.ok()) << report.status().ToString();
+      lines.push_back(FormatReport(strat.label, *report));
+    }
+  }
+  return lines;
+}
+
+TEST(GoldenTraceTest, ReportsMatchPreRefactorTrace) {
+  const std::string path =
+      std::string(DEEPSEA_GOLDEN_DIR) + "/engine_trace_200.golden";
+  const std::vector<std::string> actual = ComputeTrace();
+
+  if (std::getenv("DEEPSEA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (const std::string& line : actual) out << line << "\n";
+    GTEST_SKIP() << "regenerated " << path << " (" << actual.size()
+                 << " lines)";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << "; run with DEEPSEA_REGEN_GOLDEN=1 to create it";
+  std::vector<std::string> golden;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) golden.push_back(line);
+  }
+  ASSERT_EQ(actual.size(), golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(actual[i], golden[i]) << "trace diverges at line " << i;
+  }
+}
+
+}  // namespace
+}  // namespace deepsea

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/candidates.h"
 #include "core/engine.h"
 #include "plan/pushdown.h"
 #include "plan/signature.h"
