@@ -57,7 +57,7 @@ void CandidateGenerator::RegisterViewCandidates(const PlanPtr& candidate_plan,
                                2.0 * cluster_->config().job_startup_seconds +
                                cluster_->ShuffleSeconds(read_bytes);
       const double saving = base_seconds - est_reuse;
-      if (saving > 0.0) view->stats.RecordUse(t_now, saving);
+      if (saving > 0.0) view->stats.RecordUse(t_now, saving, ctx->tenant_ord());
     }
   }
 }
@@ -130,7 +130,9 @@ void CandidateGenerator::RegisterPartitionCandidates(QueryContext* ctx) {
         // range count the current query as a hit.
         for (const Interval& p : pieces) {
           FragmentStats* tracked = part->Track(p, /*est_size_bytes=*/0.0);
-          if (p.Overlaps(range)) tracked->RecordHit(t_now, range);
+          if (p.Overlaps(range)) {
+            tracked->RecordHit(t_now, range, ctx->tenant_ord());
+          }
         }
       }
       part->pending = std::move(next);
@@ -149,7 +151,7 @@ void CandidateGenerator::RegisterPartitionCandidates(QueryContext* ctx) {
       FragmentStats* fstat = part->Track(cand, est_bytes);
       if (fstat->materialized) continue;
       fstat->size_bytes = est_bytes;
-      if (cand.Overlaps(range)) fstat->RecordHit(t_now, range);
+      if (cand.Overlaps(range)) fstat->RecordHit(t_now, range, ctx->tenant_ord());
       // COST(I_cand): read the overlapping materialized fragments,
       // write the new fragment (Section 7.2; w_write >> w_read).
       std::vector<double> read_files;

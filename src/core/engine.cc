@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <chrono>
+#include <utility>
 
 namespace deepsea {
 
@@ -41,35 +42,70 @@ class StageScope {
 
 DeepSeaEngine::DeepSeaEngine(Catalog* catalog, EngineOptions options)
     : catalog_(catalog),
-      options_(options),
-      cluster_(options.cluster),
-      estimator_(&cluster_, catalog, options.estimator),
-      decay_(options.decay),
-      mle_(options.mle),
+      options_(std::move(options)),
+      cluster_(options_.cluster),
+      estimator_(&cluster_, catalog, options_.estimator),
+      decay_(options_.decay),
+      mle_(options_.mle),
       executor_(catalog),
-      pool_(catalog, &options_, &cluster_, &estimator_),
-      rewrite_planner_(catalog, &estimator_, pool_.mutable_views(), &index_),
-      candidate_generator_(catalog, &options_, &cluster_, pool_.mutable_views(),
-                           &index_, &pool_),
-      selection_planner_(catalog, &options_, &cluster_, &decay_, &mle_,
-                         pool_.mutable_views()) {}
+      owned_pool_(std::make_unique<PoolManager>(catalog, &options_, &cluster_,
+                                                &estimator_)),
+      pool_(owned_pool_.get()) {
+  InitStages();
+}
+
+DeepSeaEngine::DeepSeaEngine(Catalog* catalog, SharedPool* pool,
+                             std::string tenant)
+    : catalog_(catalog),
+      options_(pool->options()),
+      cluster_(options_.cluster),
+      estimator_(&cluster_, catalog, options_.estimator),
+      decay_(options_.decay),
+      mle_(options_.mle),
+      executor_(catalog),
+      pool_(pool->pool()),
+      tenant_(std::move(tenant)),
+      tenant_ord_(pool_->InternTenant(tenant_)) {
+  InitStages();
+}
+
+void DeepSeaEngine::InitStages() {
+  // The planners hold pointers into the pool's catalog / index; a brief
+  // commit section proves exclusive access while we take them.
+  CommitGuard commit = pool_->BeginCommit();
+  ViewCatalog* stat = pool_->stat(commit);
+  FilterTree* index = pool_->rewrite_index(commit);
+  rewrite_planner_ =
+      std::make_unique<RewritePlanner>(catalog_, &estimator_, stat, index);
+  candidate_generator_ = std::make_unique<CandidateGenerator>(
+      catalog_, &options_, &cluster_, stat, index, pool_);
+  selection_planner_ = std::make_unique<SelectionPlanner>(
+      catalog_, &options_, &cluster_, &decay_, &mle_, stat);
+}
 
 Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
-  ++clock_;
+  // The whole pipeline is one exclusive commit: the planning stages
+  // mutate shared statistics (Algorithm 1 line 2), so concurrent
+  // tenants serialize end to end and the pool state after a workload is
+  // a function of the commit order alone. The guard also routes pool
+  // mutation events to this engine's observer, stamped with its tenant.
+  CommitGuard commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
+  const int64_t t = pool_->Tick(commit);
   QueryReport report;
-  report.query_index = clock_;
+  report.query_index = t;
+  report.tenant_id = tenant_;
 
   // All per-query scratch state lives in the QueryContext: ProcessQuery
   // holds no engine members between stages, so it is re-entrant by
   // construction (pool state aside).
-  QueryContext ctx(query, clock_);
-  if (observer_ != nullptr) observer_->OnQueryStart(clock_, query);
+  QueryContext ctx(query, t, tenant_, tenant_ord_);
+  if (observer_ != nullptr) observer_->OnQueryStart(t, query, tenant_);
 
   {
     StageScope stage(observer_, EngineStage::kRewrite, ctx);
-    DEEPSEA_RETURN_IF_ERROR(rewrite_planner_.PlanBase(&ctx, &report));
+    DEEPSEA_RETURN_IF_ERROR(rewrite_planner_->PlanBase(&ctx, &report));
     if (options_.strategy != StrategyKind::kHive) {
-      DEEPSEA_RETURN_IF_ERROR(rewrite_planner_.PlanBest(&ctx, &report));
+      DEEPSEA_RETURN_IF_ERROR(rewrite_planner_->PlanBest(&ctx, &report));
     }
     stage.Finish(report.best_seconds);
   }
@@ -85,21 +121,21 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
       // of the serving view).
       const PlanPtr candidate_plan =
           report.used_view.empty() ? ctx.query : ctx.executed_plan;
-      candidate_generator_.RegisterViewCandidates(candidate_plan,
-                                                  report.base_seconds, &ctx);
-      candidate_generator_.RegisterPartitionCandidates(&ctx);
+      candidate_generator_->RegisterViewCandidates(candidate_plan,
+                                                   report.base_seconds, &ctx);
+      candidate_generator_->RegisterPartitionCandidates(&ctx);
       stage.Finish(0.0);
     }
 
     SelectionDecision decision;
     {
       StageScope stage(observer_, EngineStage::kSelection, ctx);
-      decision = selection_planner_.PlanSelection(ctx, report.base_seconds);
+      decision = selection_planner_->PlanSelection(ctx, report.base_seconds);
       stage.Finish(0.0);
     }
     {
       StageScope stage(observer_, EngineStage::kApply, ctx);
-      pool_.Apply(decision, ctx, &report);
+      pool_->Apply(decision, ctx, &report);
       stage.Finish(report.materialize_seconds);
     }
 
@@ -108,7 +144,7 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     if (options_.merge.enabled) {
       StageScope stage(observer_, EngineStage::kMerge, ctx);
       const double merge_seconds =
-          pool_.RunMergePass(ctx.t_now(), decay_, &report);
+          pool_->RunMergePass(ctx.t_now(), decay_, &report);
       report.materialize_seconds += merge_seconds;
       stage.Finish(merge_seconds);
     }
@@ -135,11 +171,12 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   }
 
   report.total_seconds = report.best_seconds + report.materialize_seconds;
-  report.pool_bytes_after = PoolBytes();
+  report.pool_bytes_after = pool_->PoolBytes();
 
   if (options_.physical_execution) {
     StageScope stage(observer_, EngineStage::kPhysical, ctx);
-    DEEPSEA_RETURN_IF_ERROR(PhysicalExecute(ctx.executed_plan, &report));
+    DEEPSEA_RETURN_IF_ERROR(
+        PhysicalExecute(commit, ctx.executed_plan, &report));
     stage.Finish(0.0);
   }
 
@@ -157,11 +194,13 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   return report;
 }
 
-Status DeepSeaEngine::PhysicalExecute(const PlanPtr& plan, QueryReport* report) {
+Status DeepSeaEngine::PhysicalExecute(const CommitGuard& commit,
+                                      const PlanPtr& plan,
+                                      QueryReport* report) {
   // Materialize sample tables for views created this query so future
   // ViewRef reads return real rows.
   for (const std::string& id : report->created_views) {
-    ViewInfo* view = pool_.mutable_views()->Get(id);
+    ViewInfo* view = pool_->stat(commit)->Get(id);
     if (view == nullptr) continue;
     auto rows = executor_.Execute(view->plan);
     if (!rows.ok()) return rows.status();

@@ -1,6 +1,7 @@
 #ifndef DEEPSEA_CORE_ENGINE_H_
 #define DEEPSEA_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -15,10 +16,10 @@
 #include "core/query_context.h"
 #include "core/rewrite_planner.h"
 #include "core/selection_planner.h"
+#include "core/shared_pool.h"
 #include "core/view_catalog.h"
 #include "exec/executor.h"
 #include "plan/plan.h"
-#include "rewrite/filter_tree.h"
 #include "sim/cluster.h"
 #include "sim/cost_model.h"
 #include "storage/sim_fs.h"
@@ -39,69 +40,108 @@ namespace deepsea {
 ///                           (Section 7.3), emitted as a declarative
 ///                           SelectionDecision;
 ///   4. PoolManager        — owns the pool state (view catalog +
-///                           simulated FS); applies the decision,
-///                           charges materialization time, and runs the
+///                           simulated FS + rewrite index + commit
+///                           clock); applies the decision, charges
+///                           materialization time, and runs the
 ///                           Section 11 merge pass.
+///
+/// Tenancy: an engine either owns a private PoolManager (single-tenant
+/// constructor — behaviour identical to the pre-tenancy engine) or
+/// attaches to a SharedPool as one named tenant among several. Every
+/// ProcessQuery runs inside the pool's exclusive commit section (the
+/// planning stages mutate shared statistics, so the whole pipeline is
+/// one critical section); concurrent tenants serialize on the commit
+/// lock and the resulting pool state is a function of the commit order
+/// alone. Statistics recorded during a query are stamped with the
+/// tenant's interned ordinal for per-tenant benefit attribution.
 ///
 /// An EngineObserver can be attached to watch stage boundaries and pool
 /// mutations (see core/engine_observer.h); with no observer attached
 /// the pipeline pays no timing overhead.
 class DeepSeaEngine {
  public:
-  /// `catalog` must outlive the engine and contain the base tables.
+  /// Single-tenant engine owning a private pool. `catalog` must outlive
+  /// the engine and contain the base tables.
   DeepSeaEngine(Catalog* catalog, EngineOptions options);
+
+  /// Multi-tenant engine: one tenant (`tenant` must be non-empty,
+  /// without whitespace) sharing `pool` with other engines. The engine
+  /// copies the pool's EngineOptions, so all tenants plan under the
+  /// same S_max and cost model. `catalog` must be the same catalog the
+  /// SharedPool was built over (view tables registered by one tenant
+  /// must be visible to the others' estimators); both must outlive the
+  /// engine.
+  DeepSeaEngine(Catalog* catalog, SharedPool* pool, std::string tenant);
 
   Result<QueryReport> ProcessQuery(const PlanPtr& query);
 
   const EngineOptions& options() const { return options_; }
-  const ViewCatalog& views() const { return pool_.views(); }
-  ViewCatalog* mutable_views() { return pool_.mutable_views(); }
-  const SimFs& fs() const { return pool_.fs(); }
+  const ViewCatalog& views() const { return pool_->views(); }
+  const SimFs& fs() const { return pool_->fs(); }
   const ClusterModel& cluster() const { return cluster_; }
   const PlanCostEstimator& estimator() const { return estimator_; }
   const EngineTotals& totals() const { return totals_; }
   Catalog* catalog() { return catalog_; }
 
+  /// This engine's tenant id ("" for a single-tenant engine) and its
+  /// interned ordinal in the pool's tenant registry.
+  const std::string& tenant() const { return tenant_; }
+  int32_t tenant_ord() const { return tenant_ord_; }
+
   /// The pool-state component (view catalog + simulated FS + the
-  /// materialize/evict/merge primitives).
-  const PoolManager& pool() const { return pool_; }
-  PoolManager* mutable_pool() { return &pool_; }
+  /// materialize/evict/merge primitives). Mutation goes through the
+  /// PoolManager's own commit protocol — the engine no longer exposes
+  /// raw mutable access to the catalog or file system.
+  const PoolManager& pool() const { return *pool_; }
+  PoolManager* mutable_pool() { return pool_; }
 
   /// Attaches an observer to the pipeline (nullptr detaches). The
   /// observer must outlive the engine or be detached before it dies.
-  void set_observer(EngineObserver* observer) {
-    observer_ = observer;
-    pool_.set_observer(observer);
-  }
+  /// Pool-mutation events reach the observer only for commits made by
+  /// THIS engine (each commit carries its tenant's observer), so two
+  /// tenants with separate observers do not see each other's events.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
   EngineObserver* observer() const { return observer_; }
 
-  /// Current pool occupancy in bytes (S(C)).
-  double PoolBytes() const { return pool_.PoolBytes(); }
+  /// Current pool occupancy in bytes (S(C)). Unlocked: call from the
+  /// committing thread or a quiesced pool; monitors should use
+  /// pool().PoolBytesSnapshot().
+  double PoolBytes() const { return pool_->PoolBytes(); }
 
-  /// Logical clock (number of queries processed).
-  int64_t now() const { return clock_; }
+  /// The pool's commit clock (number of commits across all tenants;
+  /// equals the query count for a single-tenant engine).
+  int64_t now() const { return pool_->clock(); }
 
-  /// Serializes the engine's adaptive state — every tracked view's
+  /// Serializes the pool's adaptive state — every tracked view's
   /// defining plan, statistics, partitions, fragments (with hit
-  /// histories) and pool membership — into a text blob that LoadState
-  /// restores. Enables warm-starting a fresh engine (e.g. across
-  /// process restarts) without replaying the workload. The relational
-  /// catalog (base tables) is NOT included; LoadState must run against
-  /// a catalog with the same base tables.
+  /// histories), pool membership, and the tenant registry — into a
+  /// text blob that LoadState restores. Enables warm-starting a fresh
+  /// engine (e.g. across process restarts) without replaying the
+  /// workload. The relational catalog (base tables) is NOT included;
+  /// LoadState must run against a catalog with the same base tables.
+  /// Takes the pool's commit lock in shared mode: do not call from a
+  /// thread that holds the commit (i.e. from observer callbacks).
   Result<std::string> SaveState() const;
 
-  /// Restores state written by SaveState into this engine: views are
-  /// re-tracked (signatures recomputed from their deserialized plans),
-  /// statistics and fragment pools re-attached, and simulated FS files
-  /// recreated. Views already tracked by this engine merge by
-  /// signature. The logical clock advances to the saved clock when the
-  /// saved one is larger.
+  /// Restores state written by SaveState into this engine's pool:
+  /// views are re-tracked (signatures recomputed from their
+  /// deserialized plans), statistics and fragment pools re-attached,
+  /// simulated FS files recreated, and saved tenant attributions
+  /// re-interned (ordinals are remapped through the registry, so
+  /// loading into a pool with different tenants keeps attributions
+  /// correct). Views already tracked merge by signature. The commit
+  /// clock advances to the saved clock when the saved one is larger.
+  /// Runs as one exclusive commit.
   Status LoadState(const std::string& state);
 
  private:
+  /// Wires the three planning stages to the pool's catalog / index
+  /// (briefly entering the commit section to obtain them).
+  void InitStages();
   /// Physically executes the plan and materializes selected view sample
-  /// tables when physical execution is enabled.
-  Status PhysicalExecute(const PlanPtr& plan, QueryReport* report);
+  /// tables when physical execution is enabled. Runs inside `commit`.
+  Status PhysicalExecute(const CommitGuard& commit, const PlanPtr& plan,
+                         QueryReport* report);
 
   Catalog* catalog_;
   EngineOptions options_;
@@ -109,19 +149,24 @@ class DeepSeaEngine {
   PlanCostEstimator estimator_;
   DecayFunction decay_;
   MleFragmentModel mle_;
-  FilterTree index_;
   Executor executor_;
   EngineObserver* observer_ = nullptr;
 
-  // Pool state, then the stages that plan over it (construction order
-  // matters: the planners hold pointers into pool_).
-  PoolManager pool_;
-  RewritePlanner rewrite_planner_;
-  CandidateGenerator candidate_generator_;
-  SelectionPlanner selection_planner_;
+  // Pool state: owned for the single-tenant constructor, borrowed from
+  // the SharedPool otherwise. `pool_` is the one used either way.
+  std::unique_ptr<PoolManager> owned_pool_;
+  PoolManager* pool_ = nullptr;
+
+  std::string tenant_;
+  int32_t tenant_ord_ = 0;
+
+  // The stages that plan over the pool (constructed by InitStages once
+  // the pool pointer is settled; they hold pointers into the pool).
+  std::unique_ptr<RewritePlanner> rewrite_planner_;
+  std::unique_ptr<CandidateGenerator> candidate_generator_;
+  std::unique_ptr<SelectionPlanner> selection_planner_;
 
   EngineTotals totals_;
-  int64_t clock_ = 0;
 };
 
 }  // namespace deepsea

@@ -30,6 +30,14 @@ const char* EngineStageName(EngineStage stage);
 /// pool mutation. Implementations must not mutate engine state; all
 /// arguments are only valid for the duration of the call.
 ///
+/// Tenancy: every hook identifies the tenant whose query triggered it —
+/// either explicitly (`tenant` parameter, "" for a single-tenant
+/// engine) or via the QueryContext / QueryReport argument. All hooks
+/// fire inside the pool's exclusive commit section, so one observer may
+/// be attached to several engines sharing a pool without its own
+/// locking: invocations are serialized by the commit lock even when the
+/// engines run on different threads.
+///
 /// Timing semantics of OnStageEnd:
 ///  * `sim_seconds` is the simulated time the stage charged to the
 ///    current query (0 for stages that charge nothing);
@@ -44,9 +52,11 @@ class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
 
-  virtual void OnQueryStart(int64_t query_index, const PlanPtr& query) {
+  virtual void OnQueryStart(int64_t query_index, const PlanPtr& query,
+                            const std::string& tenant) {
     (void)query_index;
     (void)query;
+    (void)tenant;
   }
   virtual void OnStageStart(EngineStage stage, const QueryContext& ctx) {
     (void)stage;
@@ -61,37 +71,49 @@ class EngineObserver {
   }
 
   /// A whole view (NP-style) or initial partitioned creation entered the
-  /// pool; `sim_seconds` is the charged materialization time.
-  virtual void OnMaterializeView(const ViewInfo& view, double sim_seconds) {
+  /// pool; `sim_seconds` is the charged materialization time. `tenant`
+  /// is the tenant whose commit performed the mutation.
+  virtual void OnMaterializeView(const ViewInfo& view, double sim_seconds,
+                                 const std::string& tenant) {
     (void)view;
     (void)sim_seconds;
+    (void)tenant;
   }
   /// One fragment entered the pool (initial fragment or refinement).
   virtual void OnMaterializeFragment(const ViewInfo& view,
                                      const std::string& attr,
-                                     const Interval& interval, double bytes) {
+                                     const Interval& interval, double bytes,
+                                     const std::string& tenant) {
     (void)view;
     (void)attr;
     (void)interval;
     (void)bytes;
+    (void)tenant;
   }
   /// A fragment left the pool. `attr` is empty for whole-view eviction.
   /// Fired for policy evictions and also for parents removed by
-  /// horizontal splits and merge passes.
+  /// horizontal splits and merge passes. `tenant` is the committing
+  /// tenant (whose reconfiguration displaced the content), not
+  /// necessarily the tenant that earned the evicted fragment its hits —
+  /// use FragmentStats::DecayedHitsByTenant to see who loses coverage.
   virtual void OnEvict(const ViewInfo& view, const std::string& attr,
-                       const Interval& interval, double bytes) {
+                       const Interval& interval, double bytes,
+                       const std::string& tenant) {
     (void)view;
     (void)attr;
     (void)interval;
     (void)bytes;
+    (void)tenant;
   }
   /// Two adjacent fragments were merged into `merged` (Section 11).
   virtual void OnMerge(const ViewInfo& view, const std::string& attr,
-                       const Interval& merged, double bytes) {
+                       const Interval& merged, double bytes,
+                       const std::string& tenant) {
     (void)view;
     (void)attr;
     (void)merged;
     (void)bytes;
+    (void)tenant;
   }
 
   virtual void OnQueryEnd(const QueryReport& report) { (void)report; }

@@ -92,7 +92,11 @@ struct EngineOptions {
 
 /// Per-query outcome of ProcessQuery.
 struct QueryReport {
+  /// Position of this query in the pool's total commit order (equals
+  /// the engine-local query count for a single-tenant engine).
   int64_t query_index = 0;
+  /// Tenant that issued the query ("" for a single-tenant engine).
+  std::string tenant_id;
   /// Cost of the conventional (selection-pushed) plan with no views.
   double base_seconds = 0.0;
   /// Cost of the plan actually chosen (view-based or base).

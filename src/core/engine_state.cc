@@ -1,20 +1,27 @@
 // SaveState / LoadState: persistence of the engine's adaptive state
 // (see the declarations in core/engine.h). The format is line-based:
 //
-//   DEEPSEA-STATE 1
+//   DEEPSEA-STATE 2
 //   CLOCK <t>
+//   TENANT <ord> <name>                       (0+; non-default tenants)
 //   VIEW
 //   PLAN <line-count>
 //   <serialized plan, see plan/plan_serde.h>
 //   STATS <size_bytes> <creation_cost> <size_actual> <cost_actual> <whole>
-//   EVENT <time> <saving>                     (0+ per view)
+//   EVENT <time> <saving> <tenant>            (0+ per view)
 //   PARTITION <attr> <lo> <hi> <li> <hi_inc>  (0+ per view)
 //   PENDING <lo> <hi> <li> <hi_inc>           (0+ per partition)
 //   FRAGMENT <lo> <hi> <li> <hi_inc> <size> <materialized>
-//   HIT <time> <has_range> <lo> <hi> <li> <hi_inc>  (0+ per fragment)
+//   HIT <time> <has_range> <lo> <hi> <li> <hi_inc> <tenant>  (0+ per fragment)
 //   ENDVIEW
+//
+// Version 1 (no TENANT lines, no tenant field on EVENT/HIT) is still
+// accepted; missing tenant fields default to the 0 ordinal. Saved
+// tenant ordinals are remapped through the loading pool's registry, so
+// a blob saved by one pool restores correct attributions in another.
 
 #include <cstdlib>
+#include <map>
 
 #include "common/str_util.h"
 #include "core/engine.h"
@@ -43,9 +50,17 @@ Result<Interval> ParseInterval(const std::vector<std::string>& parts, size_t at)
 }  // namespace
 
 Result<std::string> DeepSeaEngine::SaveState() const {
-  std::string out = "DEEPSEA-STATE 1\n";
-  out += StrFormat("CLOCK %lld\n", static_cast<long long>(clock_));
-  for (const ViewInfo* view : pool_.views().AllViews()) {
+  // Shared-mode lock: a consistent snapshot that doesn't block other
+  // readers (and waits for any in-flight commit to finish).
+  auto lock = pool_->SharedLock();
+  std::string out = "DEEPSEA-STATE 2\n";
+  out += StrFormat("CLOCK %lld\n", static_cast<long long>(pool_->clock()));
+  const std::vector<std::string> tenants = pool_->Tenants();
+  for (size_t ord = 1; ord < tenants.size(); ++ord) {
+    out += StrFormat("TENANT %d %s\n", static_cast<int>(ord),
+                     tenants[ord].c_str());
+  }
+  for (const ViewInfo* view : pool_->views().AllViews()) {
     if (!view->plan) continue;
     out += "VIEW\n";
     const std::string plan_text = SerializePlan(view->plan);
@@ -61,7 +76,8 @@ Result<std::string> DeepSeaEngine::SaveState() const {
                      view->stats.cost_is_actual ? 1 : 0,
                      view->whole_materialized ? 1 : 0);
     for (const BenefitEvent& e : view->stats.events) {
-      out += StrFormat("EVENT %.17g %.17g\n", e.time, e.saving);
+      out += StrFormat("EVENT %.17g %.17g %d\n", e.time, e.saving,
+                       static_cast<int>(e.tenant));
     }
     for (const auto& [attr, part] : view->partitions) {
       out += "PARTITION " + attr + " " + FmtInterval(part.domain) + "\n";
@@ -73,7 +89,8 @@ Result<std::string> DeepSeaEngine::SaveState() const {
                StrFormat(" %.17g %d\n", f.size_bytes, f.materialized ? 1 : 0);
         for (const FragmentHit& h : f.hits) {
           out += StrFormat("HIT %.17g %d ", h.time, h.has_range ? 1 : 0) +
-                 FmtInterval(h.range) + "\n";
+                 FmtInterval(h.range) +
+                 StrFormat(" %d\n", static_cast<int>(h.tenant));
         }
       }
     }
@@ -86,15 +103,37 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
   const std::vector<std::string> lines = Split(state, '\n');
   size_t i = 0;
   auto next_parts = [&]() { return Split(lines[i], ' '); };
-  if (i >= lines.size() || lines[i] != "DEEPSEA-STATE 1") {
+  if (i >= lines.size() ||
+      (lines[i] != "DEEPSEA-STATE 1" && lines[i] != "DEEPSEA-STATE 2")) {
     return Status::InvalidArgument("bad state header");
   }
   ++i;
+
+  CommitGuard commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
+  ViewCatalog* views = pool_->stat(commit);
+  SimFs* fs = pool_->fs(commit);
+  FilterTree* index = pool_->rewrite_index(commit);
+
   if (i < lines.size() && lines[i].rfind("CLOCK ", 0) == 0) {
-    const int64_t saved = std::atoll(lines[i].substr(6).c_str());
-    clock_ = std::max(clock_, saved);
+    pool_->AdvanceClockTo(commit, std::atoll(lines[i].substr(6).c_str()));
     ++i;
   }
+  // Remap saved tenant ordinals into this pool's registry (InternTenant
+  // takes its own mutex, never the commit lock — safe to call here).
+  std::map<int32_t, int32_t> tenant_remap;
+  while (i < lines.size() && lines[i].rfind("TENANT ", 0) == 0) {
+    const auto parts = next_parts();
+    if (parts.size() != 3) return Status::InvalidArgument("bad TENANT line");
+    tenant_remap[static_cast<int32_t>(std::atoi(parts[1].c_str()))] =
+        pool_->InternTenant(parts[2]);
+    ++i;
+  }
+  auto remap_tenant = [&](const std::string& field) {
+    const int32_t saved = static_cast<int32_t>(std::atoi(field.c_str()));
+    auto it = tenant_remap.find(saved);
+    return it != tenant_remap.end() ? it->second : saved;
+  };
+
   while (i < lines.size()) {
     if (lines[i].empty()) {
       ++i;
@@ -117,12 +156,11 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
     }
     DEEPSEA_ASSIGN_OR_RETURN(PlanPtr plan, DeserializePlan(plan_text));
     DEEPSEA_ASSIGN_OR_RETURN(PlanSignature sig, ComputeSignature(plan, *catalog_));
-    ViewCatalog* views = pool_.mutable_views();
     const bool known = views->FindBySignature(sig.ToString()) != nullptr;
     ViewInfo* view = views->Track(plan, sig);
     if (!known) {
-      pool_.RegisterViewTable(view);
-      index_.Insert(view->signature, view->id);
+      pool_->RegisterViewTable(view);
+      index->Insert(view->signature, view->id);
     }
 
     // STATS line.
@@ -138,8 +176,8 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
       view->stats.cost_is_actual = parts[4] == "1";
       view->whole_materialized = parts[5] == "1";
       if (view->whole_materialized) {
-        pool_.mutable_fs()->Put(StrFormat("pool/%s/full", view->id.c_str()),
-                                view->stats.size_bytes);
+        fs->Put(StrFormat("pool/%s/full", view->id.c_str()),
+                view->stats.size_bytes);
       }
       ++i;
     }
@@ -147,9 +185,10 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
     FragmentStats* frag = nullptr;
     while (i < lines.size() && lines[i] != "ENDVIEW") {
       const auto parts = next_parts();
-      if (parts[0] == "EVENT" && parts.size() == 3) {
-        view->stats.RecordUse(std::atof(parts[1].c_str()),
-                              std::atof(parts[2].c_str()));
+      if (parts[0] == "EVENT" && (parts.size() == 3 || parts.size() == 4)) {
+        view->stats.RecordUse(
+            std::atof(parts[1].c_str()), std::atof(parts[2].c_str()),
+            parts.size() == 4 ? remap_tenant(parts[3]) : 0);
       } else if (parts[0] == "PARTITION" && parts.size() == 6) {
         DEEPSEA_ASSIGN_OR_RETURN(Interval domain, ParseInterval(parts, 2));
         part = view->EnsurePartition(parts[1], domain);
@@ -173,14 +212,15 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
         frag->materialized = parts[6] == "1";
         frag->hits.clear();
         if (frag->materialized) {
-          pool_.mutable_fs()->Put(FragmentPath(*view, part->attr, iv),
-                                  frag->size_bytes);
+          fs->Put(FragmentPath(*view, part->attr, iv), frag->size_bytes);
         }
-      } else if (parts[0] == "HIT" && parts.size() == 7 && frag != nullptr) {
+      } else if (parts[0] == "HIT" && (parts.size() == 7 || parts.size() == 8) &&
+                 frag != nullptr) {
         FragmentHit hit;
         hit.time = std::atof(parts[1].c_str());
         hit.has_range = parts[2] == "1";
         DEEPSEA_ASSIGN_OR_RETURN(hit.range, ParseInterval(parts, 3));
+        hit.tenant = parts.size() == 8 ? remap_tenant(parts[7]) : 0;
         frag->hits.push_back(hit);
       } else {
         return Status::InvalidArgument("unexpected state line: " + lines[i]);

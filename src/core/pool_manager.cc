@@ -1,7 +1,9 @@
 #include "core/pool_manager.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/str_util.h"
@@ -10,7 +12,106 @@
 
 namespace deepsea {
 
+namespace {
+
+/// Per-thread key for commit ownership: the address of a thread_local
+/// is unique among live threads and never 0.
+uintptr_t ThisThreadKey() {
+  static thread_local const char key = 0;
+  return reinterpret_cast<uintptr_t>(&key);
+}
+
+}  // namespace
+
+void CommitGuard::Release() {
+  if (pool_ == nullptr) return;
+  pool_->ReleaseCommit();
+  pool_ = nullptr;
+}
+
+CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
+                                     std::string tenant, int32_t tenant_ord) {
+  assert(!CommitHeldByThisThread() && "commit section is not re-entrant");
+  commit_mu_.lock();
+  commit_owner_.store(ThisThreadKey(), std::memory_order_relaxed);
+  commit_observer_ = observer;
+  commit_tenant_ = std::move(tenant);
+  commit_tenant_ord_ = tenant_ord;
+  return CommitGuard(this);
+}
+
+void PoolManager::ReleaseCommit() {
+  assert(CommitHeldByThisThread());
+  commit_observer_ = nullptr;
+  commit_tenant_.clear();
+  commit_tenant_ord_ = 0;
+  commit_owner_.store(0, std::memory_order_relaxed);
+  commit_mu_.unlock();
+}
+
+bool PoolManager::CommitHeldByThisThread() const {
+  return commit_owner_.load(std::memory_order_relaxed) == ThisThreadKey();
+}
+
+ViewCatalog* PoolManager::stat(const CommitGuard& commit) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  return &views_;
+}
+
+SimFs* PoolManager::fs(const CommitGuard& commit) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  return &fs_;
+}
+
+FilterTree* PoolManager::rewrite_index(const CommitGuard& commit) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  return &rewrite_index_;
+}
+
+double PoolManager::PoolBytesSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(commit_mu_);
+  return views_.PoolBytes();
+}
+
+int64_t PoolManager::Tick(const CommitGuard& commit) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void PoolManager::AdvanceClockTo(const CommitGuard& commit, int64_t t) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  if (t > clock_.load(std::memory_order_relaxed)) {
+    clock_.store(t, std::memory_order_relaxed);
+  }
+}
+
+int32_t PoolManager::InternTenant(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i] == name) return static_cast<int32_t>(i);
+  }
+  tenants_.push_back(name);
+  return static_cast<int32_t>(tenants_.size() - 1);
+}
+
+std::string PoolManager::TenantName(int32_t ord) const {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  if (ord < 0 || static_cast<size_t>(ord) >= tenants_.size()) return "";
+  return tenants_[static_cast<size_t>(ord)];
+}
+
+std::vector<std::string> PoolManager::Tenants() const {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  return tenants_;
+}
+
 void PoolManager::RegisterViewTable(ViewInfo* view) {
+  assert(CommitHeldByThisThread());
   if (catalog_->Contains(view->id)) return;
   auto schema = view->plan->OutputSchema(*catalog_);
   if (!schema.ok()) return;
@@ -30,6 +131,7 @@ void PoolManager::RegisterViewTable(ViewInfo* view) {
 }
 
 double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
+  assert(CommitHeldByThisThread());
   // Determine the partition attribute: the one with pending state.
   std::string attr;
   for (const auto& [a, p] : view->partitions) {
@@ -62,8 +164,9 @@ double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
       fstat->materialized = true;
       fs_.Put(FragmentPath(*view, attr, iv), bytes);
       ++report->created_fragments;
-      if (observer_ != nullptr) {
-        observer_->OnMaterializeFragment(*view, attr, iv, bytes);
+      if (commit_observer_ != nullptr) {
+        commit_observer_->OnMaterializeFragment(*view, attr, iv, bytes,
+                                                commit_tenant_);
       }
     }
     extra_seconds = cluster_->PartitionedWriteSeconds(
@@ -75,7 +178,9 @@ double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
       (est.ok() ? est->seconds : view->stats.creation_cost) + extra_seconds;
   view->stats.cost_is_actual = true;
   report->created_views.push_back(view->id);
-  if (observer_ != nullptr) observer_->OnMaterializeView(*view, extra_seconds);
+  if (commit_observer_ != nullptr) {
+    commit_observer_->OnMaterializeView(*view, extra_seconds, commit_tenant_);
+  }
   return extra_seconds;
 }
 
@@ -83,6 +188,7 @@ double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
                                         const Interval& iv,
                                         const QueryContext& ctx,
                                         QueryReport* report) {
+  assert(CommitHeldByThisThread());
   const std::string& attr = part->attr;
   double seconds = 0.0;
   // Fragments currently materialized that overlap the new one. Tracked
@@ -113,8 +219,9 @@ double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
   fs_.Put(FragmentPath(*view, attr, iv), bytes);
   ++report->created_fragments;
   seconds += cluster_->PartitionedWriteSeconds(bytes, 1);
-  if (observer_ != nullptr) {
-    observer_->OnMaterializeFragment(*view, attr, iv, bytes);
+  if (commit_observer_ != nullptr) {
+    commit_observer_->OnMaterializeFragment(*view, attr, iv, bytes,
+                                            commit_tenant_);
   }
 
   if (!options_->overlapping_fragments) {
@@ -142,8 +249,9 @@ double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
         fs_.Put(FragmentPath(*view, attr, piece), piece_bytes);
         ++report->created_fragments;
         seconds += cluster_->PartitionedWriteSeconds(piece_bytes, 1);
-        if (observer_ != nullptr) {
-          observer_->OnMaterializeFragment(*view, attr, piece, piece_bytes);
+        if (commit_observer_ != nullptr) {
+          commit_observer_->OnMaterializeFragment(*view, attr, piece,
+                                                  piece_bytes, commit_tenant_);
         }
       }
       // Re-resolve the parent after the Track calls above (the fragment
@@ -160,39 +268,69 @@ double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
 
 void PoolManager::EvictFragment(ViewInfo* view, PartitionState* part,
                                 FragmentStats* frag) {
+  assert(CommitHeldByThisThread());
   if (!frag->materialized) return;
   frag->materialized = false;
   (void)fs_.Delete(FragmentPath(*view, part->attr, frag->interval));
-  if (observer_ != nullptr) {
-    observer_->OnEvict(*view, part->attr, frag->interval, frag->size_bytes);
+  if (commit_observer_ != nullptr) {
+    commit_observer_->OnEvict(*view, part->attr, frag->interval,
+                              frag->size_bytes, commit_tenant_);
   }
 }
 
-void PoolManager::EvictWholeView(ViewInfo* view) {
-  if (!view->whole_materialized) return;
-  view->whole_materialized = false;
-  (void)fs_.Delete(StrFormat("pool/%s/full", view->id.c_str()));
-  if (observer_ != nullptr) {
-    observer_->OnEvict(*view, "", Interval(), view->stats.size_bytes);
+int PoolManager::EvictWholeView(ViewInfo* view) {
+  assert(CommitHeldByThisThread());
+  int evicted = 0;
+  // Materialized fragments go first, through the same per-fragment path
+  // (and notifications) policy evictions use.
+  for (auto& [attr, part] : view->partitions) {
+    (void)attr;
+    for (FragmentStats& f : part.fragments) {
+      if (!f.materialized) continue;
+      EvictFragment(view, &part, &f);
+      ++evicted;
+    }
   }
+  if (view->whole_materialized) {
+    view->whole_materialized = false;
+    (void)fs_.Delete(StrFormat("pool/%s/full", view->id.c_str()));
+    ++evicted;
+    if (commit_observer_ != nullptr) {
+      commit_observer_->OnEvict(*view, "", Interval(), view->stats.size_bytes,
+                                commit_tenant_);
+    }
+  }
+  return evicted;
 }
 
 void PoolManager::Apply(const SelectionDecision& decision,
                         const QueryContext& ctx, QueryReport* report) {
+  assert(CommitHeldByThisThread());
   // Admitted initial fragments are created together per view (one
-  // instrumented partitioned write). Keyed by ViewInfo pointer exactly
-  // as the pre-decomposition engine did, preserving charge order.
+  // instrumented partitioned write). Charge order is the order views
+  // first appear in the decision's actions — a pure function of the
+  // planner's output. A pointer-keyed map here would order the charges
+  // (and created_views) by heap address, which varies across runs and
+  // threads even for identical commit orders.
   struct NewViewWork {
     double bytes = 0.0;
     int64_t count = 0;
   };
-  std::map<ViewInfo*, NewViewWork> new_view_work;
+  std::vector<std::pair<ViewInfo*, NewViewWork>> new_view_work;
+  auto work_for = [&new_view_work](ViewInfo* view) -> NewViewWork& {
+    for (auto& [v, work] : new_view_work) {
+      if (v == view) return work;
+    }
+    new_view_work.emplace_back(view, NewViewWork{});
+    return new_view_work.back().second;
+  };
 
   for (const SelectionAction& a : decision.actions) {
     switch (a.kind) {
       case SelectionAction::Kind::kEvictWholeView:
-        EvictWholeView(a.view);
-        ++report->evicted_fragments;
+        // Count exactly the pieces evicted, so QueryReport agrees with
+        // the per-piece OnEvict notifications no matter the path.
+        report->evicted_fragments += EvictWholeView(a.view);
         break;
       case SelectionAction::Kind::kEvictFragment: {
         FragmentStats* f = a.part->Find(a.interval);
@@ -216,11 +354,12 @@ void PoolManager::Apply(const SelectionDecision& decision,
         f->materialized = true;
         fs_.Put(FragmentPath(*a.view, a.part->attr, a.interval), a.size_bytes);
         ++report->created_fragments;
-        if (observer_ != nullptr) {
-          observer_->OnMaterializeFragment(*a.view, a.part->attr, a.interval,
-                                           a.size_bytes);
+        if (commit_observer_ != nullptr) {
+          commit_observer_->OnMaterializeFragment(*a.view, a.part->attr,
+                                                  a.interval, a.size_bytes,
+                                                  commit_tenant_);
         }
-        NewViewWork& work = new_view_work[a.view];
+        NewViewWork& work = work_for(a.view);
         work.bytes += a.size_bytes;
         work.count += 1;
         break;
@@ -240,12 +379,15 @@ void PoolManager::Apply(const SelectionDecision& decision,
       view->stats.cost_is_actual = true;
     }
     report->created_views.push_back(view->id);
-    if (observer_ != nullptr) observer_->OnMaterializeView(*view, extra);
+    if (commit_observer_ != nullptr) {
+      commit_observer_->OnMaterializeView(*view, extra, commit_tenant_);
+    }
   }
 }
 
 double PoolManager::RunMergePass(double t_now, const DecayFunction& decay,
                                  QueryReport* report) {
+  assert(CommitHeldByThisThread());
   double seconds = 0.0;
   int merges = 0;
   auto candidates = FindMergeCandidates(&views_, options_->merge, t_now, decay);
@@ -271,9 +413,9 @@ double PoolManager::RunMergePass(double t_now, const DecayFunction& decay,
             merged_bytes);
     ++merges;
     ++report->merged_fragments;
-    if (observer_ != nullptr) {
-      observer_->OnMerge(*cand.view, cand.part->attr, cand.merged,
-                         merged_bytes);
+    if (commit_observer_ != nullptr) {
+      commit_observer_->OnMerge(*cand.view, cand.part->attr, cand.merged,
+                                merged_bytes, commit_tenant_);
     }
   }
   return seconds;

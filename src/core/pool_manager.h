@@ -1,7 +1,12 @@
 #ifndef DEEPSEA_CORE_POOL_MANAGER_H_
 #define DEEPSEA_CORE_POOL_MANAGER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "catalog/table.h"
 #include "core/decay.h"
@@ -10,20 +15,75 @@
 #include "core/query_context.h"
 #include "core/selection_planner.h"
 #include "core/view_catalog.h"
+#include "rewrite/filter_tree.h"
 #include "sim/cluster.h"
 #include "sim/cost_model.h"
 #include "storage/sim_fs.h"
 
 namespace deepsea {
 
+class PoolManager;
+
+/// RAII ownership of a PoolManager's exclusive commit section. A guard
+/// is obtained from PoolManager::BeginCommit and proves — by being
+/// passed to the guarded accessors — that the caller holds the commit
+/// lock. Movable (so engines can return/stash it), not copyable.
+/// Destroying or Release()ing the guard unlocks the pool.
+class CommitGuard {
+ public:
+  CommitGuard() = default;
+  CommitGuard(CommitGuard&& other) noexcept : pool_(other.pool_) {
+    other.pool_ = nullptr;
+  }
+  CommitGuard& operator=(CommitGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  CommitGuard(const CommitGuard&) = delete;
+  CommitGuard& operator=(const CommitGuard&) = delete;
+  ~CommitGuard() { Release(); }
+
+  bool held() const { return pool_ != nullptr; }
+  void Release();
+
+ private:
+  friend class PoolManager;
+  explicit CommitGuard(PoolManager* pool) : pool_(pool) {}
+
+  PoolManager* pool_ = nullptr;
+};
+
 /// Stage 4 of the pipeline and the owner of all durable pool state: the
-/// view catalog (STAT) and the simulated file system. PoolManager is
-/// the only component that flips `materialized` flags, creates/deletes
-/// SimFs files, and charges materialization seconds — the planner
-/// stages merely read the pool and emit SelectionDecisions for Apply to
-/// execute. It also runs the Section 11 fragment-merge maintenance
-/// pass and registers view tables (estimated logical statistics) in the
-/// relational catalog.
+/// view catalog (STAT), the simulated file system, the rewrite index,
+/// and the global commit clock. PoolManager is the only component that
+/// flips `materialized` flags, creates/deletes SimFs files, and charges
+/// materialization seconds — the planner stages merely read the pool
+/// and emit SelectionDecisions for Apply to execute. It also runs the
+/// Section 11 fragment-merge maintenance pass and registers view tables
+/// (estimated logical statistics) in the relational catalog.
+///
+/// Tenancy and locking: one PoolManager may be shared by several
+/// DeepSeaEngine instances (one per tenant) running on different
+/// threads. All mutation — including the *planning* stages, which
+/// update STAT statistics as a side effect (Algorithm 1 line 2) — must
+/// happen inside the exclusive commit section bracketed by a
+/// CommitGuard. Mutable access to the catalog / FS / index is only
+/// available through accessors that take the guard as a token, so the
+/// type system enforces the discipline the old `mutable_views()` /
+/// `mutable_fs()` escape hatches left to convention. The commit
+/// section also carries the committing tenant's observer: pool
+/// mutation events are routed to it, stamped with the tenant id.
+///
+/// Read access: the `*Snapshot()` methods take the commit lock in
+/// shared mode and are safe from any thread (monitoring). The plain
+/// const accessors (`views()`, `fs()`, `PoolBytes()`) are unlocked and
+/// require the caller to either hold the commit guard or know the pool
+/// is externally quiesced — taking even a shared lock there would
+/// self-deadlock the engine pipeline, which reads them mid-commit.
 class PoolManager {
  public:
   PoolManager(Catalog* catalog, const EngineOptions* options,
@@ -34,16 +94,71 @@ class PoolManager {
         estimator_(estimator),
         fs_(options->cluster.block_bytes) {}
 
-  const ViewCatalog& views() const { return views_; }
-  ViewCatalog* mutable_views() { return &views_; }
-  const SimFs& fs() const { return fs_; }
-  SimFs* mutable_fs() { return &fs_; }
+  // --- commit protocol ---
 
-  /// Current pool occupancy in bytes (S(C)).
+  /// Enters the exclusive commit section, blocking until every other
+  /// commit (and shared-mode snapshot) has drained. `observer` receives
+  /// the pool-mutation events of this commit (nullptr = silent);
+  /// `tenant` / `tenant_ord` stamp those events and the recorded
+  /// statistics. Re-entering from the thread that already holds the
+  /// commit is a programming error (asserts in debug builds).
+  CommitGuard BeginCommit(EngineObserver* observer = nullptr,
+                          std::string tenant = std::string(),
+                          int32_t tenant_ord = 0);
+
+  /// True when the calling thread is inside the commit section. The
+  /// mutation primitives assert this in debug builds.
+  bool CommitHeldByThisThread() const;
+
+  // --- guarded mutable access (the guard token proves the lock) ---
+
+  ViewCatalog* stat(const CommitGuard& commit);
+  SimFs* fs(const CommitGuard& commit);
+  /// The signature -> view-id rewrite index shared by all tenants (a
+  /// tenant must be able to match views created by another).
+  FilterTree* rewrite_index(const CommitGuard& commit);
+
+  // --- unlocked const access (commit held or externally quiesced) ---
+
+  const ViewCatalog& views() const { return views_; }
+  const SimFs& fs() const { return fs_; }
+  const EngineOptions& options() const { return *options_; }
+
+  /// Current pool occupancy in bytes (S(C)). Unlocked — see class doc.
   double PoolBytes() const { return views_.PoolBytes(); }
 
-  /// Observer for materialize/evict/merge events (nullptr = silent).
-  void set_observer(EngineObserver* observer) { observer_ = observer; }
+  // --- shared-mode snapshots (safe from any thread) ---
+
+  double PoolBytesSnapshot() const;
+  /// Shared-mode lock for multi-read consistency (e.g. SaveState).
+  std::shared_lock<std::shared_mutex> SharedLock() const {
+    return std::shared_lock<std::shared_mutex>(commit_mu_);
+  }
+
+  // --- global commit clock ---
+
+  /// Advances the commit clock by one and returns the new value: the
+  /// position of the current commit in the pool's total commit order.
+  /// With a single tenant this yields the query sequence 1..N, exactly
+  /// the engine-local clock it replaces; with several tenants it makes
+  /// benefit decay age consistently across their interleaved commits.
+  int64_t Tick(const CommitGuard& commit);
+  /// Clock merge for state restore: advances to `t` when larger.
+  void AdvanceClockTo(const CommitGuard& commit, int64_t t);
+  int64_t clock() const { return clock_.load(std::memory_order_relaxed); }
+
+  // --- tenant registry ---
+
+  /// Interns `name` and returns its stable ordinal (BenefitEvent /
+  /// FragmentHit stamp). "" is the pre-interned default tenant, 0.
+  /// Thread-safe independently of the commit lock.
+  int32_t InternTenant(const std::string& name);
+  /// Name for an interned ordinal ("" for 0 or unknown ordinals).
+  std::string TenantName(int32_t ord) const;
+  /// All interned tenant names, indexed by ordinal.
+  std::vector<std::string> Tenants() const;
+
+  // --- mutation API (requires the commit section; asserts in debug) ---
 
   /// Ensures `view` is registered as a relational catalog table with
   /// estimated logical statistics (needed by the cost estimator).
@@ -72,18 +187,44 @@ class PoolManager {
   double MaterializeFragment(ViewInfo* view, PartitionState* part,
                              const Interval& iv, const QueryContext& ctx,
                              QueryReport* report);
-  /// Evicts a fragment (or whole view) from the pool.
+  /// Evicts a fragment from the pool (one OnEvict per call).
   void EvictFragment(ViewInfo* view, PartitionState* part, FragmentStats* frag);
-  void EvictWholeView(ViewInfo* view);
+  /// Evicts a whole view: its full materialization AND every
+  /// materialized fragment, firing one OnEvict per piece (the same
+  /// notifications the per-fragment path emits, so observer eviction
+  /// counters agree with QueryReport). Returns the number of pieces
+  /// evicted — 0 when the view held nothing.
+  int EvictWholeView(ViewInfo* view);
 
  private:
+  friend class CommitGuard;
+  void ReleaseCommit();
+
   Catalog* catalog_;
   const EngineOptions* options_;
   const ClusterModel* cluster_;
   const PlanCostEstimator* estimator_;
   SimFs fs_;
   ViewCatalog views_;
-  EngineObserver* observer_ = nullptr;
+  FilterTree rewrite_index_;
+  std::atomic<int64_t> clock_{0};  ///< written only inside the commit section
+
+  /// Exclusive = commit section; shared = *Snapshot() readers.
+  mutable std::shared_mutex commit_mu_;
+  /// Address of a thread_local in the committing thread (0 = free);
+  /// lets mutators assert the lock discipline without owning a TLS key.
+  std::atomic<uintptr_t> commit_owner_{0};
+  // Commit context: set by BeginCommit, cleared on release. Only
+  // touched inside the commit section.
+  EngineObserver* commit_observer_ = nullptr;
+  std::string commit_tenant_;
+  int32_t commit_tenant_ord_ = 0;
+
+  /// Guards the tenant registry alone — never held together with
+  /// commit_mu_, so InternTenant is callable from any context
+  /// (including inside a commit, e.g. during LoadState).
+  mutable std::mutex tenant_mu_;
+  std::vector<std::string> tenants_{std::string()};
 };
 
 }  // namespace deepsea

@@ -2,6 +2,7 @@
 #define DEEPSEA_CORE_QUERY_CONTEXT_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -45,12 +46,25 @@ struct FragmentCandidate {
 /// DeepSeaEngine::ProcessQuery re-entrant by construction.
 class QueryContext {
  public:
-  QueryContext(PlanPtr query_in, int64_t clock)
-      : query(std::move(query_in)), clock_(clock) {}
+  QueryContext(PlanPtr query_in, int64_t clock, std::string tenant = "",
+               int32_t tenant_ord = 0)
+      : query(std::move(query_in)),
+        clock_(clock),
+        tenant_(std::move(tenant)),
+        tenant_ord_(tenant_ord) {}
 
-  /// The logical timestamp of this query (= engine clock at entry).
+  /// The logical timestamp of this query. With a shared pool this is
+  /// the pool's global commit clock (the position of this query in the
+  /// total commit order across all tenants), so decayed benefits age
+  /// consistently no matter which tenant recorded them.
   int64_t clock() const { return clock_; }
   double t_now() const { return static_cast<double>(clock_); }
+
+  /// The tenant issuing this query ("" for a single-tenant engine) and
+  /// its interned ordinal in the pool's tenant registry. Stage code
+  /// stamps recorded benefit events and fragment hits with the ordinal.
+  const std::string& tenant() const { return tenant_; }
+  int32_t tenant_ord() const { return tenant_ord_; }
 
   /// The fragment cover read by this query's chosen rewriting.
   /// Repartitioning is "a by-product of query answering" (Section 2):
@@ -99,6 +113,8 @@ class QueryContext {
   }
 
   int64_t clock_ = 0;
+  std::string tenant_;
+  int32_t tenant_ord_ = 0;
   std::string cover_view_;
   std::string cover_attr_;
   std::vector<Interval> cover_;

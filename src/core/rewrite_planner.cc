@@ -22,7 +22,8 @@ Status RewritePlanner::PlanBest(QueryContext* ctx, QueryReport* report) {
   DEEPSEA_ASSIGN_OR_RETURN(std::vector<Rewriting> rewritings,
                            matcher_->ComputeRewritings(ctx->query));
   // 2. Statistics update (line 2).
-  UpdateStatsFromRewritings(rewritings, report->base_seconds, ctx->t_now());
+  UpdateStatsFromRewritings(rewritings, report->base_seconds, ctx->t_now(),
+                            ctx->tenant_ord());
   // 3. Q_best: cheapest executable rewriting, if it beats the base
   //    plan (line 3).
   ctx->ClearCover();
@@ -44,7 +45,7 @@ Status RewritePlanner::PlanBest(QueryContext* ctx, QueryReport* report) {
 
 void RewritePlanner::UpdateStatsFromRewritings(
     const std::vector<Rewriting>& rewritings, double base_seconds,
-    double t_now) {
+    double t_now, int32_t tenant) {
   std::set<std::string> seen_views;
   std::set<std::string> seen_partitions;
   for (const Rewriting& rw : rewritings) {
@@ -54,7 +55,7 @@ void RewritePlanner::UpdateStatsFromRewritings(
     // (the list is sorted by cost, so the first occurrence is best).
     if (seen_views.insert(rw.view_id).second) {
       const double saving = base_seconds - rw.est_seconds;
-      if (saving > 0.0) view->stats.RecordUse(t_now, saving);
+      if (saving > 0.0) view->stats.RecordUse(t_now, saving, tenant);
     }
     // Fragment hits: every tracked fragment overlapping the query range
     // "was or could have been used" (Section 7.1).
@@ -65,7 +66,7 @@ void RewritePlanner::UpdateStatsFromRewritings(
         if (part != nullptr) {
           for (FragmentStats& f : part->fragments) {
             if (f.interval.Overlaps(rw.query_range)) {
-              f.RecordHit(t_now, rw.query_range);
+              f.RecordHit(t_now, rw.query_range, tenant);
             }
           }
         }

@@ -10,6 +10,25 @@ double ViewStats::AccumulatedBenefit(double t_now, const DecayFunction& dec) con
   return acc;
 }
 
+double ViewStats::AccumulatedBenefitForTenant(double t_now,
+                                              const DecayFunction& dec,
+                                              int32_t tenant) const {
+  double acc = 0.0;
+  for (const BenefitEvent& e : events) {
+    if (e.tenant == tenant) acc += e.saving * dec(t_now, e.time);
+  }
+  return acc;
+}
+
+std::map<int32_t, double> ViewStats::AccumulatedBenefitByTenant(
+    double t_now, const DecayFunction& dec) const {
+  std::map<int32_t, double> acc;
+  for (const BenefitEvent& e : events) {
+    acc[e.tenant] += e.saving * dec(t_now, e.time);
+  }
+  return acc;
+}
+
 double ViewStats::UndecayedBenefit() const {
   double acc = 0.0;
   for (const BenefitEvent& e : events) acc += e.saving;
@@ -31,6 +50,23 @@ double ViewStats::Value(double t_now, const DecayFunction& dec) const {
 double FragmentStats::DecayedHits(double t_now, const DecayFunction& dec) const {
   double acc = 0.0;
   for (const FragmentHit& h : hits) acc += dec(t_now, h.time);
+  return acc;
+}
+
+double FragmentStats::DecayedHitsForTenant(double t_now,
+                                           const DecayFunction& dec,
+                                           int32_t tenant) const {
+  double acc = 0.0;
+  for (const FragmentHit& h : hits) {
+    if (h.tenant == tenant) acc += dec(t_now, h.time);
+  }
+  return acc;
+}
+
+std::map<int32_t, double> FragmentStats::DecayedHitsByTenant(
+    double t_now, const DecayFunction& dec) const {
+  std::map<int32_t, double> acc;
+  for (const FragmentHit& h : hits) acc[h.tenant] += dec(t_now, h.time);
   return acc;
 }
 

@@ -1,6 +1,8 @@
 #ifndef DEEPSEA_CORE_VIEW_STATS_H_
 #define DEEPSEA_CORE_VIEW_STATS_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,9 +13,14 @@ namespace deepsea {
 
 /// One "this view could have answered query Q at time t, saving s
 /// seconds" observation (an element of the paper's B / T lists).
+/// `tenant` attributes the observation to the workload that produced it
+/// (an ordinal interned by PoolManager; 0 is the default tenant), so a
+/// shared pool can report which tenant's queries earned a view its
+/// place — and who loses when it is evicted.
 struct BenefitEvent {
   double time = 0.0;    ///< logical timestamp (query index)
   double saving = 0.0;  ///< COST(Q) - COST(Q/V), in simulated seconds
+  int32_t tenant = 0;   ///< interned tenant ordinal (0 = default)
 };
 
 /// Statistics kept per view (candidate or materialized): the tuple
@@ -30,10 +37,24 @@ struct ViewStats {
   /// Timestamped potential savings (the paper's T and B lists).
   std::vector<BenefitEvent> events;
 
-  void RecordUse(double time, double saving) { events.push_back({time, saving}); }
+  void RecordUse(double time, double saving, int32_t tenant = 0) {
+    events.push_back({time, saving, tenant});
+  }
 
   /// Accumulated decayed benefit B(V, t_now) = sum of saving * DEC.
+  /// Phi(V) always credits the whole benefit regardless of which tenant
+  /// earned it — the pool optimizes aggregate workload cost.
   double AccumulatedBenefit(double t_now, const DecayFunction& dec) const;
+
+  /// B(V, t_now) restricted to one tenant's events.
+  double AccumulatedBenefitForTenant(double t_now, const DecayFunction& dec,
+                                     int32_t tenant) const;
+
+  /// Attribution breakdown of AccumulatedBenefit by tenant ordinal.
+  /// Values sum to AccumulatedBenefit (same summation order per tenant,
+  /// so the per-tenant parts are exact, not re-derived estimates).
+  std::map<int32_t, double> AccumulatedBenefitByTenant(
+      double t_now, const DecayFunction& dec) const;
 
   /// Undecayed accumulated benefit N(V) (used by Nectar+, Section 10.1).
   double UndecayedBenefit() const;
@@ -57,6 +78,7 @@ struct FragmentHit {
   double time = 0.0;
   Interval range;
   bool has_range = false;
+  int32_t tenant = 0;  ///< interned tenant ordinal (0 = default)
 };
 
 /// Statistics kept per fragment interval of a tracked partition: the
@@ -70,13 +92,24 @@ struct FragmentStats {
   /// Hits T(I): the fragment was or could have been used.
   std::vector<FragmentHit> hits;
 
-  void RecordHit(double time) { hits.push_back({time, Interval(), false}); }
-  void RecordHit(double time, const Interval& range) {
-    hits.push_back({time, range, true});
+  void RecordHit(double time, int32_t tenant = 0) {
+    hits.push_back({time, Interval(), false, tenant});
+  }
+  void RecordHit(double time, const Interval& range, int32_t tenant = 0) {
+    hits.push_back({time, range, true, tenant});
   }
 
   /// Decayed hit count H(I) = sum over hits of DEC(t_now, t).
   double DecayedHits(double t_now, const DecayFunction& dec) const;
+
+  /// H(I) restricted to one tenant's hits.
+  double DecayedHitsForTenant(double t_now, const DecayFunction& dec,
+                              int32_t tenant) const;
+
+  /// Attribution breakdown of DecayedHits by tenant ordinal; values sum
+  /// to DecayedHits.
+  std::map<int32_t, double> DecayedHitsByTenant(double t_now,
+                                                const DecayFunction& dec) const;
 
   /// Undecayed hit count |T(I)|.
   double RawHits() const { return static_cast<double>(hits.size()); }

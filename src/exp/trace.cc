@@ -74,44 +74,52 @@ void TraceObserver::OnStageEnd(EngineStage stage, const QueryContext& ctx,
   s.wall_seconds += wall_seconds;
 }
 
-void TraceObserver::OnMaterializeView(const ViewInfo& view,
-                                      double sim_seconds) {
+void TraceObserver::OnMaterializeView(const ViewInfo& view, double sim_seconds,
+                                      const std::string& tenant) {
   (void)view;
   (void)sim_seconds;
   ++views_materialized_;
+  ++tenants_[tenant].views_materialized;
 }
 
 void TraceObserver::OnMaterializeFragment(const ViewInfo& view,
                                           const std::string& attr,
                                           const Interval& interval,
-                                          double bytes) {
+                                          double bytes,
+                                          const std::string& tenant) {
   (void)view;
   (void)attr;
   (void)interval;
   (void)bytes;
   ++fragments_materialized_;
+  ++tenants_[tenant].fragments_materialized;
 }
 
 void TraceObserver::OnEvict(const ViewInfo& view, const std::string& attr,
-                            const Interval& interval, double bytes) {
+                            const Interval& interval, double bytes,
+                            const std::string& tenant) {
   (void)view;
   (void)attr;
   (void)interval;
   (void)bytes;
   ++evictions_;
+  ++tenants_[tenant].evictions;
 }
 
 void TraceObserver::OnMerge(const ViewInfo& view, const std::string& attr,
-                            const Interval& merged, double bytes) {
+                            const Interval& merged, double bytes,
+                            const std::string& tenant) {
   (void)view;
   (void)attr;
   (void)merged;
   (void)bytes;
   ++merges_;
+  ++tenants_[tenant].merges;
 }
 
 void TraceObserver::OnQueryEnd(const QueryReport& report) {
   ++queries_;
+  ++tenants_[report.tenant_id].queries;
   if (trace_ != nullptr) trace_->Record(label_, report);
 }
 

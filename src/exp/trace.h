@@ -2,6 +2,8 @@
 #define DEEPSEA_EXP_TRACE_H_
 
 #include <array>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,7 +60,11 @@ class QueryTrace {
 /// `engine.set_observer(&obs)` and every processed query lands in the
 /// trace automatically — no per-query Record calls in the driver. On
 /// top of the per-query CSV rows it aggregates per-stage simulated and
-/// wall-clock time plus pool-mutation counts across the run.
+/// wall-clock time plus pool-mutation counts across the run —
+/// aggregate and broken down by the tenant that committed each
+/// mutation. One TraceObserver may serve several engines sharing a
+/// pool: every hook fires inside the pool's commit section, so the
+/// counters need no locking of their own.
 class TraceObserver : public EngineObserver {
  public:
   /// `trace` may be null: the observer then only aggregates stage
@@ -68,13 +74,17 @@ class TraceObserver : public EngineObserver {
 
   void OnStageEnd(EngineStage stage, const QueryContext& ctx,
                   double sim_seconds, double wall_seconds) override;
-  void OnMaterializeView(const ViewInfo& view, double sim_seconds) override;
+  void OnMaterializeView(const ViewInfo& view, double sim_seconds,
+                         const std::string& tenant) override;
   void OnMaterializeFragment(const ViewInfo& view, const std::string& attr,
-                             const Interval& interval, double bytes) override;
+                             const Interval& interval, double bytes,
+                             const std::string& tenant) override;
   void OnEvict(const ViewInfo& view, const std::string& attr,
-               const Interval& interval, double bytes) override;
+               const Interval& interval, double bytes,
+               const std::string& tenant) override;
   void OnMerge(const ViewInfo& view, const std::string& attr,
-               const Interval& merged, double bytes) override;
+               const Interval& merged, double bytes,
+               const std::string& tenant) override;
   void OnQueryEnd(const QueryReport& report) override;
 
   /// Cumulative timing of one pipeline stage across all queries seen.
@@ -93,6 +103,17 @@ class TraceObserver : public EngineObserver {
   int64_t evictions() const { return evictions_; }
   int64_t merges() const { return merges_; }
 
+  /// Per-tenant slice of the mutation counters (keyed by tenant id; ""
+  /// is the single-tenant default). Values sum to the aggregates above.
+  struct TenantStats {
+    int64_t queries = 0;
+    int64_t views_materialized = 0;
+    int64_t fragments_materialized = 0;
+    int64_t evictions = 0;
+    int64_t merges = 0;
+  };
+  const std::map<std::string, TenantStats>& tenants() const { return tenants_; }
+
   /// CSV of the stage aggregates:
   /// label,stage,calls,sim_s,wall_s
   std::string StageSummaryCsv() const;
@@ -109,6 +130,7 @@ class TraceObserver : public EngineObserver {
   int64_t fragments_materialized_ = 0;
   int64_t evictions_ = 0;
   int64_t merges_ = 0;
+  std::map<std::string, TenantStats> tenants_;
 };
 
 }  // namespace deepsea

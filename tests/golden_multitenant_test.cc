@@ -1,0 +1,129 @@
+// Two-tenant golden-trace regression test: two SDSS-patterned workloads
+// (distinct seeds) run through engines sharing one PoolManager in a
+// fixed round-robin commit order, and the interleaved QueryReport
+// sequence is compared field by field against a checked-in golden file.
+// The trace is computed twice — single-threaded replay and a
+// turnstile-pinned two-thread run — and both must match the file
+// bit-for-bit: with the commit order pinned, thread count must not be
+// observable anywhere in the reports or the final pool state.
+//
+// Regenerate (only when a behaviour change is *intended*):
+//   DEEPSEA_REGEN_GOLDEN=1 ./golden_multitenant_test
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "multitenant_harness.h"
+
+#include "workload/bigbench.h"
+
+namespace deepsea {
+namespace {
+
+#ifndef DEEPSEA_GOLDEN_DIR
+#define DEEPSEA_GOLDEN_DIR "tests/golden"
+#endif
+
+constexpr int kQueriesPerTenant = 50;
+
+EngineOptions Options() {
+  EngineOptions o;
+  o.strategy = StrategyKind::kDeepSea;
+  o.benefit_cost_threshold = 0.02;
+  o.enforce_block_lower_bound = true;
+  o.max_fragment_fraction = 0.1;
+  return o;
+}
+
+BigBenchDataset::Options DataOptions() {
+  BigBenchDataset::Options o;
+  o.total_bytes = 100e9;
+  o.sample_rows_per_fact = 256;
+  o.sample_rows_per_dim = 64;
+  o.seed = 7;
+  SdssTraceModel sdss(SdssTraceModel::Config{}, 2017);
+  o.item_sk_distribution = sdss.AccessDensity(420);
+  return o;
+}
+
+// Strict alternation alice, bob, alice, bob, ...
+std::vector<int> RoundRobinSchedule() {
+  std::vector<int> schedule;
+  schedule.reserve(2 * kQueriesPerTenant);
+  for (int i = 0; i < kQueriesPerTenant; ++i) {
+    schedule.push_back(0);
+    schedule.push_back(1);
+  }
+  return schedule;
+}
+
+// Flattens the per-tenant report lines back into global commit order.
+std::vector<std::string> InCommitOrder(const mt::ScheduledRunResult& run,
+                                       const std::vector<int>& schedule) {
+  std::vector<size_t> next(run.reports.size(), 0);
+  std::vector<std::string> lines;
+  lines.reserve(schedule.size());
+  for (int who : schedule) {
+    const size_t t = static_cast<size_t>(who);
+    if (next[t] < run.reports[t].size()) {
+      lines.push_back(run.reports[t][next[t]++]);
+    }
+  }
+  return lines;
+}
+
+TEST(GoldenMultiTenantTest, InterleavedTraceMatchesGoldenAcrossThreadCounts) {
+  const std::string path =
+      std::string(DEEPSEA_GOLDEN_DIR) + "/engine_trace_multitenant.golden";
+  const std::vector<std::string> tenants = {"alice", "bob"};
+  const std::vector<std::vector<PlanPtr>> plans = {
+      mt::BuildPlans(mt::SdssTenantWorkload(kQueriesPerTenant, 2017)),
+      mt::BuildPlans(mt::SdssTenantWorkload(kQueriesPerTenant, 4034))};
+  const std::vector<int> schedule = RoundRobinSchedule();
+
+  Catalog seq_catalog;
+  ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &seq_catalog).ok());
+  const mt::ScheduledRunResult seq = mt::RunScheduled(
+      &seq_catalog, Options(), tenants, plans, schedule, /*threaded=*/false);
+  const std::vector<std::string> actual = InCommitOrder(seq, schedule);
+  ASSERT_EQ(actual.size(), schedule.size());
+
+  if (std::getenv("DEEPSEA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (const std::string& line : actual) out << line << "\n";
+    GTEST_SKIP() << "regenerated " << path << " (" << actual.size()
+                 << " lines)";
+  }
+
+  // Same schedule on two real threads: bit-identical reports AND pool.
+  Catalog thr_catalog;
+  ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &thr_catalog).ok());
+  const mt::ScheduledRunResult thr = mt::RunScheduled(
+      &thr_catalog, Options(), tenants, plans, schedule, /*threaded=*/true);
+  const std::vector<std::string> threaded = InCommitOrder(thr, schedule);
+  ASSERT_EQ(actual.size(), threaded.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], threaded[i]) << "thread count visible at line " << i;
+  }
+  EXPECT_EQ(seq.fingerprint, thr.fingerprint);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << "; run with DEEPSEA_REGEN_GOLDEN=1 to create it";
+  std::vector<std::string> golden;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) golden.push_back(line);
+  }
+  ASSERT_EQ(actual.size(), golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(actual[i], golden[i]) << "trace diverges at line " << i;
+  }
+}
+
+}  // namespace
+}  // namespace deepsea

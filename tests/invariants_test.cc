@@ -3,10 +3,14 @@
 // guarantees regardless of what the adaptive machinery decides.
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/str_util.h"
 #include "core/engine.h"
+#include "core/view_sizing.h"
 #include "exec/executor.h"
 #include "plan/pushdown.h"
 #include "workload/bigbench.h"
@@ -14,6 +18,78 @@
 
 namespace deepsea {
 namespace {
+
+/// Observer that re-checks the structural invariants *inside* the
+/// commit section, at the end of every Apply and Merge stage — i.e.
+/// after every PoolManager::Apply, before the engine even returns the
+/// query. The per-query checks in the test body only see the state
+/// after the merge pass; this probe pins the invariants at the exact
+/// stage boundaries, and additionally verifies that every eviction
+/// released its bytes from the simulated FS (the file is gone).
+class InvariantProbe : public EngineObserver {
+ public:
+  InvariantProbe(const DeepSeaEngine* engine, double s_max, bool overlapping)
+      : engine_(engine), s_max_(s_max), overlapping_(overlapping) {}
+
+  void OnEvict(const ViewInfo& view, const std::string& attr,
+               const Interval& interval, double bytes,
+               const std::string& tenant) override {
+    (void)bytes;
+    (void)tenant;
+    evicted_paths_.push_back(
+        attr.empty() ? StrFormat("pool/%s/full", view.id.c_str())
+                     : FragmentPath(view, attr, interval));
+  }
+
+  void OnStageEnd(EngineStage stage, const QueryContext& ctx,
+                  double sim_seconds, double wall_seconds) override {
+    (void)ctx;
+    (void)sim_seconds;
+    (void)wall_seconds;
+    if (stage != EngineStage::kApply && stage != EngineStage::kMerge) return;
+    ++checks_;
+    // Hooks run inside the exclusive commit, so the unlocked reads are
+    // consistent. INVARIANT 1: pool never exceeds S_max, not even
+    // between Apply and the merge pass.
+    EXPECT_LE(engine_->PoolBytes(), s_max_ * 1.0001)
+        << "at stage " << EngineStageName(stage);
+    // INVARIANT 2: pool accounting matches the simulated FS exactly.
+    EXPECT_NEAR(engine_->PoolBytes(), engine_->fs().TotalBytes("pool/"),
+                1.0 + engine_->PoolBytes() * 1e-9)
+        << "at stage " << EngineStageName(stage);
+    // Evicted pieces must actually have left the FS (bytes released).
+    for (const std::string& path : evicted_paths_) {
+      EXPECT_FALSE(engine_->fs().Exists(path)) << path << " survived eviction";
+    }
+    evicted_paths_.clear();
+    // INVARIANT 3: horizontal mode keeps materialized fragments of each
+    // partition pairwise disjoint at every stage boundary.
+    if (!overlapping_) {
+      for (const ViewInfo* v : engine_->views().AllViews()) {
+        for (const auto& [attr, part] : v->partitions) {
+          const auto mats = part.MaterializedIntervals();
+          for (size_t i = 0; i < mats.size(); ++i) {
+            for (size_t j = i + 1; j < mats.size(); ++j) {
+              EXPECT_FALSE(mats[i].Overlaps(mats[j]))
+                  << attr << ": " << mats[i].ToString() << " vs "
+                  << mats[j].ToString() << " at stage "
+                  << EngineStageName(stage);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  int64_t checks() const { return checks_; }
+
+ private:
+  const DeepSeaEngine* engine_;
+  double s_max_;
+  bool overlapping_;
+  std::vector<std::string> evicted_paths_;
+  int64_t checks_ = 0;
+};
 
 struct SweepParam {
   StrategyKind strategy;
@@ -59,6 +135,8 @@ TEST_P(EngineInvariantsTest, StructuralInvariantsHoldUnderRandomWorkload) {
   opts.pool_limit_bytes = 6e9;  // tight: forces evictions
   opts.physical_execution = true;
   DeepSeaEngine engine(&catalog_, opts);
+  InvariantProbe probe(&engine, opts.pool_limit_bytes, p.overlapping);
+  engine.set_observer(&probe);
   Executor reference(&catalog_);
 
   Rng rng(p.seed);
@@ -122,6 +200,13 @@ TEST_P(EngineInvariantsTest, StructuralInvariantsHoldUnderRandomWorkload) {
     // cheapest possible execution.
     EXPECT_GE(report->best_seconds, 0.0);
     EXPECT_GE(report->total_seconds, report->best_seconds);
+  }
+
+  // The probe must actually have run: one Apply (and, when enabled, one
+  // Merge) stage boundary per query. Hive never reaches Apply — it is
+  // the no-materialization baseline.
+  if (p.strategy != StrategyKind::kHive) {
+    EXPECT_GE(probe.checks(), 25);
   }
 
   // INVARIANT 6: every materialized fragment interval is non-empty and

@@ -108,23 +108,28 @@ class PipelineStageTest : public ::testing::Test {
     mle_ = std::make_unique<MleFragmentModel>(options_.mle);
     pool_ = std::make_unique<PoolManager>(&catalog_, &options_, cluster_.get(),
                                           estimator_.get());
+    // Driving the stages directly (no engine): hold the pool's commit
+    // section for the whole test — the guard is the token that unlocks
+    // stat()/fs()/rewrite_index() and satisfies the mutators' asserts.
+    commit_ = pool_->BeginCommit();
     rewriter_ = std::make_unique<RewritePlanner>(
-        &catalog_, estimator_.get(), pool_->mutable_views(), &index_);
+        &catalog_, estimator_.get(), pool_->stat(commit_),
+        pool_->rewrite_index(commit_));
     generator_ = std::make_unique<CandidateGenerator>(
-        &catalog_, &options_, cluster_.get(), pool_->mutable_views(), &index_,
-        pool_.get());
+        &catalog_, &options_, cluster_.get(), pool_->stat(commit_),
+        pool_->rewrite_index(commit_), pool_.get());
     selector_ = std::make_unique<SelectionPlanner>(
         &catalog_, &options_, cluster_.get(), decay_.get(), mle_.get(),
-        pool_->mutable_views());
+        pool_->stat(commit_));
   }
 
   // Drives one query through all four stages (the orchestration
   // DeepSeaEngine::ProcessQuery performs), returning the report.
   QueryReport RunPipeline(const PlanPtr& query) {
-    ++clock_;
+    const int64_t clock = pool_->Tick(commit_);
     QueryReport report;
-    report.query_index = clock_;
-    QueryContext ctx(query, clock_);
+    report.query_index = clock;
+    QueryContext ctx(query, clock);
     EXPECT_TRUE(rewriter_->PlanBase(&ctx, &report).ok());
     EXPECT_TRUE(rewriter_->PlanBest(&ctx, &report).ok());
     const PlanPtr candidate_plan =
@@ -141,16 +146,16 @@ class PipelineStageTest : public ::testing::Test {
 
   Catalog catalog_;
   EngineOptions options_;
-  FilterTree index_;
   std::unique_ptr<ClusterModel> cluster_;
   std::unique_ptr<PlanCostEstimator> estimator_;
   std::unique_ptr<DecayFunction> decay_;
   std::unique_ptr<MleFragmentModel> mle_;
   std::unique_ptr<PoolManager> pool_;
+  // Declared after pool_ so the guard releases before the pool dies.
+  CommitGuard commit_;
   std::unique_ptr<RewritePlanner> rewriter_;
   std::unique_ptr<CandidateGenerator> generator_;
   std::unique_ptr<SelectionPlanner> selector_;
-  int64_t clock_ = 0;
 };
 
 TEST_F(PipelineStageTest, RewritePlannerComputesBaseThenPicksViewRewriting) {
@@ -194,7 +199,7 @@ TEST_F(PipelineStageTest, CandidateGeneratorRegistersViewsAndPartitions) {
   ASSERT_FALSE(ctx.view_candidates.empty());
   // Every candidate entered STAT and the relational catalog.
   for (const ViewCandidate& c : ctx.view_candidates) {
-    EXPECT_NE(pool_->mutable_views()->Get(c.view->id), nullptr);
+    EXPECT_NE(pool_->stat(commit_)->Get(c.view->id), nullptr);
     EXPECT_TRUE(catalog_.Contains(c.view->id));
     EXPECT_GT(c.view->stats.size_bytes, 0.0);
   }
@@ -209,7 +214,7 @@ TEST_F(PipelineStageTest, CandidateGeneratorRegistersViewsAndPartitions) {
   generator_->RegisterPartitionCandidates(&ctx);
   // The selection endpoint refined some view's pending fragmentation.
   bool any_pending_refined = false;
-  for (ViewInfo* v : pool_->mutable_views()->AllViews()) {
+  for (ViewInfo* v : pool_->stat(commit_)->AllViews()) {
     for (auto& [attr, part] : v->partitions) {
       (void)attr;
       any_pending_refined = any_pending_refined || part.pending.size() > 1;
@@ -222,10 +227,10 @@ TEST_F(PipelineStageTest, SelectionPlannerIsSideEffectFreeUntilApply) {
   const std::string name = BigBenchTemplates::Names()[0];
   const PlanPtr query = MakeQuery(name, 1000.0, 150000.0);
 
-  ++clock_;
-  QueryContext ctx(query, clock_);
+  const int64_t clock = pool_->Tick(commit_);
+  QueryContext ctx(query, clock);
   QueryReport report;
-  report.query_index = clock_;
+  report.query_index = clock;
   ASSERT_TRUE(rewriter_->PlanBase(&ctx, &report).ok());
   ASSERT_TRUE(rewriter_->PlanBest(&ctx, &report).ok());
   generator_->RegisterViewCandidates(ctx.query, report.base_seconds, &ctx);
