@@ -18,6 +18,11 @@ enum class StatusCode {
   kResourceExhausted,
   kNotImplemented,
   kInternal,
+  /// Transient failure: the operation may succeed if retried (storage
+  /// temporarily unreachable, job preempted). Contrast with
+  /// kResourceExhausted / kInternal, which are permanent for the
+  /// purposes of the engine's fault handling.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("OK",
@@ -57,8 +62,13 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for faults worth retrying (see StatusCode::kUnavailable).
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -135,7 +135,7 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     }
     {
       StageScope stage(observer_, EngineStage::kApply, ctx);
-      pool_->Apply(decision, ctx, &report);
+      ExecuteDecision(decision, ctx, &report, t);
       stage.Finish(report.materialize_seconds);
     }
 
@@ -143,8 +143,7 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     // extension; disabled by default).
     if (options_.merge.enabled) {
       StageScope stage(observer_, EngineStage::kMerge, ctx);
-      const double merge_seconds =
-          pool_->RunMergePass(ctx.t_now(), decay_, &report);
+      const double merge_seconds = ExecuteMergePass(ctx, &report);
       report.materialize_seconds += merge_seconds;
       stage.Finish(merge_seconds);
     }
@@ -180,6 +179,9 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     stage.Finish(0.0);
   }
 
+  totals_.faults += report.fault_count;
+  totals_.retries += report.retry_count;
+  if (report.degraded) totals_.queries_degraded += 1;
   totals_.total_seconds += report.total_seconds;
   totals_.base_seconds += report.base_seconds;
   totals_.materialize_seconds += report.materialize_seconds;
@@ -192,6 +194,91 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   if (!report.used_view.empty()) totals_.queries_answered_from_views += 1;
   if (observer_ != nullptr) observer_->OnQueryEnd(report);
   return report;
+}
+
+void DeepSeaEngine::ExecuteDecision(const SelectionDecision& decision,
+                                    const QueryContext& ctx,
+                                    QueryReport* report, int64_t t_now) {
+  const FaultHandlingConfig& fault = options_.fault;
+  // Apply restores *report to its pre-attempt image on failure, so the
+  // running fault/retry tallies and the backoff charge live outside the
+  // report until the loop resolves.
+  int faults = report->fault_count;
+  int retries = report->retry_count;
+  double backoff_seconds = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    Status st = pool_->Apply(decision, ctx, report);
+    if (st.ok()) {
+      report->fault_count = faults;
+      report->retry_count = retries;
+      report->materialize_seconds += backoff_seconds;
+      return;
+    }
+    ++faults;
+    if (observer_ != nullptr) {
+      observer_->OnFault(EngineStage::kApply, report->fault_view, st, attempt,
+                         tenant_);
+    }
+    if (st.IsTransient() && attempt < fault.max_retries) {
+      ++retries;
+      backoff_seconds += fault.retry_backoff_seconds;
+      if (observer_ != nullptr) {
+        observer_->OnRetry(EngineStage::kApply, attempt + 1, tenant_);
+      }
+      continue;
+    }
+    // Permanent fault, or transient retries exhausted: abandon the
+    // decision. The pool is already rolled back; the query is answered
+    // from whatever is materialized.
+    report->fault_count = faults;
+    report->retry_count = retries;
+    report->materialize_seconds += backoff_seconds;
+    report->degraded = true;
+    if (!report->fault_view.empty()) {
+      pool_->RecordViewFault(report->fault_view, t_now);
+    }
+    if (observer_ != nullptr) {
+      observer_->OnDegrade(EngineStage::kApply, report->fault_view, st,
+                           tenant_);
+    }
+    return;
+  }
+}
+
+double DeepSeaEngine::ExecuteMergePass(const QueryContext& ctx,
+                                       QueryReport* report) {
+  const FaultHandlingConfig& fault = options_.fault;
+  int faults = report->fault_count;
+  int retries = report->retry_count;
+  double backoff_seconds = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    Result<double> seconds = pool_->RunMergePass(ctx.t_now(), decay_, report);
+    if (seconds.ok()) {
+      report->fault_count = faults;
+      report->retry_count = retries;
+      return *seconds + backoff_seconds;
+    }
+    ++faults;
+    if (observer_ != nullptr) {
+      observer_->OnFault(EngineStage::kMerge, "", seconds.status(), attempt,
+                         tenant_);
+    }
+    if (seconds.status().IsTransient() && attempt < fault.max_retries) {
+      ++retries;
+      backoff_seconds += fault.retry_backoff_seconds;
+      if (observer_ != nullptr) {
+        observer_->OnRetry(EngineStage::kMerge, attempt + 1, tenant_);
+      }
+      continue;
+    }
+    report->fault_count = faults;
+    report->retry_count = retries;
+    report->degraded = true;
+    if (observer_ != nullptr) {
+      observer_->OnDegrade(EngineStage::kMerge, "", seconds.status(), tenant_);
+    }
+    return backoff_seconds;
+  }
 }
 
 Status DeepSeaEngine::PhysicalExecute(const CommitGuard& commit,

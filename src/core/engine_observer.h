@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "core/interval.h"
 #include "core/view_catalog.h"
 #include "plan/plan.h"
@@ -113,6 +114,41 @@ class EngineObserver {
     (void)attr;
     (void)merged;
     (void)bytes;
+    (void)tenant;
+  }
+
+  // --- fault handling (see DESIGN.md, "Failure model and recovery") ---
+
+  /// A decision-execution attempt failed and was rolled back. `stage`
+  /// is kApply or kMerge; `view_id` is the view whose action failed
+  /// ("" when unattributed, e.g. a merge-pass write); `attempt` counts
+  /// from 0. Fired once per failed attempt, before any OnRetry /
+  /// OnDegrade that follows from it.
+  virtual void OnFault(EngineStage stage, const std::string& view_id,
+                       const Status& status, int attempt,
+                       const std::string& tenant) {
+    (void)stage;
+    (void)view_id;
+    (void)status;
+    (void)attempt;
+    (void)tenant;
+  }
+  /// The engine is about to re-execute a decision that failed with a
+  /// transient fault; `next_attempt` is the attempt number about to run.
+  virtual void OnRetry(EngineStage stage, int next_attempt,
+                       const std::string& tenant) {
+    (void)stage;
+    (void)next_attempt;
+    (void)tenant;
+  }
+  /// The engine abandoned the decision (permanent fault, or transient
+  /// retries exhausted) and degraded: the query is answered from
+  /// already-materialized state, the pool keeps its pre-Apply contents.
+  virtual void OnDegrade(EngineStage stage, const std::string& view_id,
+                         const Status& status, const std::string& tenant) {
+    (void)stage;
+    (void)view_id;
+    (void)status;
     (void)tenant;
   }
 

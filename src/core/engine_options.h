@@ -16,6 +16,27 @@
 
 namespace deepsea {
 
+/// Retry and degradation policy for storage faults (see DESIGN.md,
+/// "Failure model and recovery"). Materialization is a best-effort
+/// optimization: when a decision cannot be applied, the engine answers
+/// the query from whatever is already materialized — a fault must never
+/// take query answering down with it.
+struct FaultHandlingConfig {
+  /// Additional attempts for a decision that failed with a transient
+  /// fault (StatusCode::kUnavailable). Each attempt re-executes the
+  /// whole decision against the rolled-back pool. 0 disables retry.
+  int max_retries = 2;
+  /// Simulated seconds charged per retry (models backoff + job
+  /// re-queue). 0 keeps retried queries' charged time unchanged.
+  double retry_backoff_seconds = 0.0;
+  /// Permanent decision failures attributed to one view before the view
+  /// is quarantined (SelectionPlanner stops proposing it). <= 0
+  /// disables quarantine.
+  int quarantine_threshold = 3;
+  /// Commits after which a quarantined view becomes proposable again.
+  int64_t quarantine_cooldown_commits = 50;
+};
+
 /// All knobs of a DeepSea engine instance. Defaults are the paper's
 /// DeepSea configuration; baselines are expressed by changing strategy
 /// and/or value_model (see core/policy.h).
@@ -82,6 +103,9 @@ struct EngineOptions {
   /// default; see core/merge.h.
   MergeConfig merge;
 
+  /// Storage-fault retry / degradation / quarantine policy.
+  FaultHandlingConfig fault;
+
   /// Fragment boundaries are snapped outward to a grid of this fraction
   /// of the attribute domain before candidate generation, so queries
   /// whose ranges jitter around the same hot region converge on one
@@ -116,6 +140,23 @@ struct QueryReport {
   int merged_fragments = 0;          ///< merge-pass merges this query
   double pool_bytes_after = 0.0;
 
+  // --- fault handling (all zero on a fault-free query) ---
+
+  /// Decision-execution attempts that failed and were rolled back
+  /// (Apply and merge pass, transient and permanent).
+  int fault_count = 0;
+  /// Rolled-back attempts that were retried (transient faults only).
+  int retry_count = 0;
+  /// True when a decision was abandoned: the query was still answered,
+  /// from the best rewriting over already-materialized state (or base
+  /// tables), but the planned pool reconfiguration did not happen.
+  bool degraded = false;
+  /// View whose action failed first in the last failed attempt ("" when
+  /// fault-free or unattributed, e.g. a merge-pass write).
+  std::string fault_view;
+  /// Status string of the last fault ("" when fault-free).
+  std::string fault_message;
+
   bool physically_executed = false;
   ExecResult physical;               ///< result rows (physical mode only)
 };
@@ -132,6 +173,9 @@ struct EngineTotals {
   int64_t fragments_evicted = 0;
   int64_t fragments_merged = 0;
   int64_t queries_answered_from_views = 0;
+  int64_t faults = 0;             ///< failed decision-execution attempts
+  int64_t retries = 0;            ///< transient-fault retries
+  int64_t queries_degraded = 0;   ///< queries whose decision was abandoned
 };
 
 }  // namespace deepsea

@@ -20,8 +20,11 @@
 // tenant ordinals are remapped through the loading pool's registry, so
 // a blob saved by one pool restores correct attributions in another.
 
+#include <cassert>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "common/str_util.h"
 #include "core/engine.h"
@@ -38,14 +41,96 @@ std::string FmtInterval(const Interval& iv) {
                    iv.hi_inclusive ? 1 : 0);
 }
 
+// --- strict field parsers. atof/atoi silently map garbage to 0, which
+//     turns a corrupted blob into a quietly wrong pool; every field of a
+//     state line must parse completely or the whole load is rejected.
+
+Result<double> ParseDouble(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty number in state");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("bad number in state: " + s);
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer in state");
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("bad integer in state: " + s);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<bool> ParseFlag(const std::string& s) {
+  if (s == "1") return true;
+  if (s == "0") return false;
+  return Status::InvalidArgument("bad flag in state: " + s);
+}
+
 // Parses 4 whitespace-separated interval fields starting at parts[at].
 Result<Interval> ParseInterval(const std::vector<std::string>& parts, size_t at) {
   if (parts.size() < at + 4) {
     return Status::InvalidArgument("truncated interval in state");
   }
-  return Interval(std::atof(parts[at].c_str()), std::atof(parts[at + 1].c_str()),
-                  parts[at + 2] == "1", parts[at + 3] == "1");
+  DEEPSEA_ASSIGN_OR_RETURN(double lo, ParseDouble(parts[at]));
+  DEEPSEA_ASSIGN_OR_RETURN(double hi, ParseDouble(parts[at + 1]));
+  DEEPSEA_ASSIGN_OR_RETURN(bool lo_inc, ParseFlag(parts[at + 2]));
+  DEEPSEA_ASSIGN_OR_RETURN(bool hi_inc, ParseFlag(parts[at + 3]));
+  return Interval(lo, hi, lo_inc, hi_inc);
 }
+
+// --- parsed representation of a state blob (phase 1 output). LoadState
+//     fully parses and validates into these values before touching any
+//     engine state, so a malformed blob can never leave a partial load.
+
+struct ParsedHit {
+  double time = 0.0;
+  bool has_range = false;
+  Interval range;
+  int32_t tenant = 0;
+};
+
+struct ParsedFragment {
+  Interval interval;
+  double size_bytes = 0.0;
+  bool materialized = false;
+  std::vector<ParsedHit> hits;
+};
+
+struct ParsedPartition {
+  std::string attr;
+  Interval domain;
+  std::vector<Interval> pending;
+  std::vector<ParsedFragment> fragments;
+};
+
+struct ParsedEvent {
+  double time = 0.0;
+  double saving = 0.0;
+  int32_t tenant = 0;
+};
+
+struct ParsedView {
+  PlanPtr plan;
+  PlanSignature signature;
+  double size_bytes = 0.0;
+  double creation_cost = 0.0;
+  bool size_is_actual = false;
+  bool cost_is_actual = false;
+  bool whole_materialized = false;
+  std::vector<ParsedEvent> events;
+  std::vector<ParsedPartition> partitions;
+};
+
+struct ParsedState {
+  int64_t clock = 0;
+  std::vector<std::pair<int32_t, std::string>> tenants;  // saved ord -> name
+  std::vector<ParsedView> views;
+};
 
 }  // namespace
 
@@ -100,39 +185,31 @@ Result<std::string> DeepSeaEngine::SaveState() const {
 }
 
 Status DeepSeaEngine::LoadState(const std::string& state) {
+  // --- phase 1: parse and validate the whole blob into ParsedState.
+  // Mutates nothing, so a truncated, version-skewed, or field-mangled
+  // blob returns an error with the engine exactly as it was — no
+  // partial loads.
   const std::vector<std::string> lines = Split(state, '\n');
   size_t i = 0;
   auto next_parts = [&]() { return Split(lines[i], ' '); };
   if (i >= lines.size() ||
       (lines[i] != "DEEPSEA-STATE 1" && lines[i] != "DEEPSEA-STATE 2")) {
-    return Status::InvalidArgument("bad state header");
+    return Status::InvalidArgument("bad or unsupported state header");
   }
   ++i;
 
-  CommitGuard commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
-  ViewCatalog* views = pool_->stat(commit);
-  SimFs* fs = pool_->fs(commit);
-  FilterTree* index = pool_->rewrite_index(commit);
-
+  ParsedState parsed;
   if (i < lines.size() && lines[i].rfind("CLOCK ", 0) == 0) {
-    pool_->AdvanceClockTo(commit, std::atoll(lines[i].substr(6).c_str()));
+    DEEPSEA_ASSIGN_OR_RETURN(parsed.clock, ParseInt(lines[i].substr(6)));
     ++i;
   }
-  // Remap saved tenant ordinals into this pool's registry (InternTenant
-  // takes its own mutex, never the commit lock — safe to call here).
-  std::map<int32_t, int32_t> tenant_remap;
   while (i < lines.size() && lines[i].rfind("TENANT ", 0) == 0) {
     const auto parts = next_parts();
     if (parts.size() != 3) return Status::InvalidArgument("bad TENANT line");
-    tenant_remap[static_cast<int32_t>(std::atoi(parts[1].c_str()))] =
-        pool_->InternTenant(parts[2]);
+    DEEPSEA_ASSIGN_OR_RETURN(int64_t saved_ord, ParseInt(parts[1]));
+    parsed.tenants.emplace_back(static_cast<int32_t>(saved_ord), parts[2]);
     ++i;
   }
-  auto remap_tenant = [&](const std::string& field) {
-    const int32_t saved = static_cast<int32_t>(std::atoi(field.c_str()));
-    auto it = tenant_remap.find(saved);
-    return it != tenant_remap.end() ? it->second : saved;
-  };
 
   while (i < lines.size()) {
     if (lines[i].empty()) {
@@ -147,80 +224,77 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
     if (i >= lines.size() || lines[i].rfind("PLAN ", 0) != 0) {
       return Status::InvalidArgument("expected PLAN after VIEW");
     }
-    const int plan_lines = std::atoi(lines[i].substr(5).c_str());
+    ParsedView pv;
+    DEEPSEA_ASSIGN_OR_RETURN(int64_t plan_lines, ParseInt(lines[i].substr(5)));
+    if (plan_lines < 0) return Status::InvalidArgument("bad PLAN line count");
     ++i;
     std::string plan_text;
-    for (int k = 0; k < plan_lines; ++k) {
+    for (int64_t k = 0; k < plan_lines; ++k) {
       if (i >= lines.size()) return Status::InvalidArgument("truncated plan");
       plan_text += lines[i++] + "\n";
     }
-    DEEPSEA_ASSIGN_OR_RETURN(PlanPtr plan, DeserializePlan(plan_text));
-    DEEPSEA_ASSIGN_OR_RETURN(PlanSignature sig, ComputeSignature(plan, *catalog_));
-    const bool known = views->FindBySignature(sig.ToString()) != nullptr;
-    ViewInfo* view = views->Track(plan, sig);
-    if (!known) {
-      pool_->RegisterViewTable(view);
-      index->Insert(view->signature, view->id);
-    }
+    DEEPSEA_ASSIGN_OR_RETURN(pv.plan, DeserializePlan(plan_text));
+    // Signatures are resolved after the structural parse (see below):
+    // a stored plan may reference an earlier view's table, so resolution
+    // must run in definition order against the registrations the apply
+    // phase will perform.
 
-    // STATS line.
     if (i >= lines.size() || lines[i].rfind("STATS ", 0) != 0) {
       return Status::InvalidArgument("expected STATS");
     }
     {
       const auto parts = next_parts();
       if (parts.size() != 6) return Status::InvalidArgument("bad STATS line");
-      view->stats.size_bytes = std::atof(parts[1].c_str());
-      view->stats.creation_cost = std::atof(parts[2].c_str());
-      view->stats.size_is_actual = parts[3] == "1";
-      view->stats.cost_is_actual = parts[4] == "1";
-      view->whole_materialized = parts[5] == "1";
-      if (view->whole_materialized) {
-        fs->Put(StrFormat("pool/%s/full", view->id.c_str()),
-                view->stats.size_bytes);
-      }
+      DEEPSEA_ASSIGN_OR_RETURN(pv.size_bytes, ParseDouble(parts[1]));
+      DEEPSEA_ASSIGN_OR_RETURN(pv.creation_cost, ParseDouble(parts[2]));
+      DEEPSEA_ASSIGN_OR_RETURN(pv.size_is_actual, ParseFlag(parts[3]));
+      DEEPSEA_ASSIGN_OR_RETURN(pv.cost_is_actual, ParseFlag(parts[4]));
+      DEEPSEA_ASSIGN_OR_RETURN(pv.whole_materialized, ParseFlag(parts[5]));
       ++i;
     }
-    PartitionState* part = nullptr;
-    FragmentStats* frag = nullptr;
+    // `part` / `frag` always point at the most recent element and are
+    // re-taken after every push_back (which may reallocate).
+    ParsedPartition* part = nullptr;
+    ParsedFragment* frag = nullptr;
     while (i < lines.size() && lines[i] != "ENDVIEW") {
       const auto parts = next_parts();
       if (parts[0] == "EVENT" && (parts.size() == 3 || parts.size() == 4)) {
-        view->stats.RecordUse(
-            std::atof(parts[1].c_str()), std::atof(parts[2].c_str()),
-            parts.size() == 4 ? remap_tenant(parts[3]) : 0);
-      } else if (parts[0] == "PARTITION" && parts.size() == 6) {
-        DEEPSEA_ASSIGN_OR_RETURN(Interval domain, ParseInterval(parts, 2));
-        part = view->EnsurePartition(parts[1], domain);
-        part->pending.clear();
-        frag = nullptr;
-        // Attach the derived histogram (as RegisterPartitionCandidates
-        // would) so fragment size estimation works after load.
-        auto view_table = catalog_->Get(view->id);
-        if (view_table.ok() &&
-            (*view_table)->GetHistogram(parts[1]) == nullptr) {
-          auto hist = DeriveViewHistogram(*catalog_, options_, *view, parts[1]);
-          if (hist.ok()) (*view_table)->SetHistogram(parts[1], *hist);
+        ParsedEvent e;
+        DEEPSEA_ASSIGN_OR_RETURN(e.time, ParseDouble(parts[1]));
+        DEEPSEA_ASSIGN_OR_RETURN(e.saving, ParseDouble(parts[2]));
+        if (parts.size() == 4) {
+          DEEPSEA_ASSIGN_OR_RETURN(int64_t ord, ParseInt(parts[3]));
+          e.tenant = static_cast<int32_t>(ord);
         }
+        pv.events.push_back(e);
+      } else if (parts[0] == "PARTITION" && parts.size() == 6) {
+        ParsedPartition p;
+        p.attr = parts[1];
+        DEEPSEA_ASSIGN_OR_RETURN(p.domain, ParseInterval(parts, 2));
+        pv.partitions.push_back(std::move(p));
+        part = &pv.partitions.back();
+        frag = nullptr;
       } else if (parts[0] == "PENDING" && parts.size() == 5 && part != nullptr) {
         DEEPSEA_ASSIGN_OR_RETURN(Interval iv, ParseInterval(parts, 1));
         part->pending.push_back(iv);
-      } else if (parts[0] == "FRAGMENT" && parts.size() == 7 && part != nullptr) {
-        DEEPSEA_ASSIGN_OR_RETURN(Interval iv, ParseInterval(parts, 1));
-        frag = part->Track(iv, std::atof(parts[5].c_str()));
-        frag->size_bytes = std::atof(parts[5].c_str());
-        frag->materialized = parts[6] == "1";
-        frag->hits.clear();
-        if (frag->materialized) {
-          fs->Put(FragmentPath(*view, part->attr, iv), frag->size_bytes);
-        }
+      } else if (parts[0] == "FRAGMENT" && parts.size() == 7 &&
+                 part != nullptr) {
+        ParsedFragment f;
+        DEEPSEA_ASSIGN_OR_RETURN(f.interval, ParseInterval(parts, 1));
+        DEEPSEA_ASSIGN_OR_RETURN(f.size_bytes, ParseDouble(parts[5]));
+        DEEPSEA_ASSIGN_OR_RETURN(f.materialized, ParseFlag(parts[6]));
+        part->fragments.push_back(std::move(f));
+        frag = &part->fragments.back();
       } else if (parts[0] == "HIT" && (parts.size() == 7 || parts.size() == 8) &&
                  frag != nullptr) {
-        FragmentHit hit;
-        hit.time = std::atof(parts[1].c_str());
-        hit.has_range = parts[2] == "1";
+        ParsedHit hit;
+        DEEPSEA_ASSIGN_OR_RETURN(hit.time, ParseDouble(parts[1]));
+        DEEPSEA_ASSIGN_OR_RETURN(hit.has_range, ParseFlag(parts[2]));
         DEEPSEA_ASSIGN_OR_RETURN(hit.range, ParseInterval(parts, 3));
-        hit.tenant = parts.size() == 8 ? remap_tenant(parts[7]) : 0;
+        if (parts.size() == 8) {
+          DEEPSEA_ASSIGN_OR_RETURN(int64_t ord, ParseInt(parts[7]));
+          hit.tenant = static_cast<int32_t>(ord);
+        }
         frag->hits.push_back(hit);
       } else {
         return Status::InvalidArgument("unexpected state line: " + lines[i]);
@@ -229,7 +303,133 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
     }
     if (i >= lines.size()) return Status::InvalidArgument("missing ENDVIEW");
     ++i;  // consume ENDVIEW
+    parsed.views.push_back(std::move(pv));
   }
+
+  // --- phase 2: under the exclusive commit, first resolve plan
+  // signatures (read-only, still fallible — an early return here leaves
+  // the engine unchanged), then apply the validated state. Every
+  // operation in the apply half is infallible, so the load lands
+  // completely or not at all.
+  CommitGuard commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
+  ViewCatalog* views = pool_->stat(commit);
+  SimFs* fs = pool_->fs(commit);
+  FilterTree* index = pool_->rewrite_index(commit);
+
+  {
+    // Stored plans may reference earlier views' tables (a view defined
+    // over a rewritten plan), which the apply loop registers as it
+    // tracks each view. Resolution therefore runs in definition order
+    // against an overlay catalog that mirrors those registrations — the
+    // real catalog is never touched, so failure cannot leave a partial
+    // load.
+    Catalog overlay = *catalog_;
+    int next_id = views->peek_next_id();
+    // canonical signature -> id this load will assign (blobs hold each
+    // view once, but a linear scan keeps duplicates deterministic too).
+    std::vector<std::pair<std::string, std::string>> fresh_ids;
+    for (ParsedView& pv : parsed.views) {
+      DEEPSEA_ASSIGN_OR_RETURN(pv.signature,
+                               ComputeSignature(pv.plan, overlay));
+      const std::string canonical = pv.signature.ToString();
+      std::string id;
+      if (const ViewInfo* existing = views->FindBySignature(canonical)) {
+        id = existing->id;
+      } else {
+        for (const auto& [c, assigned] : fresh_ids) {
+          if (c == canonical) {
+            id = assigned;
+            break;
+          }
+        }
+        if (id.empty()) {
+          id = StrFormat("v%d", next_id++);
+          fresh_ids.emplace_back(canonical, id);
+        }
+      }
+      // Mirror RegisterViewTable: register the view's output schema
+      // under its (predicted) id; skip silently when the schema cannot
+      // be derived, exactly as the apply phase will.
+      if (!overlay.Contains(id)) {
+        auto schema = pv.plan->OutputSchema(overlay);
+        if (schema.ok()) overlay.Put(std::make_shared<Table>(id, *schema));
+      }
+    }
+  }
+  // State restore is a recovery path: the fault-injection policy must
+  // not fail it (and restored files are not fresh pool writes the
+  // policy should count). Detach it for the duration.
+  FaultPolicy* saved_policy = fs->fault_policy();
+  fs->set_fault_policy(nullptr);
+
+  pool_->AdvanceClockTo(commit, parsed.clock);
+  // Remap saved tenant ordinals into this pool's registry (InternTenant
+  // takes its own mutex, never the commit lock — safe to call here).
+  std::map<int32_t, int32_t> tenant_remap;
+  for (const auto& [saved_ord, name] : parsed.tenants) {
+    tenant_remap[saved_ord] = pool_->InternTenant(name);
+  }
+  auto remap_tenant = [&](int32_t saved) {
+    auto it = tenant_remap.find(saved);
+    return it != tenant_remap.end() ? it->second : saved;
+  };
+
+  for (ParsedView& pv : parsed.views) {
+    const bool known =
+        views->FindBySignature(pv.signature.ToString()) != nullptr;
+    ViewInfo* view = views->Track(pv.plan, pv.signature);
+    if (!known) {
+      pool_->RegisterViewTable(view);
+      index->Insert(view->signature, view->id);
+    }
+    view->stats.size_bytes = pv.size_bytes;
+    view->stats.creation_cost = pv.creation_cost;
+    view->stats.size_is_actual = pv.size_is_actual;
+    view->stats.cost_is_actual = pv.cost_is_actual;
+    view->whole_materialized = pv.whole_materialized;
+    if (pv.whole_materialized) {
+      Status st =
+          fs->Put(StrFormat("pool/%s/full", view->id.c_str()), pv.size_bytes);
+      assert(st.ok());  // no policy installed: Put cannot fail
+      (void)st;
+    }
+    for (const ParsedEvent& e : pv.events) {
+      view->stats.RecordUse(e.time, e.saving, remap_tenant(e.tenant));
+    }
+    for (ParsedPartition& pp : pv.partitions) {
+      PartitionState* part = view->EnsurePartition(pp.attr, pp.domain);
+      part->pending = pp.pending;
+      // Attach the derived histogram (as RegisterPartitionCandidates
+      // would) so fragment size estimation works after load.
+      auto view_table = catalog_->Get(view->id);
+      if (view_table.ok() && (*view_table)->GetHistogram(pp.attr) == nullptr) {
+        auto hist = DeriveViewHistogram(*catalog_, options_, *view, pp.attr);
+        if (hist.ok()) (*view_table)->SetHistogram(pp.attr, *hist);
+      }
+      for (const ParsedFragment& pf : pp.fragments) {
+        FragmentStats* frag = part->Track(pf.interval, pf.size_bytes);
+        frag->size_bytes = pf.size_bytes;
+        frag->materialized = pf.materialized;
+        frag->hits.clear();
+        for (const ParsedHit& h : pf.hits) {
+          FragmentHit hit;
+          hit.time = h.time;
+          hit.has_range = h.has_range;
+          hit.range = h.range;
+          hit.tenant = remap_tenant(h.tenant);
+          frag->hits.push_back(hit);
+        }
+        if (pf.materialized) {
+          Status st =
+              fs->Put(FragmentPath(*view, part->attr, pf.interval),
+                      pf.size_bytes);
+          assert(st.ok());  // no policy installed: Put cannot fail
+          (void)st;
+        }
+      }
+    }
+  }
+  fs->set_fault_policy(saved_policy);
   return Status::OK();
 }
 

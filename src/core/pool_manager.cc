@@ -42,6 +42,7 @@ CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
 
 void PoolManager::ReleaseCommit() {
   assert(CommitHeldByThisThread());
+  assert(!txn_active_ && "commit released with an open pool transaction");
   commit_observer_ = nullptr;
   commit_tenant_.clear();
   commit_tenant_ord_ = 0;
@@ -110,6 +111,11 @@ std::vector<std::string> PoolManager::Tenants() const {
   return tenants_;
 }
 
+void PoolManager::SetFaultPolicy(FaultPolicy* policy) {
+  CommitGuard commit = BeginCommit();
+  fs_.set_fault_policy(policy);
+}
+
 void PoolManager::RegisterViewTable(ViewInfo* view) {
   assert(CommitHeldByThisThread());
   if (catalog_->Contains(view->id)) return;
@@ -130,8 +136,205 @@ void PoolManager::RegisterViewTable(ViewInfo* view) {
       est->seconds + cluster_->WriteSeconds(view->stats.size_bytes);
 }
 
-double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
+// --- decision transaction ---
+
+void PoolManager::TxnBegin() {
   assert(CommitHeldByThisThread());
+  assert(!txn_active_ && "pool transactions do not nest");
+  txn_active_ = true;
+}
+
+void PoolManager::TxnCommit() {
+  assert(txn_active_);
+  txn_active_ = false;
+  if (commit_observer_ != nullptr) {
+    for (const TxnEvent& e : txn_events_) {
+      switch (e.kind) {
+        case TxnEvent::Kind::kMaterializeView:
+          commit_observer_->OnMaterializeView(*e.view, e.value, commit_tenant_);
+          break;
+        case TxnEvent::Kind::kMaterializeFragment:
+          commit_observer_->OnMaterializeFragment(*e.view, e.attr, e.interval,
+                                                  e.value, commit_tenant_);
+          break;
+        case TxnEvent::Kind::kEvict:
+          commit_observer_->OnEvict(*e.view, e.attr, e.interval, e.value,
+                                    commit_tenant_);
+          break;
+        case TxnEvent::Kind::kMerge:
+          commit_observer_->OnMerge(*e.view, e.attr, e.interval, e.value,
+                                    commit_tenant_);
+          break;
+      }
+    }
+  }
+  txn_events_.clear();
+  txn_views_.clear();
+  txn_files_.clear();
+}
+
+void PoolManager::TxnRollback() {
+  assert(txn_active_);
+  txn_active_ = false;
+  // Restore view metadata in reverse snapshot order. Partitions are
+  // restored in place so PartitionState addresses survive (the retried
+  // decision's actions point at them).
+  for (auto it = txn_views_.rbegin(); it != txn_views_.rend(); ++it) {
+    ViewInfo* v = it->view;
+    v->whole_materialized = it->whole_materialized;
+    v->stats = it->stats;
+    v->fault_count = it->fault_count;
+    v->quarantined_until = it->quarantined_until;
+    for (auto pit = v->partitions.begin(); pit != v->partitions.end();) {
+      auto img = it->partitions.find(pit->first);
+      if (img == it->partitions.end()) {
+        // Partition added after the snapshot: remove it again.
+        pit = v->partitions.erase(pit);
+      } else {
+        pit->second = img->second;
+        ++pit;
+      }
+    }
+    for (const auto& [attr, part] : it->partitions) {
+      if (v->partitions.count(attr) == 0) v->partitions.emplace(attr, part);
+    }
+  }
+  for (auto it = txn_files_.rbegin(); it != txn_files_.rend(); ++it) {
+    fs_.RestoreForRollback(it->path, it->existed, it->bytes);
+  }
+  txn_events_.clear();
+  txn_views_.clear();
+  txn_files_.clear();
+}
+
+void PoolManager::TxnSnapshotView(ViewInfo* view) {
+  if (!txn_active_) return;
+  for (const TxnViewImage& img : txn_views_) {
+    if (img.view == view) return;  // first touch already captured
+  }
+  TxnViewImage img;
+  img.view = view;
+  img.whole_materialized = view->whole_materialized;
+  img.stats = view->stats;
+  img.fault_count = view->fault_count;
+  img.quarantined_until = view->quarantined_until;
+  img.partitions = view->partitions;
+  txn_views_.push_back(std::move(img));
+}
+
+Status PoolManager::TxnPut(const std::string& path, double bytes) {
+  if (!txn_active_) return fs_.Put(path, bytes);
+  bool have = false;
+  for (const TxnFileImage& img : txn_files_) {
+    if (img.path == path) {
+      have = true;
+      break;
+    }
+  }
+  TxnFileImage img;
+  if (!have) {
+    auto size = fs_.Size(path);
+    img.path = path;
+    img.existed = size.ok();
+    img.bytes = size.ok() ? *size : 0.0;
+  }
+  DEEPSEA_RETURN_IF_ERROR(fs_.Put(path, bytes));
+  if (!have) txn_files_.push_back(std::move(img));
+  return Status::OK();
+}
+
+Status PoolManager::TxnDelete(const std::string& path) {
+  if (!txn_active_) return fs_.Delete(path);
+  bool have = false;
+  for (const TxnFileImage& img : txn_files_) {
+    if (img.path == path) {
+      have = true;
+      break;
+    }
+  }
+  TxnFileImage img;
+  if (!have) {
+    auto size = fs_.Size(path);
+    img.path = path;
+    img.existed = size.ok();
+    img.bytes = size.ok() ? *size : 0.0;
+  }
+  DEEPSEA_RETURN_IF_ERROR(fs_.Delete(path));
+  if (!have) txn_files_.push_back(std::move(img));
+  return Status::OK();
+}
+
+void PoolManager::NotifyMaterializeView(const ViewInfo* view,
+                                        double sim_seconds) {
+  if (commit_observer_ == nullptr) return;
+  if (txn_active_) {
+    TxnEvent e;
+    e.kind = TxnEvent::Kind::kMaterializeView;
+    e.view = view;
+    e.value = sim_seconds;
+    txn_events_.push_back(std::move(e));
+    return;
+  }
+  commit_observer_->OnMaterializeView(*view, sim_seconds, commit_tenant_);
+}
+
+void PoolManager::NotifyMaterializeFragment(const ViewInfo* view,
+                                            const std::string& attr,
+                                            const Interval& interval,
+                                            double bytes) {
+  if (commit_observer_ == nullptr) return;
+  if (txn_active_) {
+    TxnEvent e;
+    e.kind = TxnEvent::Kind::kMaterializeFragment;
+    e.view = view;
+    e.attr = attr;
+    e.interval = interval;
+    e.value = bytes;
+    txn_events_.push_back(std::move(e));
+    return;
+  }
+  commit_observer_->OnMaterializeFragment(*view, attr, interval, bytes,
+                                          commit_tenant_);
+}
+
+void PoolManager::NotifyEvict(const ViewInfo* view, const std::string& attr,
+                              const Interval& interval, double bytes) {
+  if (commit_observer_ == nullptr) return;
+  if (txn_active_) {
+    TxnEvent e;
+    e.kind = TxnEvent::Kind::kEvict;
+    e.view = view;
+    e.attr = attr;
+    e.interval = interval;
+    e.value = bytes;
+    txn_events_.push_back(std::move(e));
+    return;
+  }
+  commit_observer_->OnEvict(*view, attr, interval, bytes, commit_tenant_);
+}
+
+void PoolManager::NotifyMerge(const ViewInfo* view, const std::string& attr,
+                              const Interval& merged, double bytes) {
+  if (commit_observer_ == nullptr) return;
+  if (txn_active_) {
+    TxnEvent e;
+    e.kind = TxnEvent::Kind::kMerge;
+    e.view = view;
+    e.attr = attr;
+    e.interval = merged;
+    e.value = bytes;
+    txn_events_.push_back(std::move(e));
+    return;
+  }
+  commit_observer_->OnMerge(*view, attr, merged, bytes, commit_tenant_);
+}
+
+// --- creation / eviction primitives ---
+
+Result<double> PoolManager::MaterializeView(ViewInfo* view,
+                                            QueryReport* report) {
+  assert(CommitHeldByThisThread());
+  TxnSnapshotView(view);
   // Determine the partition attribute: the one with pending state.
   std::string attr;
   for (const auto& [a, p] : view->partitions) {
@@ -144,12 +347,16 @@ double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
   const double view_bytes = est.ok()
                                 ? est->out_bytes * options_->view_storage_compression
                                 : view->stats.size_bytes;
+  // Set size *before* fragmentation: FragmentBytes / ApplyFragmentBounds
+  // scale fragments by stats.size_bytes. A fault below rolls this back.
   view->stats.size_bytes = view_bytes;
   view->stats.size_is_actual = true;
 
   if (attr.empty() || options_->strategy == StrategyKind::kNoPartition) {
     // Whole-view materialization (NP).
-    fs_.Put(StrFormat("pool/%s/full", view->id.c_str()), view_bytes);
+    const std::string path = StrFormat("pool/%s/full", view->id.c_str());
+    assert(!fs_.Exists(path) && "double materialization of whole view");
+    DEEPSEA_RETURN_IF_ERROR(TxnPut(path, view_bytes));
     view->whole_materialized = true;
     extra_seconds = cluster_->PartitionedWriteSeconds(view_bytes, 1);
   } else {
@@ -161,13 +368,12 @@ double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
       const double bytes = FragmentBytes(*catalog_, *view, attr, iv);
       FragmentStats* fstat = part->Track(iv, bytes);
       fstat->size_bytes = bytes;
+      const std::string path = FragmentPath(*view, attr, iv);
+      assert(!fs_.Exists(path) && "double materialization of fragment");
+      DEEPSEA_RETURN_IF_ERROR(TxnPut(path, bytes));
       fstat->materialized = true;
-      fs_.Put(FragmentPath(*view, attr, iv), bytes);
       ++report->created_fragments;
-      if (commit_observer_ != nullptr) {
-        commit_observer_->OnMaterializeFragment(*view, attr, iv, bytes,
-                                                commit_tenant_);
-      }
+      NotifyMaterializeFragment(view, attr, iv, bytes);
     }
     extra_seconds = cluster_->PartitionedWriteSeconds(
         view_bytes, static_cast<int64_t>(frags.size()));
@@ -177,18 +383,21 @@ double PoolManager::MaterializeView(ViewInfo* view, QueryReport* report) {
   view->stats.creation_cost =
       (est.ok() ? est->seconds : view->stats.creation_cost) + extra_seconds;
   view->stats.cost_is_actual = true;
+  // A successful materialization proves the storage path works again.
+  view->fault_count = 0;
+  view->quarantined_until = 0;
   report->created_views.push_back(view->id);
-  if (commit_observer_ != nullptr) {
-    commit_observer_->OnMaterializeView(*view, extra_seconds, commit_tenant_);
-  }
+  NotifyMaterializeView(view, extra_seconds);
   return extra_seconds;
 }
 
-double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
-                                        const Interval& iv,
-                                        const QueryContext& ctx,
-                                        QueryReport* report) {
+Result<double> PoolManager::MaterializeFragment(ViewInfo* view,
+                                                PartitionState* part,
+                                                const Interval& iv,
+                                                const QueryContext& ctx,
+                                                QueryReport* report) {
   assert(CommitHeldByThisThread());
+  TxnSnapshotView(view);
   const std::string& attr = part->attr;
   double seconds = 0.0;
   // Fragments currently materialized that overlap the new one. Tracked
@@ -215,14 +424,13 @@ double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
   const double bytes = FragmentBytes(*catalog_, *view, attr, iv);
   FragmentStats* fstat = part->Track(iv, bytes);
   fstat->size_bytes = bytes;
+  const std::string frag_path = FragmentPath(*view, attr, iv);
+  assert(!fs_.Exists(frag_path) && "double materialization of fragment");
+  DEEPSEA_RETURN_IF_ERROR(TxnPut(frag_path, bytes));
   fstat->materialized = true;
-  fs_.Put(FragmentPath(*view, attr, iv), bytes);
   ++report->created_fragments;
   seconds += cluster_->PartitionedWriteSeconds(bytes, 1);
-  if (commit_observer_ != nullptr) {
-    commit_observer_->OnMaterializeFragment(*view, attr, iv, bytes,
-                                            commit_tenant_);
-  }
+  NotifyMaterializeFragment(view, attr, iv, bytes);
 
   if (!options_->overlapping_fragments) {
     // Horizontal partitioning: the parents must be split — their whole
@@ -245,41 +453,51 @@ double PoolManager::MaterializeFragment(ViewInfo* view, PartitionState* part,
         const double piece_bytes = FragmentBytes(*catalog_, *view, attr, piece);
         FragmentStats* pstat = part->Track(piece, piece_bytes);
         pstat->size_bytes = piece_bytes;
+        DEEPSEA_RETURN_IF_ERROR(
+            TxnPut(FragmentPath(*view, attr, piece), piece_bytes));
         pstat->materialized = true;
-        fs_.Put(FragmentPath(*view, attr, piece), piece_bytes);
         ++report->created_fragments;
         seconds += cluster_->PartitionedWriteSeconds(piece_bytes, 1);
-        if (commit_observer_ != nullptr) {
-          commit_observer_->OnMaterializeFragment(*view, attr, piece,
-                                                  piece_bytes, commit_tenant_);
-        }
+        NotifyMaterializeFragment(view, attr, piece, piece_bytes);
       }
       // Re-resolve the parent after the Track calls above (the fragment
       // vector may have been reallocated).
       FragmentStats* parent_stat = part->Find(p);
       if (parent_stat != nullptr) {
-        EvictFragment(view, part, parent_stat);
+        DEEPSEA_RETURN_IF_ERROR(EvictFragment(view, part, parent_stat));
         --report->evicted_fragments;  // split, not a policy eviction
       }
     }
   }
+  // A successful refinement proves the storage path works again.
+  view->fault_count = 0;
+  view->quarantined_until = 0;
   return seconds;
 }
 
-void PoolManager::EvictFragment(ViewInfo* view, PartitionState* part,
-                                FragmentStats* frag) {
+Status PoolManager::EvictFragment(ViewInfo* view, PartitionState* part,
+                                  FragmentStats* frag) {
   assert(CommitHeldByThisThread());
-  if (!frag->materialized) return;
-  frag->materialized = false;
-  (void)fs_.Delete(FragmentPath(*view, part->attr, frag->interval));
-  if (commit_observer_ != nullptr) {
-    commit_observer_->OnEvict(*view, part->attr, frag->interval,
-                              frag->size_bytes, commit_tenant_);
+  if (!frag->materialized) return Status::OK();
+  TxnSnapshotView(view);
+  const std::string path = FragmentPath(*view, part->attr, frag->interval);
+  Status st = TxnDelete(path);
+  if (st.code() == StatusCode::kNotFound) {
+    // A materialized fragment without a backing file is a pool-
+    // accounting bug, not a storage fault: surface it loudly instead of
+    // silently dropping the delete.
+    assert(false && "evicting fragment whose pool file is missing");
+    return Status::Internal("eviction of missing pool file: " + path);
   }
+  DEEPSEA_RETURN_IF_ERROR(st);
+  frag->materialized = false;
+  NotifyEvict(view, part->attr, frag->interval, frag->size_bytes);
+  return Status::OK();
 }
 
-int PoolManager::EvictWholeView(ViewInfo* view) {
+Result<int> PoolManager::EvictWholeView(ViewInfo* view) {
   assert(CommitHeldByThisThread());
+  TxnSnapshotView(view);
   int evicted = 0;
   // Materialized fragments go first, through the same per-fragment path
   // (and notifications) policy evictions use.
@@ -287,25 +505,43 @@ int PoolManager::EvictWholeView(ViewInfo* view) {
     (void)attr;
     for (FragmentStats& f : part.fragments) {
       if (!f.materialized) continue;
-      EvictFragment(view, &part, &f);
+      DEEPSEA_RETURN_IF_ERROR(EvictFragment(view, &part, &f));
       ++evicted;
     }
   }
   if (view->whole_materialized) {
-    view->whole_materialized = false;
-    (void)fs_.Delete(StrFormat("pool/%s/full", view->id.c_str()));
-    ++evicted;
-    if (commit_observer_ != nullptr) {
-      commit_observer_->OnEvict(*view, "", Interval(), view->stats.size_bytes,
-                                commit_tenant_);
+    const std::string path = StrFormat("pool/%s/full", view->id.c_str());
+    Status st = TxnDelete(path);
+    if (st.code() == StatusCode::kNotFound) {
+      assert(false && "evicting whole view whose pool file is missing");
+      return Status::Internal("eviction of missing pool file: " + path);
     }
+    DEEPSEA_RETURN_IF_ERROR(st);
+    view->whole_materialized = false;
+    ++evicted;
+    NotifyEvict(view, "", Interval(), view->stats.size_bytes);
   }
   return evicted;
 }
 
-void PoolManager::Apply(const SelectionDecision& decision,
-                        const QueryContext& ctx, QueryReport* report) {
+void PoolManager::RecordViewFault(const std::string& view_id, int64_t now) {
   assert(CommitHeldByThisThread());
+  ViewInfo* view = views_.Get(view_id);
+  if (view == nullptr) return;
+  ++view->fault_count;
+  const FaultHandlingConfig& fault = options_->fault;
+  if (fault.quarantine_threshold > 0 &&
+      view->fault_count >= fault.quarantine_threshold) {
+    view->quarantined_until = now + fault.quarantine_cooldown_commits;
+    view->fault_count = 0;
+  }
+}
+
+// --- decision execution ---
+
+Status PoolManager::ApplyStaged(const SelectionDecision& decision,
+                                const QueryContext& ctx, QueryReport* report,
+                                std::string* fault_view) {
   // Admitted initial fragments are created together per view (one
   // instrumented partitioned write). Charge order is the order views
   // first appear in the decision's actions — a pure function of the
@@ -326,39 +562,49 @@ void PoolManager::Apply(const SelectionDecision& decision,
   };
 
   for (const SelectionAction& a : decision.actions) {
+    *fault_view = a.view != nullptr ? a.view->id : "";
     switch (a.kind) {
-      case SelectionAction::Kind::kEvictWholeView:
+      case SelectionAction::Kind::kEvictWholeView: {
         // Count exactly the pieces evicted, so QueryReport agrees with
         // the per-piece OnEvict notifications no matter the path.
-        report->evicted_fragments += EvictWholeView(a.view);
+        DEEPSEA_ASSIGN_OR_RETURN(int evicted, EvictWholeView(a.view));
+        report->evicted_fragments += evicted;
         break;
+      }
       case SelectionAction::Kind::kEvictFragment: {
         FragmentStats* f = a.part->Find(a.interval);
         if (f != nullptr && f->materialized) {
-          EvictFragment(a.view, a.part, f);
+          DEEPSEA_RETURN_IF_ERROR(EvictFragment(a.view, a.part, f));
           ++report->evicted_fragments;
         }
         break;
       }
-      case SelectionAction::Kind::kMaterializeView:
-        report->materialize_seconds += MaterializeView(a.view, report);
+      case SelectionAction::Kind::kMaterializeView: {
+        DEEPSEA_ASSIGN_OR_RETURN(double seconds,
+                                 MaterializeView(a.view, report));
+        report->materialize_seconds += seconds;
         break;
-      case SelectionAction::Kind::kMaterializeRefinement:
-        report->materialize_seconds +=
-            MaterializeFragment(a.view, a.part, a.interval, ctx, report);
+      }
+      case SelectionAction::Kind::kMaterializeRefinement: {
+        DEEPSEA_ASSIGN_OR_RETURN(
+            double seconds,
+            MaterializeFragment(a.view, a.part, a.interval, ctx, report));
+        report->materialize_seconds += seconds;
         break;
+      }
       case SelectionAction::Kind::kMaterializeViewFragment: {
         FragmentStats* f = a.part->Find(a.interval);
         if (f == nullptr || f->materialized) continue;
+        TxnSnapshotView(a.view);
         f->size_bytes = a.size_bytes;
+        const std::string path =
+            FragmentPath(*a.view, a.part->attr, a.interval);
+        assert(!fs_.Exists(path) && "double materialization of fragment");
+        DEEPSEA_RETURN_IF_ERROR(TxnPut(path, a.size_bytes));
         f->materialized = true;
-        fs_.Put(FragmentPath(*a.view, a.part->attr, a.interval), a.size_bytes);
         ++report->created_fragments;
-        if (commit_observer_ != nullptr) {
-          commit_observer_->OnMaterializeFragment(*a.view, a.part->attr,
-                                                  a.interval, a.size_bytes,
-                                                  commit_tenant_);
-        }
+        NotifyMaterializeFragment(a.view, a.part->attr, a.interval,
+                                  a.size_bytes);
         NewViewWork& work = work_for(a.view);
         work.bytes += a.size_bytes;
         work.count += 1;
@@ -366,8 +612,10 @@ void PoolManager::Apply(const SelectionDecision& decision,
       }
     }
   }
+  fault_view->clear();
 
   for (auto& [view, work] : new_view_work) {
+    TxnSnapshotView(view);
     const double extra =
         cluster_->PartitionedWriteSeconds(work.bytes, work.count);
     report->materialize_seconds += extra;
@@ -378,16 +626,35 @@ void PoolManager::Apply(const SelectionDecision& decision,
       view->stats.creation_cost = est->seconds + extra;
       view->stats.cost_is_actual = true;
     }
+    view->fault_count = 0;
+    view->quarantined_until = 0;
     report->created_views.push_back(view->id);
-    if (commit_observer_ != nullptr) {
-      commit_observer_->OnMaterializeView(*view, extra, commit_tenant_);
-    }
+    NotifyMaterializeView(view, extra);
   }
+  return Status::OK();
 }
 
-double PoolManager::RunMergePass(double t_now, const DecayFunction& decay,
-                                 QueryReport* report) {
+Status PoolManager::Apply(const SelectionDecision& decision,
+                          const QueryContext& ctx, QueryReport* report) {
   assert(CommitHeldByThisThread());
+  const QueryReport report_backup = *report;
+  std::string fault_view;
+  TxnBegin();
+  Status st = ApplyStaged(decision, ctx, report, &fault_view);
+  if (st.ok()) {
+    TxnCommit();
+    return st;
+  }
+  TxnRollback();
+  *report = report_backup;
+  report->fault_view = fault_view;
+  report->fault_message = st.ToString();
+  return st;
+}
+
+Result<double> PoolManager::MergeStaged(double t_now,
+                                        const DecayFunction& decay,
+                                        QueryReport* report) {
   double seconds = 0.0;
   int merges = 0;
   auto candidates = FindMergeCandidates(&views_, options_->merge, t_now, decay);
@@ -403,21 +670,35 @@ double PoolManager::RunMergePass(double t_now, const DecayFunction& decay,
     // Union the hit histories so the merged fragment keeps its record.
     std::vector<FragmentHit> hits = a.hits;
     hits.insert(hits.end(), b.hits.begin(), b.hits.end());
-    EvictFragment(cand.view, cand.part, &a);
-    EvictFragment(cand.view, cand.part, &b);
+    DEEPSEA_RETURN_IF_ERROR(EvictFragment(cand.view, cand.part, &a));
+    DEEPSEA_RETURN_IF_ERROR(EvictFragment(cand.view, cand.part, &b));
     FragmentStats* merged = cand.part->Track(cand.merged, merged_bytes);
     merged->size_bytes = merged_bytes;
+    DEEPSEA_RETURN_IF_ERROR(TxnPut(
+        FragmentPath(*cand.view, cand.part->attr, cand.merged), merged_bytes));
     merged->materialized = true;
     if (merged->hits.empty()) merged->hits = std::move(hits);
-    fs_.Put(FragmentPath(*cand.view, cand.part->attr, cand.merged),
-            merged_bytes);
     ++merges;
     ++report->merged_fragments;
-    if (commit_observer_ != nullptr) {
-      commit_observer_->OnMerge(*cand.view, cand.part->attr, cand.merged,
-                                merged_bytes, commit_tenant_);
-    }
+    NotifyMerge(cand.view, cand.part->attr, cand.merged, merged_bytes);
   }
+  return seconds;
+}
+
+Result<double> PoolManager::RunMergePass(double t_now,
+                                         const DecayFunction& decay,
+                                         QueryReport* report) {
+  assert(CommitHeldByThisThread());
+  const QueryReport report_backup = *report;
+  TxnBegin();
+  Result<double> seconds = MergeStaged(t_now, decay, report);
+  if (seconds.ok()) {
+    TxnCommit();
+    return seconds;
+  }
+  TxnRollback();
+  *report = report_backup;
+  report->fault_message = seconds.status().ToString();
   return seconds;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -158,47 +159,156 @@ class PoolManager {
   /// All interned tenant names, indexed by ordinal.
   std::vector<std::string> Tenants() const;
 
+  // --- fault injection ---
+
+  /// Installs (or clears, with nullptr) the simulated FS's fault policy.
+  /// Takes the commit lock itself; call from outside the commit section.
+  void SetFaultPolicy(FaultPolicy* policy);
+
   // --- mutation API (requires the commit section; asserts in debug) ---
 
   /// Ensures `view` is registered as a relational catalog table with
   /// estimated logical statistics (needed by the cost estimator).
   void RegisterViewTable(ViewInfo* view);
 
-  /// Executes a SelectionDecision: evictions first, then
-  /// materializations. Charges report->materialize_seconds and updates
-  /// the created/evicted counters. `ctx` supplies the current query's
-  /// fragment cover (parents already read by the query are free to
-  /// re-scan during repartitioning).
-  void Apply(const SelectionDecision& decision, const QueryContext& ctx,
-             QueryReport* report);
+  /// Executes a SelectionDecision transactionally: evictions first, then
+  /// materializations, all staged through a rollback journal. Charges
+  /// report->materialize_seconds and updates the created/evicted
+  /// counters. `ctx` supplies the current query's fragment cover
+  /// (parents already read by the query are free to re-scan during
+  /// repartitioning).
+  ///
+  /// On a storage fault the pool — view metadata, FS files, statistics —
+  /// and `report` are rolled back to their pre-Apply images; then
+  /// report->fault_view / fault_message identify the failed action and
+  /// the fault's status is returned, so the caller can retry the whole
+  /// decision (transient) or abandon it (permanent). Observer
+  /// notifications are deferred to the transaction commit: a rolled-back
+  /// attempt emits no pool-mutation events.
+  Status Apply(const SelectionDecision& decision, const QueryContext& ctx,
+               QueryReport* report);
 
   /// Fragment-merging maintenance pass (Section 11 extension); returns
-  /// the simulated seconds charged.
-  double RunMergePass(double t_now, const DecayFunction& decay,
-                      QueryReport* report);
+  /// the simulated seconds charged. Transactional like Apply: a fault
+  /// rolls back the whole pass (and `report`) and returns its status.
+  Result<double> RunMergePass(double t_now, const DecayFunction& decay,
+                              QueryReport* report);
 
   // --- creation / eviction primitives (used by Apply and by state
   //     restore; exposed for direct stage tests) ---
+  //
+  // Each primitive orders its work "FS operation first, metadata
+  // second", so a fault leaves per-piece accounting consistent (a
+  // materialized flag is only set once its file exists, and only
+  // cleared once its file is gone). Multi-piece atomicity — undoing the
+  // pieces staged before the fault — comes from the surrounding
+  // transaction: inside Apply / RunMergePass a failed primitive rolls
+  // the whole decision back; called directly, a failed primitive may
+  // leave earlier pieces in place (still invariant-clean).
 
   /// Materializes `view` (initial partitioned creation). Returns the
   /// extra simulated seconds charged.
-  double MaterializeView(ViewInfo* view, QueryReport* report);
+  Result<double> MaterializeView(ViewInfo* view, QueryReport* report);
   /// Creates one refinement fragment (overlapping or by splitting).
-  double MaterializeFragment(ViewInfo* view, PartitionState* part,
-                             const Interval& iv, const QueryContext& ctx,
-                             QueryReport* report);
-  /// Evicts a fragment from the pool (one OnEvict per call).
-  void EvictFragment(ViewInfo* view, PartitionState* part, FragmentStats* frag);
+  Result<double> MaterializeFragment(ViewInfo* view, PartitionState* part,
+                                     const Interval& iv,
+                                     const QueryContext& ctx,
+                                     QueryReport* report);
+  /// Evicts a fragment from the pool (one OnEvict per call). An
+  /// eviction whose backing file is missing is a pool-accounting bug:
+  /// it asserts in debug builds and returns Internal in release.
+  Status EvictFragment(ViewInfo* view, PartitionState* part,
+                       FragmentStats* frag);
   /// Evicts a whole view: its full materialization AND every
   /// materialized fragment, firing one OnEvict per piece (the same
   /// notifications the per-fragment path emits, so observer eviction
   /// counters agree with QueryReport). Returns the number of pieces
   /// evicted — 0 when the view held nothing.
-  int EvictWholeView(ViewInfo* view);
+  Result<int> EvictWholeView(ViewInfo* view);
+
+  // --- fault quarantine (see DESIGN.md, "Failure model and recovery") ---
+
+  /// Records one permanent decision failure against `view_id`; once
+  /// options().fault.quarantine_threshold failures accumulate, the view
+  /// is quarantined until commit clock `now` + cooldown (the
+  /// SelectionPlanner skips quarantined views' candidates). Successful
+  /// materialization clears the record. Requires the commit section.
+  void RecordViewFault(const std::string& view_id, int64_t now);
 
  private:
   friend class CommitGuard;
   void ReleaseCommit();
+
+  // --- decision transaction (stage-then-commit rollback journal) ---
+  //
+  // TxnBegin arms the journal; every fs mutation goes through TxnPut /
+  // TxnDelete (which record first-touch file preimages), every metadata
+  // mutation is covered by TxnSnapshotView (full pre-image of the
+  // view's mutable state), and observer notifications queue in
+  // txn_events_. TxnCommit flushes the events and drops the journal;
+  // TxnRollback restores every snapshot/preimage and discards the
+  // events. With no transaction armed the helpers degrade to the plain
+  // operations (direct primitive calls from tests / state restore).
+  void TxnBegin();
+  void TxnCommit();
+  void TxnRollback();
+  void TxnSnapshotView(ViewInfo* view);
+  Status TxnPut(const std::string& path, double bytes);
+  Status TxnDelete(const std::string& path);
+  void NotifyMaterializeView(const ViewInfo* view, double sim_seconds);
+  void NotifyMaterializeFragment(const ViewInfo* view, const std::string& attr,
+                                 const Interval& interval, double bytes);
+  void NotifyEvict(const ViewInfo* view, const std::string& attr,
+                   const Interval& interval, double bytes);
+  void NotifyMerge(const ViewInfo* view, const std::string& attr,
+                   const Interval& merged, double bytes);
+
+  /// Apply's action loop, run inside an armed transaction. On failure
+  /// sets `fault_view` to the failing action's view id and returns the
+  /// fault without unwinding (Apply rolls back).
+  Status ApplyStaged(const SelectionDecision& decision,
+                     const QueryContext& ctx, QueryReport* report,
+                     std::string* fault_view);
+  /// RunMergePass's merge loop, run inside an armed transaction.
+  Result<double> MergeStaged(double t_now, const DecayFunction& decay,
+                             QueryReport* report);
+
+  /// Pre-image of one view's mutable pool state. Rollback restores the
+  /// partitions *in place* (per-attr assignment into the existing map
+  /// nodes) so PartitionState addresses held by the decision's actions
+  /// stay valid across a rollback + retry.
+  struct TxnViewImage {
+    ViewInfo* view = nullptr;
+    bool whole_materialized = false;
+    ViewStats stats;
+    int fault_count = 0;
+    int64_t quarantined_until = 0;
+    std::map<std::string, PartitionState> partitions;
+  };
+  /// First-touch pre-image of one FS path.
+  struct TxnFileImage {
+    std::string path;
+    bool existed = false;
+    double bytes = 0.0;
+  };
+  /// One deferred observer notification; arguments are captured at queue
+  /// time so deferred firing is argument-identical to inline firing.
+  struct TxnEvent {
+    enum class Kind { kMaterializeView, kMaterializeFragment, kEvict, kMerge };
+    Kind kind = Kind::kMaterializeView;
+    const ViewInfo* view = nullptr;
+    std::string attr;
+    Interval interval;
+    double value = 0.0;  ///< sim_seconds (view) or bytes (fragment events)
+  };
+
+  // Journals are vectors scanned linearly (a decision touches few views
+  // / files); pointer-keyed maps would make rollback order depend on
+  // heap addresses. Valid only while txn_active_.
+  bool txn_active_ = false;
+  std::vector<TxnViewImage> txn_views_;
+  std::vector<TxnFileImage> txn_files_;
+  std::vector<TxnEvent> txn_events_;
 
   Catalog* catalog_;
   const EngineOptions* options_;

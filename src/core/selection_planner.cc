@@ -12,6 +12,12 @@ namespace deepsea {
 SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
                                                   double base_seconds) {
   const double t_now = ctx.t_now();
+  // Quarantined views (repeated permanent storage faults; see
+  // DESIGN.md "Failure model and recovery") are skipped as *candidates*
+  // until their cooldown expires, so the planner stops proposing work
+  // that keeps failing. Their existing pool content still partakes in
+  // the knapsack below: quarantine stops new writes, not reads.
+  const int64_t clock_now = static_cast<int64_t>(t_now);
 
   struct Item {
     enum Kind {
@@ -34,6 +40,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
   //     uncovered planned fragments are offered every query (top-up).
   for (const ViewCandidate& cand : ctx.view_candidates) {
     ViewInfo* v = cand.view;
+    if (v->Quarantined(clock_now)) continue;
     if (v->stats.size_bytes <= 0.0) continue;
     const double benefit =
         ViewBenefitForFilter(options_->value_model, v->stats, t_now, *decay_);
@@ -142,6 +149,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
 
   // --- P_sel: filter refinement candidates by benefit >= cost.
   for (const FragmentCandidate& fc : ctx.fragment_candidates) {
+    if (fc.view->Quarantined(clock_now)) continue;
     PartitionState* part = fc.view->GetPartition(fc.attr);
     if (part == nullptr) continue;
     FragmentStats* fstat = part->Find(fc.interval);

@@ -56,6 +56,22 @@ struct ViewInfo {
   bool whole_materialized = false;
   std::map<std::string, PartitionState> partitions;
 
+  // --- fault quarantine (runtime-only; not persisted by SaveState:
+  //     quarantine reflects the health of the *current* storage, so a
+  //     restarted engine probes afresh) ---
+
+  /// Permanent decision failures attributed to this view since the last
+  /// successful materialization (reset on success and on quarantine).
+  int fault_count = 0;
+  /// Commit-clock time until which SelectionPlanner skips this view's
+  /// candidates (0 = not quarantined). Re-admitted once the pool clock
+  /// reaches this value; existing materialized content is unaffected.
+  int64_t quarantined_until = 0;
+
+  bool Quarantined(int64_t clock_now) const {
+    return clock_now < quarantined_until;
+  }
+
   /// In the pool = whole view or at least one fragment materialized.
   bool InPool() const;
 
@@ -86,6 +102,10 @@ class ViewCatalog {
   std::vector<const ViewInfo*> AllViews() const;
 
   size_t size() const { return views_.size(); }
+
+  /// The id Track() will assign to the next unseen signature ("v<N>").
+  /// Lets state loading predict ids while validating, before applying.
+  int peek_next_id() const { return next_id_; }
 
   /// Total pool bytes S(C) across all views.
   double PoolBytes() const;

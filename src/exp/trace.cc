@@ -117,10 +117,46 @@ void TraceObserver::OnMerge(const ViewInfo& view, const std::string& attr,
   ++tenants_[tenant].merges;
 }
 
+void TraceObserver::OnFault(EngineStage stage, const std::string& view_id,
+                            const Status& status, int attempt,
+                            const std::string& tenant) {
+  ++faults_;
+  ++tenants_[tenant].faults;
+  fault_events_.push_back({"fault", stage, view_id,
+                           StatusCodeName(status.code()), attempt, tenant});
+}
+
+void TraceObserver::OnRetry(EngineStage stage, int next_attempt,
+                            const std::string& tenant) {
+  ++retries_;
+  ++tenants_[tenant].retries;
+  fault_events_.push_back({"retry", stage, "", "", next_attempt, tenant});
+}
+
+void TraceObserver::OnDegrade(EngineStage stage, const std::string& view_id,
+                              const Status& status,
+                              const std::string& tenant) {
+  ++degrades_;
+  ++tenants_[tenant].degrades;
+  fault_events_.push_back(
+      {"degrade", stage, view_id, StatusCodeName(status.code()), 0, tenant});
+}
+
 void TraceObserver::OnQueryEnd(const QueryReport& report) {
   ++queries_;
   ++tenants_[report.tenant_id].queries;
   if (trace_ != nullptr) trace_->Record(label_, report);
+}
+
+std::string TraceObserver::FaultEventsCsv() const {
+  std::string out = "label,event,stage,view,code,attempt,tenant\n";
+  for (const FaultEvent& e : fault_events_) {
+    out += StrFormat("%s,%s,%s,%s,%s,%d,%s\n", label_.c_str(),
+                     e.event.c_str(), EngineStageName(e.stage),
+                     e.view.c_str(), e.code.c_str(), e.attempt,
+                     e.tenant.c_str());
+  }
+  return out;
 }
 
 std::string TraceObserver::StageSummaryCsv() const {

@@ -85,6 +85,13 @@ class TraceObserver : public EngineObserver {
   void OnMerge(const ViewInfo& view, const std::string& attr,
                const Interval& merged, double bytes,
                const std::string& tenant) override;
+  void OnFault(EngineStage stage, const std::string& view_id,
+               const Status& status, int attempt,
+               const std::string& tenant) override;
+  void OnRetry(EngineStage stage, int next_attempt,
+               const std::string& tenant) override;
+  void OnDegrade(EngineStage stage, const std::string& view_id,
+                 const Status& status, const std::string& tenant) override;
   void OnQueryEnd(const QueryReport& report) override;
 
   /// Cumulative timing of one pipeline stage across all queries seen.
@@ -102,6 +109,9 @@ class TraceObserver : public EngineObserver {
   int64_t fragments_materialized() const { return fragments_materialized_; }
   int64_t evictions() const { return evictions_; }
   int64_t merges() const { return merges_; }
+  int64_t faults() const { return faults_; }
+  int64_t retries() const { return retries_; }
+  int64_t degrades() const { return degrades_; }
 
   /// Per-tenant slice of the mutation counters (keyed by tenant id; ""
   /// is the single-tenant default). Values sum to the aggregates above.
@@ -111,12 +121,21 @@ class TraceObserver : public EngineObserver {
     int64_t fragments_materialized = 0;
     int64_t evictions = 0;
     int64_t merges = 0;
+    int64_t faults = 0;
+    int64_t retries = 0;
+    int64_t degrades = 0;
   };
   const std::map<std::string, TenantStats>& tenants() const { return tenants_; }
 
   /// CSV of the stage aggregates:
   /// label,stage,calls,sim_s,wall_s
   std::string StageSummaryCsv() const;
+
+  /// CSV of every fault-handling event in occurrence order:
+  /// label,event,stage,view,code,attempt,tenant
+  /// where event is fault|retry|degrade; view and code are empty for
+  /// retry rows. Fault-free runs return just the header.
+  std::string FaultEventsCsv() const;
 
  private:
   static constexpr size_t kStageCount =
@@ -130,6 +149,18 @@ class TraceObserver : public EngineObserver {
   int64_t fragments_materialized_ = 0;
   int64_t evictions_ = 0;
   int64_t merges_ = 0;
+  int64_t faults_ = 0;
+  int64_t retries_ = 0;
+  int64_t degrades_ = 0;
+  struct FaultEvent {
+    std::string event;  ///< "fault" | "retry" | "degrade"
+    EngineStage stage;
+    std::string view;
+    std::string code;   ///< StatusCodeName of the injected status
+    int attempt = 0;
+    std::string tenant;
+  };
+  std::vector<FaultEvent> fault_events_;
   std::map<std::string, TenantStats> tenants_;
 };
 

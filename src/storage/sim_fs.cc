@@ -4,31 +4,58 @@
 
 namespace deepsea {
 
+Status SimFs::Guard(FsOp op, const std::string& path) {
+  if (fault_policy_ == nullptr) return Status::OK();
+  Status st = fault_policy_->Inject(op, path);
+  if (st.ok()) return st;
+  switch (op) {
+    case FsOp::kCreate:
+      ++ledger_.failed_creates;
+      break;
+    case FsOp::kPut:
+      ++ledger_.failed_puts;
+      break;
+    case FsOp::kDelete:
+      ++ledger_.failed_deletes;
+      break;
+    case FsOp::kRead:
+      ++ledger_.failed_reads;
+      break;
+  }
+  return st;
+}
+
 Status SimFs::Create(const std::string& path, double bytes) {
   if (files_.count(path) > 0) {
     return Status::AlreadyExists("file exists: " + path);
   }
+  DEEPSEA_RETURN_IF_ERROR(Guard(FsOp::kCreate, path));
   files_.emplace(path, bytes);
   ledger_.bytes_written += bytes;
   ++ledger_.files_created;
   return Status::OK();
 }
 
-void SimFs::Put(const std::string& path, double bytes) {
+Status SimFs::Put(const std::string& path, double bytes) {
+  DEEPSEA_RETURN_IF_ERROR(Guard(FsOp::kPut, path));
   auto it = files_.find(path);
   if (it != files_.end()) {
     ledger_.bytes_deleted += it->second;
+    ledger_.bytes_overwritten += it->second;
+    ++ledger_.files_overwritten;
     it->second = bytes;
   } else {
     files_.emplace(path, bytes);
     ++ledger_.files_created;
   }
   ledger_.bytes_written += bytes;
+  return Status::OK();
 }
 
 Status SimFs::Delete(const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  DEEPSEA_RETURN_IF_ERROR(Guard(FsOp::kDelete, path));
   ledger_.bytes_deleted += it->second;
   ++ledger_.files_deleted;
   files_.erase(it);
@@ -43,6 +70,7 @@ Result<double> SimFs::Size(const std::string& path) const {
 
 Result<double> SimFs::Read(const std::string& path) {
   DEEPSEA_ASSIGN_OR_RETURN(double size, Size(path));
+  DEEPSEA_RETURN_IF_ERROR(Guard(FsOp::kRead, path));
   ledger_.bytes_read += size;
   ++ledger_.read_ops;
   return size;
@@ -83,6 +111,16 @@ int64_t SimFs::DeleteAll(const std::string& prefix) {
     ++removed;
   }
   return removed;
+}
+
+void SimFs::RestoreForRollback(const std::string& path, bool existed,
+                               double bytes) {
+  ++ledger_.rollback_restores;
+  if (existed) {
+    files_[path] = bytes;
+  } else {
+    files_.erase(path);
+  }
 }
 
 }  // namespace deepsea

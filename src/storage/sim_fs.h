@@ -7,12 +7,18 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/fault_policy.h"
 
 namespace deepsea {
 
 /// Running totals of simulated I/O. The paper's evaluation reasons about
 /// read/write volume and map-task counts (Section 10.2 analyzes cluster
 /// utilization); the ledger makes those observable in benches and tests.
+///
+/// The counters are an append-only log of what physically happened:
+/// bytes written by an operation that a transaction later rolls back
+/// stay counted (like a failed Hive job that wrote output before being
+/// cleaned up), and rollback restores are counted separately.
 struct IoLedger {
   double bytes_read = 0.0;
   double bytes_written = 0.0;
@@ -20,6 +26,25 @@ struct IoLedger {
   int64_t files_created = 0;
   int64_t files_deleted = 0;
   int64_t read_ops = 0;
+
+  /// Put over an existing path: the replaced file's bytes and count.
+  /// In the pool-manager materialization paths an overwrite indicates a
+  /// duplicate-fragment bug, so tests pin these at 0.
+  double bytes_overwritten = 0.0;
+  int64_t files_overwritten = 0;
+
+  /// Operations failed by the installed FaultPolicy, by kind.
+  int64_t failed_creates = 0;
+  int64_t failed_puts = 0;
+  int64_t failed_deletes = 0;
+  int64_t failed_reads = 0;
+
+  /// Files restored to their pre-transaction image by a rollback.
+  int64_t rollback_restores = 0;
+
+  int64_t FailedOps() const {
+    return failed_creates + failed_puts + failed_deletes + failed_reads;
+  }
 
   void Reset() { *this = IoLedger{}; }
 };
@@ -29,6 +54,13 @@ struct IoLedger {
 /// Catalog — but every materialized view fragment corresponds to one
 /// SimFs file, so pool accounting, block-granular map-task counts and
 /// small-files effects are faithful to an HDFS deployment.
+///
+/// Failure model: an optional FaultPolicy (non-owning; see
+/// storage/fault_policy.h) is consulted before every Create/Put/Delete/
+/// Read. A failed operation changes nothing except the ledger's failure
+/// counters and returns the policy's status. With no policy installed
+/// (the default) every operation behaves exactly as before the seam
+/// existed — fault machinery off is zero behavior change.
 class SimFs {
  public:
   /// `block_bytes` is the HDFS block size; it is both the unit of
@@ -39,11 +71,18 @@ class SimFs {
 
   double block_bytes() const { return block_bytes_; }
 
+  /// Installs the fault-injection policy (nullptr = infallible storage).
+  /// The policy must outlive the SimFs or be detached before it dies;
+  /// install only on a quiesced pool or from inside the commit section.
+  void set_fault_policy(FaultPolicy* policy) { fault_policy_ = policy; }
+  FaultPolicy* fault_policy() const { return fault_policy_; }
+
   /// Creates a file of `bytes` logical bytes. Fails on duplicate path.
   Status Create(const std::string& path, double bytes);
 
-  /// Creates or replaces.
-  void Put(const std::string& path, double bytes);
+  /// Creates or replaces. Replacement is recorded in the overwrite
+  /// ledger counters.
+  Status Put(const std::string& path, double bytes);
 
   Status Delete(const std::string& path);
 
@@ -66,15 +105,29 @@ class SimFs {
   std::vector<std::string> List(const std::string& prefix = "") const;
 
   /// Deletes all files under `prefix`; returns the number removed.
+  /// Bulk test/maintenance helper — not consulted with the fault policy
+  /// (no engine path uses it).
   int64_t DeleteAll(const std::string& prefix);
+
+  /// Restores `path` to a pre-transaction image: `existed` false removes
+  /// the file, true (re)creates it with `bytes`. Bypasses the fault
+  /// policy — rollback must not fail — and touches the ledger only via
+  /// rollback_restores, so the write/delete totals keep recording the
+  /// staged (now undone) work as I/O that physically happened.
+  void RestoreForRollback(const std::string& path, bool existed, double bytes);
 
   const IoLedger& ledger() const { return ledger_; }
   IoLedger* mutable_ledger() { return &ledger_; }
 
  private:
+  /// Consults the fault policy for `op` on `path`; on injection, bumps
+  /// the matching failure counter and returns the injected status.
+  Status Guard(FsOp op, const std::string& path);
+
   double block_bytes_;
   std::map<std::string, double> files_;
   IoLedger ledger_;
+  FaultPolicy* fault_policy_ = nullptr;
 };
 
 }  // namespace deepsea

@@ -25,6 +25,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -199,14 +200,19 @@ struct ScheduledRunResult {
 /// per tenant gated through a Turnstile — same commit order, real
 /// concurrency. `catalog` should be fresh per run: engines register
 /// view tables in it, and two runs with different schedules would
-/// otherwise see each other's registrations.
+/// otherwise see each other's registrations. `configure`, when given,
+/// runs against the quiesced pool before any engine is built — the
+/// fault-injection tests use it to install a FaultPolicy (which must
+/// outlive the call).
 inline ScheduledRunResult RunScheduled(
     Catalog* catalog, const EngineOptions& options,
     const std::vector<std::string>& tenants,
     const std::vector<std::vector<PlanPtr>>& plans,
-    const std::vector<int>& schedule, bool threaded) {
+    const std::vector<int>& schedule, bool threaded,
+    const std::function<void(PoolManager*)>& configure = nullptr) {
   const int n = static_cast<int>(plans.size());
   SharedPool shared(catalog, options);
+  if (configure) configure(shared.pool());
   std::vector<std::unique_ptr<DeepSeaEngine>> engines;
   engines.reserve(static_cast<size_t>(n));
   for (int t = 0; t < n; ++t) {

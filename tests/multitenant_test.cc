@@ -374,10 +374,11 @@ TEST(EvictWholeViewTest, NotifiesEveryEvictedPiece) {
   const std::string frag_path = FragmentPath(*view, "item_sk", iv);
   pool->fs(commit)->Put(frag_path, 5e6);
 
-  const int evicted = pool->EvictWholeView(view);
+  Result<int> evicted = pool->EvictWholeView(view);
   commit.Release();
 
-  EXPECT_EQ(evicted, 2);  // the fragment + the whole materialization
+  ASSERT_TRUE(evicted.ok()) << evicted.status().ToString();
+  EXPECT_EQ(*evicted, 2);  // the fragment + the whole materialization
   EXPECT_EQ(obs.evictions(), 2);
   ASSERT_EQ(obs.tenants().count("np"), 1u);
   EXPECT_EQ(obs.tenants().at("np").evictions, 2);

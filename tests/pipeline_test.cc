@@ -138,7 +138,7 @@ class PipelineStageTest : public ::testing::Test {
                                        &ctx);
     generator_->RegisterPartitionCandidates(&ctx);
     SelectionDecision decision = selector_->PlanSelection(ctx, report.base_seconds);
-    pool_->Apply(decision, ctx, &report);
+    EXPECT_TRUE(pool_->Apply(decision, ctx, &report).ok());
     report.total_seconds = report.best_seconds + report.materialize_seconds;
     report.pool_bytes_after = pool_->PoolBytes();
     return report;
@@ -252,7 +252,7 @@ TEST_F(PipelineStageTest, SelectionPlannerIsSideEffectFreeUntilApply) {
 
   // Apply executes the decision: content lands in the pool and the
   // materialization time is charged.
-  pool_->Apply(decision, ctx, &report);
+  ASSERT_TRUE(pool_->Apply(decision, ctx, &report).ok());
   EXPECT_GT(pool_->PoolBytes(), pool_before);
   EXPECT_GT(pool_->fs().List().size(), files_before);
   EXPECT_GT(report.materialize_seconds, 0.0);

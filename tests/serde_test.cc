@@ -115,7 +115,8 @@ TEST_F(EngineStateTest, SaveLoadRoundTripPreservesPool) {
   Catalog catalog2;
   ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &catalog2).ok());
   DeepSeaEngine cold(&catalog2, opts);
-  ASSERT_TRUE(cold.LoadState(*state).ok());
+  const Status load = cold.LoadState(*state);
+  ASSERT_TRUE(load.ok()) << load.ToString();
   EXPECT_NEAR(cold.PoolBytes(), warm.PoolBytes(), warm.PoolBytes() * 1e-9);
   EXPECT_EQ(cold.fs().List("pool/").size(), warm.fs().List("pool/").size());
   EXPECT_GE(cold.now(), warm.now());
@@ -185,6 +186,76 @@ TEST_F(EngineStateTest, BadStateRejected) {
   EXPECT_FALSE(engine.LoadState("").ok());
   EXPECT_FALSE(engine.LoadState("garbage").ok());
   EXPECT_FALSE(engine.LoadState("DEEPSEA-STATE 1\nVIEW\nnope").ok());
+}
+
+TEST_F(EngineStateTest, CorruptedStateLeavesEngineUntouched) {
+  // Every rejected blob must leave the engine exactly as it was: no
+  // partially tracked views, no pool files, no clock advance.
+  Catalog catalog;
+  ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &catalog).ok());
+  EngineOptions opts;
+  opts.benefit_cost_threshold = 0.05;
+  DeepSeaEngine warm(&catalog, opts);
+  for (int i = 0; i < 8; ++i) {
+    auto plan = BigBenchTemplates::Build("Q30", 100000 + i * 20, 180000 + i * 20);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(warm.ProcessQuery(*plan).ok());
+  }
+  auto state = warm.SaveState();
+  ASSERT_TRUE(state.ok());
+  ASSERT_GT(warm.PoolBytes(), 0.0);
+
+  std::vector<std::string> corrupted;
+  // Truncated mid-blob.
+  corrupted.push_back(state->substr(0, state->size() / 2));
+  {
+    // Version skew: a future format version must be rejected, not
+    // half-understood.
+    std::string skew = *state;
+    const size_t pos = skew.find("DEEPSEA-STATE 2");
+    ASSERT_NE(pos, std::string::npos);
+    skew.replace(pos, 15, "DEEPSEA-STATE 3");
+    corrupted.push_back(skew);
+  }
+  {
+    // Field-mangled number: atof would quietly read this as 0.
+    std::string mangled = *state;
+    const size_t pos = mangled.find("STATS ");
+    ASSERT_NE(pos, std::string::npos);
+    mangled[pos + 6] = 'x';
+    corrupted.push_back(mangled);
+  }
+  {
+    // Field-mangled flag: only "0"/"1" are valid.
+    std::string badflag = *state;
+    const size_t pos = badflag.find("FRAGMENT ");
+    ASSERT_NE(pos, std::string::npos);
+    const size_t eol = badflag.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    badflag[eol - 1] = '7';
+    corrupted.push_back(badflag);
+  }
+  // A structurally valid blob whose plan references an unknown table
+  // fails signature resolution (inside the commit section) — that exit
+  // path must be just as clean.
+  corrupted.push_back(
+      "DEEPSEA-STATE 2\nCLOCK 99\nVIEW\nPLAN 1\nSCAN no_such_table\n"
+      "STATS 1 1 0 0 1\nENDVIEW\n");
+
+  for (const std::string& blob : corrupted) {
+    Catalog catalog2;
+    ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &catalog2).ok());
+    DeepSeaEngine cold(&catalog2, opts);
+    const int64_t clock_before = cold.now();
+    EXPECT_FALSE(cold.LoadState(blob).ok());
+    EXPECT_EQ(cold.PoolBytes(), 0.0);
+    EXPECT_EQ(cold.views().AllViews().size(), 0u);
+    EXPECT_TRUE(cold.fs().List("pool/").empty());
+    EXPECT_EQ(cold.now(), clock_before);
+    // A good blob still loads afterwards (rejection is stateless).
+    EXPECT_TRUE(cold.LoadState(*state).ok());
+    EXPECT_NEAR(cold.PoolBytes(), warm.PoolBytes(), warm.PoolBytes() * 1e-9);
+  }
 }
 
 
