@@ -1,0 +1,357 @@
+// Statistics hot-path bench: pins the two perf claims of the "make the
+// stats hot path O(1) and plan under a shared lock" change (DESIGN.md,
+// "Statistics hot path and locking discipline").
+//
+//   1. stats_scaling — per-evaluation cost of AccumulatedBenefit /
+//      DecayedHits as the event/hit history grows. The incremental
+//      readers (running sums + timed-out-prefix cursor) flatten once
+//      the history exceeds the decay window t_max; the retained *Naive
+//      replays grow linearly. Evaluations are checksummed against each
+//      other, so the bench doubles as a coarse bit-identity check.
+//
+//   2. throughput — 1/2/4 engines free-running on one SharedPool (no
+//      turnstile), each processing its own SDSS-patterned workload.
+//      Planning runs under the shared lock; only the commit holds the
+//      exclusive lock, whose aggregate hold time the pool now exports
+//      (PoolManager::commit_lock_stats), reported as the
+//      serialization fraction of the run.
+//
+// Usage:
+//   bench_hotpath [--smoke] [--json=PATH] [--csv=PATH]
+// --smoke shrinks both sections to CI size. JSON results land in
+// BENCH_hotpath.json by default (the repo's perf baseline file);
+// --csv additionally writes the same rows in CSV form.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/shared_pool.h"
+#include "core/view_stats.h"
+
+using namespace deepsea;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- section 1: stats evaluation scaling ----------------------------
+
+struct ScalingRow {
+  int history = 0;
+  double view_incremental_ns = 0.0;
+  double view_naive_ns = 0.0;
+  double frag_incremental_ns = 0.0;
+  double frag_naive_ns = 0.0;
+};
+
+/// Average ns per call of `fn` over `reps` calls; the accumulated
+/// checksum is returned through `sink` so the calls cannot be elided.
+template <typename Fn>
+double TimeNs(int reps, double* sink, Fn fn) {
+  const double t0 = NowSeconds();
+  double acc = 0.0;
+  for (int i = 0; i < reps; ++i) acc += fn();
+  const double t1 = NowSeconds();
+  *sink += acc;
+  return (t1 - t0) * 1e9 / static_cast<double>(reps);
+}
+
+ScalingRow MeasureScaling(int history, int reps) {
+  const DecayFunction dec(DecayConfig{});  // the engine default (t_max 500)
+  // Build the histories the way the pool does: appends in commit-clock
+  // order with the cursor advanced after each commit's fold.
+  ViewStats view;
+  FragmentStats frag;
+  frag.interval = Interval(0.0, 1000.0);
+  for (int t = 1; t <= history; ++t) {
+    view.RecordUse(t, 1.0 + 0.25 * (t % 7), t % 3);
+    frag.RecordHit(t, Interval(10.0 * (t % 50), 10.0 * (t % 50) + 5.0), t % 3);
+    view.AdvanceWindow(t, dec);
+    frag.AdvanceWindow(t, dec);
+  }
+  const double t_now = static_cast<double>(history);
+
+  ScalingRow row;
+  row.history = history;
+  double inc_sum = 0.0, naive_sum = 0.0;
+  row.view_incremental_ns = TimeNs(reps, &inc_sum, [&] {
+    return view.AccumulatedBenefit(t_now, dec);
+  });
+  row.view_naive_ns = TimeNs(reps, &naive_sum, [&] {
+    return view.AccumulatedBenefitNaive(t_now, dec);
+  });
+  if (inc_sum != naive_sum) {
+    std::fprintf(stderr,
+                 "BIT-IDENTITY VIOLATION: view benefit %.17g != naive %.17g "
+                 "at history %d\n",
+                 inc_sum, naive_sum, history);
+    std::exit(1);
+  }
+  inc_sum = naive_sum = 0.0;
+  row.frag_incremental_ns =
+      TimeNs(reps, &inc_sum, [&] { return frag.DecayedHits(t_now, dec); });
+  row.frag_naive_ns =
+      TimeNs(reps, &naive_sum, [&] { return frag.DecayedHitsNaive(t_now, dec); });
+  if (inc_sum != naive_sum) {
+    std::fprintf(stderr,
+                 "BIT-IDENTITY VIOLATION: fragment hits %.17g != naive %.17g "
+                 "at history %d\n",
+                 inc_sum, naive_sum, history);
+    std::exit(1);
+  }
+  return row;
+}
+
+// --- section 2: multi-engine shared-pool throughput -----------------
+
+struct ThroughputRow {
+  int engines = 0;
+  int queries = 0;
+  int replans = 0;  ///< speculative plans invalidated by a foreign commit
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  uint64_t commits = 0;
+  double commit_held_seconds = 0.0;
+  double commit_held_fraction = 0.0;
+  double sim_seconds = 0.0;  ///< simulated workload cost (sanity column)
+};
+
+/// Client think time between a tenant's queries: models the round trip
+/// of the interactive sessions the paper's workload represents. This is
+/// what shared-lock planning converts into capacity — while one
+/// tenant thinks, the others plan concurrently; only the commit
+/// serializes.
+constexpr auto kThinkTime = std::chrono::microseconds(500);
+
+/// `total_queries` split evenly across `engines` free-running threads
+/// on ONE shared pool — total work (and thus final pool size) is fixed
+/// per row, so queries/second across rows measures concurrency alone.
+ThroughputRow RunThroughput(int engines, int total_queries) {
+  ThroughputRow row;
+  row.engines = engines;
+  const int per_engine = total_queries / engines;
+
+  Catalog catalog;
+  const auto data = bench::Dataset(100.0, /*sdss_distribution=*/true);
+  if (!BigBenchDataset::Generate(data, &catalog).ok()) {
+    std::fprintf(stderr, "dataset generation failed\n");
+    std::exit(1);
+  }
+  EngineOptions options = bench::DeepSea().options;
+  options.pool_limit_bytes = 12e9;
+  SharedPool pool(&catalog, options);
+
+  // One global workload, dealt out in contiguous chunks: every row
+  // processes the same query set regardless of engine count.
+  const std::vector<WorkloadQuery> all =
+      bench::SdssWorkload(per_engine * engines, 2017);
+  std::vector<std::unique_ptr<DeepSeaEngine>> fleet;
+  for (int e = 0; e < engines; ++e) {
+    fleet.push_back(std::make_unique<DeepSeaEngine>(
+        &catalog, &pool, "tenant" + std::to_string(e)));
+  }
+
+  // Engine construction enters the commit section briefly (InitStages);
+  // measure the run alone by diffing the pool's lock stats around it.
+  const PoolManager::CommitLockStats before = pool.pool()->commit_lock_stats();
+  std::vector<double> sim(static_cast<size_t>(engines), 0.0);
+  std::vector<int> done(static_cast<size_t>(engines), 0);
+  std::vector<int> replans(static_cast<size_t>(engines), 0);
+  const double t0 = NowSeconds();
+  {
+    std::vector<std::thread> threads;
+    for (int e = 0; e < engines; ++e) {
+      threads.emplace_back([&, e] {
+        const size_t lo = static_cast<size_t>(e) * static_cast<size_t>(per_engine);
+        for (size_t i = lo; i < lo + static_cast<size_t>(per_engine); ++i) {
+          const WorkloadQuery& q = all[i];
+          auto plan =
+              BigBenchTemplates::Build(q.template_name, q.range.lo, q.range.hi);
+          if (!plan.ok()) continue;
+          auto report = fleet[static_cast<size_t>(e)]->ProcessQuery(*plan);
+          if (!report.ok()) continue;
+          sim[static_cast<size_t>(e)] += report->total_seconds;
+          replans[static_cast<size_t>(e)] += report->replanned ? 1 : 0;
+          ++done[static_cast<size_t>(e)];
+          std::this_thread::sleep_for(kThinkTime);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  row.wall_seconds = NowSeconds() - t0;
+  const PoolManager::CommitLockStats after = pool.pool()->commit_lock_stats();
+
+  for (int e = 0; e < engines; ++e) {
+    row.queries += done[static_cast<size_t>(e)];
+    row.replans += replans[static_cast<size_t>(e)];
+    row.sim_seconds += sim[static_cast<size_t>(e)];
+  }
+  row.queries_per_second =
+      row.wall_seconds > 0.0 ? row.queries / row.wall_seconds : 0.0;
+  row.commits = after.commits - before.commits;
+  row.commit_held_seconds = after.held_seconds - before.held_seconds;
+  row.commit_held_fraction = row.wall_seconds > 0.0
+                                 ? row.commit_held_seconds / row.wall_seconds
+                                 : 0.0;
+  return row;
+}
+
+// --- output ---------------------------------------------------------
+
+std::string ToJson(bool smoke, const std::vector<ScalingRow>& scaling,
+                   const std::vector<ThroughputRow>& throughput) {
+  std::string out;
+  char buf[512];
+  out += "{\n  \"bench\": \"hotpath\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"smoke\": %s,\n",
+                smoke ? "true" : "false");
+  out += buf;
+  out += "  \"stats_scaling\": [\n";
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingRow& r = scaling[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"history\": %d, \"view_incremental_ns\": %.1f, "
+                  "\"view_naive_ns\": %.1f, \"frag_incremental_ns\": %.1f, "
+                  "\"frag_naive_ns\": %.1f}%s\n",
+                  r.history, r.view_incremental_ns, r.view_naive_ns,
+                  r.frag_incremental_ns, r.frag_naive_ns,
+                  i + 1 < scaling.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n  \"throughput\": [\n";
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputRow& r = throughput[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"engines\": %d, \"queries\": %d, \"replans\": %d, "
+        "\"wall_seconds\": %.3f, \"queries_per_second\": %.1f, "
+        "\"commits\": %llu, \"commit_held_seconds\": %.3f, "
+        "\"commit_held_fraction\": %.3f, \"sim_seconds\": %.1f}%s\n",
+        r.engines, r.queries, r.replans, r.wall_seconds, r.queries_per_second,
+        static_cast<unsigned long long>(r.commits), r.commit_held_seconds,
+        r.commit_held_fraction, r.sim_seconds,
+        i + 1 < throughput.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string ToCsv(const std::vector<ScalingRow>& scaling,
+                  const std::vector<ThroughputRow>& throughput) {
+  std::string out;
+  char buf[256];
+  out += "section,history,view_incremental_ns,view_naive_ns,"
+         "frag_incremental_ns,frag_naive_ns\n";
+  for (const ScalingRow& r : scaling) {
+    std::snprintf(buf, sizeof(buf), "stats_scaling,%d,%.1f,%.1f,%.1f,%.1f\n",
+                  r.history, r.view_incremental_ns, r.view_naive_ns,
+                  r.frag_incremental_ns, r.frag_naive_ns);
+    out += buf;
+  }
+  out += "section,engines,queries,replans,wall_seconds,queries_per_second,"
+         "commits,commit_held_seconds,commit_held_fraction\n";
+  for (const ThroughputRow& r : throughput) {
+    std::snprintf(buf, sizeof(buf),
+                  "throughput,%d,%d,%d,%.3f,%.1f,%llu,%.3f,%.3f\n", r.engines,
+                  r.queries, r.replans, r.wall_seconds, r.queries_per_second,
+                  static_cast<unsigned long long>(r.commits),
+                  r.commit_held_seconds, r.commit_held_fraction);
+    out += buf;
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return n == content.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_hotpath.json";
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) csv_path = argv[i] + 6;
+  }
+
+  bench::Banner("Statistics hot path",
+                smoke ? "incremental stats + shared-lock planning (smoke)"
+                      : "incremental stats + shared-lock planning");
+
+  // Section 1. Histories straddle t_max (500): the incremental columns
+  // stop growing there, the naive columns keep growing.
+  const std::vector<int> histories =
+      smoke ? std::vector<int>{125, 500, 1000}
+            : std::vector<int>{125, 250, 500, 1000, 2000, 4000};
+  const int reps = smoke ? 2000 : 20000;
+  std::vector<ScalingRow> scaling;
+  std::printf("\nstats_scaling (ns/evaluation, t_max=500):\n");
+  std::printf("%8s %16s %12s %16s %12s\n", "history", "view_incremental",
+              "view_naive", "frag_incremental", "frag_naive");
+  for (int h : histories) {
+    scaling.push_back(MeasureScaling(h, reps));
+    const ScalingRow& r = scaling.back();
+    std::printf("%8d %16.1f %12.1f %16.1f %12.1f\n", r.history,
+                r.view_incremental_ns, r.view_naive_ns, r.frag_incremental_ns,
+                r.frag_naive_ns);
+  }
+
+  // Section 2. Fixed total work split across growing engine counts; the
+  // run's only serialization is the exclusive commit.
+  const int total_queries = smoke ? 60 : 240;
+  std::vector<ThroughputRow> throughput;
+  std::printf("\nthroughput (%d queries total, shared pool, %lldus think):\n",
+              total_queries,
+              static_cast<long long>(kThinkTime.count()));
+  std::printf("%8s %8s %8s %8s %8s %8s %10s %10s\n", "engines", "queries",
+              "replans", "wall(s)", "q/s", "commits", "held(s)", "held/wall");
+  for (int engines : {1, 2, 4}) {
+    throughput.push_back(RunThroughput(engines, total_queries));
+    const ThroughputRow& r = throughput.back();
+    std::printf("%8d %8d %8d %8.3f %8.1f %8llu %10.3f %10.3f\n", r.engines,
+                r.queries, r.replans, r.wall_seconds, r.queries_per_second,
+                static_cast<unsigned long long>(r.commits),
+                r.commit_held_seconds, r.commit_held_fraction);
+  }
+
+  std::printf(
+      "\nExpected: incremental ns flat beyond history=500 while naive grows"
+      "\nlinearly; queries/second improves with engines (planning and think"
+      "\ntime overlap; only the commit serializes) while the commit lock's"
+      "\nheld/wall fraction stays below 1.\n\n");
+
+  const std::string json = ToJson(smoke, scaling, throughput);
+  if (!WriteFile(json_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  if (!csv_path.empty()) {
+    if (!WriteFile(csv_path, ToCsv(scaling, throughput))) {
+      std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}

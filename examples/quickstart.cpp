@@ -78,7 +78,7 @@ int main() {
         if (!f.materialized) continue;
         std::printf("    %-28s %8.2f GB  %zu hits\n",
                     f.interval.ToString().c_str(), f.size_bytes / 1e9,
-                    f.hits.size());
+                    f.hits().size());
       }
     }
   }

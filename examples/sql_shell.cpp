@@ -57,7 +57,7 @@ void PrintPool(const DeepSeaEngine& engine) {
         if (!f.materialized) continue;
         std::printf("    %s %-26s %8.2f GB  %zu hits\n", attr.c_str(),
                     f.interval.ToString().c_str(), f.size_bytes / 1e9,
-                    f.hits.size());
+                    f.hits().size());
       }
     }
   }

@@ -1,6 +1,7 @@
 #include "core/candidate_generator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -16,18 +17,21 @@ void CandidateGenerator::RegisterViewCandidates(const PlanPtr& candidate_plan,
                                                 double base_seconds,
                                                 QueryContext* ctx) {
   ctx->view_candidates.clear();
+  PlanningDelta* delta = ctx->delta();
+  assert(delta != nullptr);
+  Catalog* pcat = delta->planning_catalog();
   const double t_now = ctx->t_now();
   const std::vector<SelectionContext> contexts =
       ExtractSelectionContexts(candidate_plan);
   for (const PlanPtr& sp : EnumerateViewCandidates(candidate_plan)) {
-    auto sig = ComputeSignature(sp, *catalog_);
+    auto sig = ComputeSignature(sp, *pcat);
     if (!sig.ok()) continue;
-    const bool known = views_->FindBySignature(sig->ToString()) != nullptr;
-    ViewInfo* view = views_->Track(sp, *sig);
+    const bool known = delta->FindView(sig->ToString()) != nullptr;
+    ViewInfo* view = delta->TrackView(sp, *sig);
     if (!known) {
-      pool_->RegisterViewTable(view);
-      if (!catalog_->Contains(view->id)) continue;  // unsupported plan shape
-      index_->Insert(view->signature, view->id);
+      pool_->RegisterViewTablePlanning(view, delta);
+      if (!pcat->Contains(view->id)) continue;  // unsupported plan shape
+      delta->DeferIndexInsert(view->signature, view->id);
     }
     const SelectionContext* sel = nullptr;
     for (const SelectionContext& c : contexts) {
@@ -45,11 +49,11 @@ void CandidateGenerator::RegisterViewCandidates(const PlanPtr& candidate_plan,
     // constants, so optimism would materialize one-shot query caches.
     if (!known && sel != nullptr && sp->kind() != PlanKind::kAggregate) {
       double fraction = 1.0;
-      auto domain = ColumnDomain(*catalog_, sel->column);
+      auto domain = ColumnDomain(*pcat, sel->column);
       if (domain.ok()) {
         const auto clamped = sel->range.Intersect(*domain);
         if (clamped.has_value()) {
-          fraction = RangeFractionOfBaseColumn(*catalog_, sel->column, *clamped);
+          fraction = RangeFractionOfBaseColumn(*pcat, sel->column, *clamped);
         }
       }
       const double read_bytes = fraction * view->stats.size_bytes;
@@ -57,7 +61,7 @@ void CandidateGenerator::RegisterViewCandidates(const PlanPtr& candidate_plan,
                                2.0 * cluster_->config().job_startup_seconds +
                                cluster_->ShuffleSeconds(read_bytes);
       const double saving = base_seconds - est_reuse;
-      if (saving > 0.0) view->stats.RecordUse(t_now, saving, ctx->tenant_ord());
+      if (saving > 0.0) delta->RecordUse(view, t_now, saving, ctx->tenant_ord());
     }
   }
 }
@@ -65,22 +69,25 @@ void CandidateGenerator::RegisterViewCandidates(const PlanPtr& candidate_plan,
 void CandidateGenerator::RegisterPartitionCandidates(QueryContext* ctx) {
   ctx->fragment_candidates.clear();
   if (options_->strategy == StrategyKind::kNoPartition) return;
+  PlanningDelta* delta = ctx->delta();
+  assert(delta != nullptr);
+  Catalog* pcat = delta->planning_catalog();
   const double t_now = ctx->t_now();
   for (const SelectionContext& sel : ExtractSelectionContexts(ctx->query)) {
-    auto sig = ComputeSignature(sel.selected_input, *catalog_);
+    auto sig = ComputeSignature(sel.selected_input, *pcat);
     if (!sig.ok()) continue;
-    ViewInfo* view = views_->FindBySignature(sig->ToString());
+    ViewInfo* view = delta->FindView(sig->ToString());
     if (view == nullptr) continue;  // selections over non-candidate shapes
-    auto domain = ColumnDomain(*catalog_, sel.column);
+    auto domain = ColumnDomain(*pcat, sel.column);
     if (!domain.ok()) continue;
-    PartitionState* part = view->EnsurePartition(sel.column, *domain);
+    PartitionState* part = delta->EnsurePartition(view, sel.column, *domain);
     if (part->pending.empty()) part->pending = {*domain};
     // Attach the derived histogram to the view table once per attribute
     // so fragment sizes reflect the data distribution.
-    auto view_table = catalog_->Get(view->id);
+    auto view_table = pcat->Get(view->id);
     if (view_table.ok() && (*view_table)->GetHistogram(sel.column) == nullptr) {
-      auto hist = DeriveViewHistogram(*catalog_, *options_, *view, sel.column);
-      if (hist.ok()) (*view_table)->SetHistogram(sel.column, *hist);
+      auto hist = DeriveViewHistogram(*pcat, *options_, *view, sel.column);
+      if (hist.ok()) delta->AttachHistogram(*view, sel.column, *hist);
     }
     const auto clamped = sel.range.Intersect(*domain);
     if (!clamped.has_value()) continue;
@@ -129,7 +136,8 @@ void CandidateGenerator::RegisterPartitionCandidates(QueryContext* ctx) {
         // Track stats for every piece; pieces overlapping the query
         // range count the current query as a hit.
         for (const Interval& p : pieces) {
-          FragmentStats* tracked = part->Track(p, /*est_size_bytes=*/0.0);
+          FragmentStats* tracked =
+              delta->TrackFragment(part, p, /*est_size_bytes=*/0.0);
           if (p.Overlaps(range)) {
             tracked->RecordHit(t_now, range, ctx->tenant_ord());
           }
@@ -148,7 +156,7 @@ void CandidateGenerator::RegisterPartitionCandidates(QueryContext* ctx) {
           est_bytes < options_->cluster.block_bytes) {
         continue;  // fragments below one block are never created
       }
-      FragmentStats* fstat = part->Track(cand, est_bytes);
+      FragmentStats* fstat = delta->TrackFragment(part, cand, est_bytes);
       if (fstat->materialized) continue;
       fstat->size_bytes = est_bytes;
       if (cand.Overlaps(range)) fstat->RecordHit(t_now, range, ctx->tenant_ord());

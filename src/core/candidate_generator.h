@@ -13,12 +13,16 @@ namespace deepsea {
 
 /// Stage 2 of the pipeline (Algorithm 1 lines 4-5): enumerates the
 /// query's view candidates (Definition 6) and partition candidates
-/// (Definition 7), registers new views in STAT / the rewrite index /
-/// the relational catalog (via PoolManager::RegisterViewTable), seeds
-/// their initial rough benefit estimates, and refines pending
-/// fragmentations at the query's range endpoints. Results land in
-/// QueryContext::view_candidates / fragment_candidates for the
-/// SelectionPlanner.
+/// (Definition 7), registers new views, seeds their initial rough
+/// benefit estimates, and refines pending fragmentations at the query's
+/// range endpoints. Results land in QueryContext::view_candidates /
+/// fragment_candidates for the SelectionPlanner.
+///
+/// All registrations are buffered in the query's PlanningDelta (new
+/// views, view tables via PoolManager::RegisterViewTablePlanning,
+/// rewrite-index inserts, partition/fragment tracking, histogram
+/// attachments): this stage runs under the shared lock and publishes
+/// nothing until PoolManager::Apply folds the delta.
 class CandidateGenerator {
  public:
   CandidateGenerator(Catalog* catalog, const EngineOptions* options,

@@ -75,6 +75,7 @@ void DeepSeaEngine::InitStages() {
   CommitGuard commit = pool_->BeginCommit();
   ViewCatalog* stat = pool_->stat(commit);
   FilterTree* index = pool_->rewrite_index(commit);
+  stat_ = stat;
   rewrite_planner_ =
       std::make_unique<RewritePlanner>(catalog_, &estimator_, stat, index);
   candidate_generator_ = std::make_unique<CandidateGenerator>(
@@ -83,67 +84,99 @@ void DeepSeaEngine::InitStages() {
       catalog_, &options_, &cluster_, &decay_, &mle_, stat);
 }
 
-Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
-  // The whole pipeline is one exclusive commit: the planning stages
-  // mutate shared statistics (Algorithm 1 line 2), so concurrent
-  // tenants serialize end to end and the pool state after a workload is
-  // a function of the commit order alone. The guard also routes pool
-  // mutation events to this engine's observer, stamped with its tenant.
-  CommitGuard commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
-  const int64_t t = pool_->Tick(commit);
-  QueryReport report;
-  report.query_index = t;
-  report.tenant_id = tenant_;
-
-  // All per-query scratch state lives in the QueryContext: ProcessQuery
-  // holds no engine members between stages, so it is re-entrant by
-  // construction (pool state aside).
-  QueryContext ctx(query, t, tenant_, tenant_ord_);
-  if (observer_ != nullptr) observer_->OnQueryStart(t, query, tenant_);
+Status DeepSeaEngine::RunPlanningStages(QueryContext* ctx, QueryReport* report,
+                                        SelectionDecision* decision) {
+  {
+    StageScope stage(observer_, EngineStage::kRewrite, *ctx);
+    DEEPSEA_RETURN_IF_ERROR(rewrite_planner_->PlanBase(ctx, report));
+    if (options_.strategy != StrategyKind::kHive) {
+      DEEPSEA_RETURN_IF_ERROR(rewrite_planner_->PlanBest(ctx, report));
+    }
+    stage.Finish(report->best_seconds);
+  }
+  if (options_.strategy == StrategyKind::kHive) return Status::OK();
 
   {
-    StageScope stage(observer_, EngineStage::kRewrite, ctx);
-    DEEPSEA_RETURN_IF_ERROR(rewrite_planner_->PlanBase(&ctx, &report));
-    if (options_.strategy != StrategyKind::kHive) {
-      DEEPSEA_RETURN_IF_ERROR(rewrite_planner_->PlanBest(&ctx, &report));
-    }
-    stage.Finish(report.best_seconds);
+    StageScope stage(observer_, EngineStage::kCandidates, *ctx);
+    // View candidates come from Q_best (Alg. 1 line 4): when the
+    // query is answered from a view, the rewritten plan's subplans
+    // are the candidates — so views that already serve the query are
+    // not repeatedly re-offered — while partition candidates always
+    // come from the query's selection contexts (they drive refinement
+    // of the serving view).
+    const PlanPtr candidate_plan =
+        report->used_view.empty() ? ctx->query : ctx->executed_plan;
+    candidate_generator_->RegisterViewCandidates(candidate_plan,
+                                                 report->base_seconds, ctx);
+    candidate_generator_->RegisterPartitionCandidates(ctx);
+    stage.Finish(0.0);
   }
+  {
+    StageScope stage(observer_, EngineStage::kSelection, *ctx);
+    *decision = selection_planner_->PlanSelection(*ctx, report->base_seconds);
+    stage.Finish(0.0);
+  }
+  return Status::OK();
+}
+
+Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
+  QueryReport report;
+  report.tenant_id = tenant_;
+  SelectionDecision decision;
+  std::unique_ptr<QueryContext> ctx;
+  uint64_t planned_epoch = 0;
+  int64_t t_spec = 0;
+
+  // Phase 1 — speculative planning under the shared lock. The stages
+  // buffer every statistics/catalog write into the context's
+  // PlanningDelta, so concurrent tenants plan in parallel; the pool is
+  // read-only here. The commit clock this query *will* get, assuming no
+  // other commit intervenes, is clock()+1 — planning runs at that
+  // timestamp so a validated plan is exactly the plan the serialized
+  // pipeline would have produced.
+  {
+    auto shared = pool_->SharedLock();
+    planned_epoch = pool_->commit_epoch();
+    t_spec = pool_->clock() + 1;
+    ctx = std::make_unique<QueryContext>(query, t_spec, tenant_, tenant_ord_);
+    ctx->InitPlanning(*catalog_, stat_);
+    if (observer_ != nullptr) observer_->OnQueryStart(t_spec, query, tenant_);
+    DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
+  }
+
+  // Phase 2 — exclusive commit. Valid iff exactly one commit (ours)
+  // happened since planning AND the clock landed on the speculated
+  // timestamp; SetFaultPolicy / LoadState / InitStages commit without
+  // ticking, which the epoch check catches.
+  CommitGuard commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
+  const int64_t t = pool_->Tick(commit);
+  if (pool_->commit_epoch() != planned_epoch + 1 || t != t_spec) {
+    // Another commit intervened: the speculative plan may rest on stale
+    // statistics. Replan against current state under the exclusive lock
+    // (statistically rare; stage observers see the stages a second
+    // time, OnQueryStart is not re-fired).
+    report = QueryReport();
+    report.tenant_id = tenant_;
+    report.replanned = true;
+    decision = SelectionDecision();
+    ctx = std::make_unique<QueryContext>(query, t, tenant_, tenant_ord_);
+    ctx->InitPlanning(*catalog_, stat_);
+    DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
+  }
+  report.query_index = t;
 
   if (options_.strategy != StrategyKind::kHive) {
     {
-      StageScope stage(observer_, EngineStage::kCandidates, ctx);
-      // View candidates come from Q_best (Alg. 1 line 4): when the
-      // query is answered from a view, the rewritten plan's subplans
-      // are the candidates — so views that already serve the query are
-      // not repeatedly re-offered — while partition candidates always
-      // come from the query's selection contexts (they drive refinement
-      // of the serving view).
-      const PlanPtr candidate_plan =
-          report.used_view.empty() ? ctx.query : ctx.executed_plan;
-      candidate_generator_->RegisterViewCandidates(candidate_plan,
-                                                   report.base_seconds, &ctx);
-      candidate_generator_->RegisterPartitionCandidates(&ctx);
-      stage.Finish(0.0);
-    }
-
-    SelectionDecision decision;
-    {
-      StageScope stage(observer_, EngineStage::kSelection, ctx);
-      decision = selection_planner_->PlanSelection(ctx, report.base_seconds);
-      stage.Finish(0.0);
-    }
-    {
-      StageScope stage(observer_, EngineStage::kApply, ctx);
-      ExecuteDecision(decision, ctx, &report, t);
+      StageScope stage(observer_, EngineStage::kApply, *ctx);
+      ExecuteDecision(decision, *ctx, &report, t);
       stage.Finish(report.materialize_seconds);
     }
 
     // Maintenance: merge co-accessed adjacent fragments (Section 11
     // extension; disabled by default).
     if (options_.merge.enabled) {
-      StageScope stage(observer_, EngineStage::kMerge, ctx);
-      const double merge_seconds = ExecuteMergePass(ctx, &report);
+      StageScope stage(observer_, EngineStage::kMerge, *ctx);
+      const double merge_seconds = ExecuteMergePass(*ctx, &report);
       report.materialize_seconds += merge_seconds;
       stage.Finish(merge_seconds);
     }
@@ -155,16 +188,16 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     // cost has been charged to materialize_seconds by Apply.
     bool unpushed = false;
     for (const std::string& id : report.created_views) {
-      for (const ViewCandidate& c : ctx.view_candidates) {
+      for (const ViewCandidate& c : ctx->view_candidates) {
         if (c.view->id == id && c.under_select) unpushed = true;
       }
     }
     if (unpushed) {
-      auto est = estimator_.Estimate(ctx.query);
+      auto est = estimator_.Estimate(ctx->query);
       if (est.ok()) {
         report.best_seconds = est->seconds;
         report.map_tasks = est->map_tasks;
-        ctx.executed_plan = ctx.query;
+        ctx->executed_plan = ctx->query;
       }
     }
   }
@@ -173,9 +206,9 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   report.pool_bytes_after = pool_->PoolBytes();
 
   if (options_.physical_execution) {
-    StageScope stage(observer_, EngineStage::kPhysical, ctx);
+    StageScope stage(observer_, EngineStage::kPhysical, *ctx);
     DEEPSEA_RETURN_IF_ERROR(
-        PhysicalExecute(commit, ctx.executed_plan, &report));
+        PhysicalExecute(commit, ctx->executed_plan, &report));
     stage.Finish(0.0);
   }
 

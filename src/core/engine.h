@@ -47,13 +47,18 @@ namespace deepsea {
 ///
 /// Tenancy: an engine either owns a private PoolManager (single-tenant
 /// constructor — behaviour identical to the pre-tenancy engine) or
-/// attaches to a SharedPool as one named tenant among several. Every
-/// ProcessQuery runs inside the pool's exclusive commit section (the
-/// planning stages mutate shared statistics, so the whole pipeline is
-/// one critical section); concurrent tenants serialize on the commit
-/// lock and the resulting pool state is a function of the commit order
-/// alone. Statistics recorded during a query are stamped with the
-/// tenant's interned ordinal for per-tenant benefit attribution.
+/// attaches to a SharedPool as one named tenant among several.
+/// ProcessQuery is two-phase: the planning stages (1-3) run
+/// speculatively under the pool's *shared* lock, buffering every
+/// would-be statistics write into the query's PlanningDelta, so
+/// concurrent tenants plan in parallel; only the commit — fold the
+/// delta, apply the decision, merge — takes the exclusive lock. The
+/// engine validates via the pool's commit epoch that no other commit
+/// intervened between planning and its own commit, and replans under
+/// the exclusive lock when one did, so the resulting pool state is
+/// still a function of the commit order alone. Statistics recorded
+/// during a query are stamped with the tenant's interned ordinal for
+/// per-tenant benefit attribution.
 ///
 /// An EngineObserver can be attached to watch stage boundaries and pool
 /// mutations (see core/engine_observer.h); with no observer attached
@@ -138,6 +143,13 @@ class DeepSeaEngine {
   /// Wires the three planning stages to the pool's catalog / index
   /// (briefly entering the commit section to obtain them).
   void InitStages();
+  /// Runs stages 1-3 (rewrite, candidates, selection) against `ctx`'s
+  /// PlanningDelta. Called once under the shared lock (speculative) and
+  /// again under the exclusive lock when epoch validation fails; the
+  /// caller holds whichever lock the run requires. Only the rewrite
+  /// stage runs for plain Hive.
+  Status RunPlanningStages(QueryContext* ctx, QueryReport* report,
+                           SelectionDecision* decision);
   /// Executes `decision` through PoolManager::Apply with the configured
   /// fault handling: transient faults are retried (up to
   /// options_.fault.max_retries, each against the rolled-back pool);
@@ -179,6 +191,10 @@ class DeepSeaEngine {
   std::unique_ptr<RewritePlanner> rewrite_planner_;
   std::unique_ptr<CandidateGenerator> candidate_generator_;
   std::unique_ptr<SelectionPlanner> selection_planner_;
+  /// The pool's STAT, captured in InitStages: ProcessQuery hands it to
+  /// each query's PlanningDelta (which only reads it under the shared
+  /// lock; mutation stays behind the commit protocol).
+  ViewCatalog* stat_ = nullptr;
 
   EngineTotals totals_;
 };

@@ -33,11 +33,22 @@ const char* EngineStageName(EngineStage stage);
 ///
 /// Tenancy: every hook identifies the tenant whose query triggered it —
 /// either explicitly (`tenant` parameter, "" for a single-tenant
-/// engine) or via the QueryContext / QueryReport argument. All hooks
-/// fire inside the pool's exclusive commit section, so one observer may
-/// be attached to several engines sharing a pool without its own
-/// locking: invocations are serialized by the commit lock even when the
-/// engines run on different threads.
+/// engine) or via the QueryContext / QueryReport argument.
+///
+/// Locking: pool-mutation hooks (OnMaterialize*/OnEvict/OnMerge/
+/// OnFault/OnRetry/OnDegrade) and the kApply/kMerge/kPhysical stage
+/// hooks fire inside the pool's exclusive commit section — serialized
+/// by the commit lock across engines. OnQueryStart and the *planning*
+/// stage hooks (kRewrite/kCandidates/kSelection), however, fire while
+/// planning runs under the commit lock in shared mode, so two engines
+/// sharing one observer may invoke them concurrently from different
+/// threads; such an observer must synchronize those hooks itself (the
+/// per-engine-observer pattern, or an external turnstile as in
+/// tests/multitenant_harness.h, needs nothing). When epoch validation
+/// fails and the engine replans under the exclusive lock, the planning
+/// stage hooks fire a second time for the same query (OnQueryStart
+/// does not repeat); per-stage aggregates then count the replanned
+/// stages twice, mirroring the work actually done.
 ///
 /// Timing semantics of OnStageEnd:
 ///  * `sim_seconds` is the simulated time the stage charged to the

@@ -131,6 +131,13 @@ struct QueryReport {
   /// Total simulated time charged: best + materialize.
   double total_seconds = 0.0;
 
+  /// True when the speculative shared-lock plan was invalidated by a
+  /// concurrent commit and the query replanned under the exclusive
+  /// lock (always false for a single-tenant or turnstile-serialized
+  /// engine; see DESIGN.md, "Statistics hot path and locking
+  /// discipline").
+  bool replanned = false;
+
   std::string used_view;             ///< view answering the query ("" = none)
   int fragments_read = 0;
   int64_t map_tasks = 0;             ///< map tasks of the executed plan

@@ -160,7 +160,7 @@ Result<std::string> DeepSeaEngine::SaveState() const {
                      view->stats.size_is_actual ? 1 : 0,
                      view->stats.cost_is_actual ? 1 : 0,
                      view->whole_materialized ? 1 : 0);
-    for (const BenefitEvent& e : view->stats.events) {
+    for (const BenefitEvent& e : view->stats.events()) {
       out += StrFormat("EVENT %.17g %.17g %d\n", e.time, e.saving,
                        static_cast<int>(e.tenant));
     }
@@ -172,7 +172,7 @@ Result<std::string> DeepSeaEngine::SaveState() const {
       for (const FragmentStats& f : part.fragments) {
         out += "FRAGMENT " + FmtInterval(f.interval) +
                StrFormat(" %.17g %d\n", f.size_bytes, f.materialized ? 1 : 0);
-        for (const FragmentHit& h : f.hits) {
+        for (const FragmentHit& h : f.hits()) {
           out += StrFormat("HIT %.17g %d ", h.time, h.has_range ? 1 : 0) +
                  FmtInterval(h.range) +
                  StrFormat(" %d\n", static_cast<int>(h.tenant));
@@ -394,7 +394,11 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
       (void)st;
     }
     for (const ParsedEvent& e : pv.events) {
-      view->stats.RecordUse(e.time, e.saving, remap_tenant(e.tenant));
+      // AppendEvent, not RecordUse: loading a blob into a pool that
+      // already tracks this view may interleave older timestamps, which
+      // the RecordUse time-order assert would (rightly) reject. The
+      // incremental caches stay exact regardless of order.
+      view->stats.AppendEvent({e.time, e.saving, remap_tenant(e.tenant)});
     }
     for (ParsedPartition& pp : pv.partitions) {
       PartitionState* part = view->EnsurePartition(pp.attr, pp.domain);
@@ -410,15 +414,20 @@ Status DeepSeaEngine::LoadState(const std::string& state) {
         FragmentStats* frag = part->Track(pf.interval, pf.size_bytes);
         frag->size_bytes = pf.size_bytes;
         frag->materialized = pf.materialized;
-        frag->hits.clear();
+        std::vector<FragmentHit> restored;
+        restored.reserve(pf.hits.size());
         for (const ParsedHit& h : pf.hits) {
           FragmentHit hit;
           hit.time = h.time;
           hit.has_range = h.has_range;
           hit.range = h.range;
           hit.tenant = remap_tenant(h.tenant);
-          frag->hits.push_back(hit);
+          restored.push_back(hit);
         }
+        // AdoptHits rebuilds the running-max and resets the timed-out
+        // prefix cursor, so the restored stats evaluate exactly as if
+        // the hits had been recorded live.
+        frag->AdoptHits(std::move(restored));
         if (pf.materialized) {
           Status st =
               fs->Put(FragmentPath(*view, part->attr, pf.interval),

@@ -18,13 +18,13 @@ double CoAccess(const FragmentStats& a, const FragmentStats& b, double t_now,
                 const DecayFunction& dec) {
   std::set<double> times_a, times_b;
   double wa = 0.0, wb = 0.0;
-  for (const FragmentHit& h : a.hits) {
+  for (const FragmentHit& h : a.hits()) {
     if (dec(t_now, h.time) > 0.0) {
       times_a.insert(h.time);
       wa += 1.0;
     }
   }
-  for (const FragmentHit& h : b.hits) {
+  for (const FragmentHit& h : b.hits()) {
     if (dec(t_now, h.time) > 0.0) {
       times_b.insert(h.time);
       wb += 1.0;
@@ -61,8 +61,8 @@ std::vector<MergeCandidate> FindMergeCandidates(ViewCatalog* views,
         FragmentStats& a = part.fragments[mats[k]];
         FragmentStats& b = part.fragments[mats[k + 1]];
         if (!AreAdjacent(a.interval, b.interval)) continue;
-        if (static_cast<int>(a.hits.size()) < config.min_hits ||
-            static_cast<int>(b.hits.size()) < config.min_hits) {
+        if (static_cast<int>(a.hits().size()) < config.min_hits ||
+            static_cast<int>(b.hits().size()) < config.min_hits) {
           continue;
         }
         const double combined = a.size_bytes + b.size_bytes;

@@ -25,15 +25,31 @@ int MleFragmentModel::ChoosePartCount(const std::vector<FragmentStats>& fragment
 
 MleFragmentModel::AdjustedHits MleFragmentModel::Adjust(
     const std::vector<FragmentStats>& fragments, const Interval& domain,
-    double t_now, const DecayFunction& dec) const {
+    double t_now, const DecayFunction& dec,
+    const std::vector<const FragmentStats*>* bases) const {
   AdjustedHits out;
   out.hits.assign(fragments.size(), 0.0);
   if (fragments.empty() || domain.Width() <= 0.0) return out;
 
-  // H(I) per fragment and H_total.
+  auto base_of = [bases](size_t i) -> const FragmentStats* {
+    return bases != nullptr && i < bases->size() ? (*bases)[i] : nullptr;
+  };
+
+  // H(I) per fragment and H_total. With a base, accumulate base-then-
+  // local exactly as the folded fragment's own DecayedHits would.
   std::vector<double> frag_hits(fragments.size(), 0.0);
   for (size_t i = 0; i < fragments.size(); ++i) {
-    frag_hits[i] = fragments[i].DecayedHits(t_now, dec);
+    const FragmentStats* base = base_of(i);
+    if (base == nullptr) {
+      frag_hits[i] = fragments[i].DecayedHits(t_now, dec);
+    } else if (!dec.config().enabled) {
+      frag_hits[i] = static_cast<double>(base->hits().size() +
+                                         fragments[i].hits().size());
+    } else {
+      double acc = base->DecayedHits(t_now, dec);
+      for (const FragmentHit& h : fragments[i].hits()) acc += dec(t_now, h.time);
+      frag_hits[i] = acc;
+    }
     out.total += frag_hits[i];
   }
   if (out.total <= 0.0) return out;
@@ -49,41 +65,45 @@ MleFragmentModel::AdjustedHits MleFragmentModel::Adjust(
   for (int p = 0; p < num_parts; ++p) {
     part_mids[static_cast<size_t>(p)] = domain.lo + part_width * (p + 0.5);
   }
+  auto spread_hit = [&](const Interval& iv, const FragmentHit& hit) {
+    const double w = dec(t_now, hit.time);
+    if (w <= 0.0) return;
+    // Spread the hit over the region the query actually touched
+    // (hit.range, clamped to the fragment) when recorded; otherwise
+    // over the whole fragment (the paper's even split).
+    Interval region = iv;
+    if (hit.has_range) {
+      const auto clamped = hit.range.Intersect(iv);
+      if (clamped.has_value()) region = *clamped;
+    }
+    const double region_width = region.Width();
+    if (region_width <= 0.0) {
+      int p = static_cast<int>((region.lo - domain.lo) / part_width);
+      p = std::clamp(p, 0, num_parts - 1);
+      part_hits[static_cast<size_t>(p)] += w;
+      return;
+    }
+    // Only parts overlapping the region can receive mass.
+    int first = static_cast<int>((region.lo - domain.lo) / part_width);
+    int last = static_cast<int>((region.hi - domain.lo) / part_width);
+    first = std::clamp(first, 0, num_parts - 1);
+    last = std::clamp(last, 0, num_parts - 1);
+    for (int p = first; p <= last; ++p) {
+      const Interval part(domain.lo + part_width * p,
+                          domain.lo + part_width * (p + 1));
+      const double ow = part.OverlapWidth(region);
+      if (ow > 0.0) {
+        part_hits[static_cast<size_t>(p)] += w * ow / region_width;
+      }
+    }
+  };
   for (size_t i = 0; i < fragments.size(); ++i) {
     if (frag_hits[i] <= 0.0) continue;
     const Interval& iv = fragments[i].interval;
-    for (const FragmentHit& hit : fragments[i].hits) {
-      const double w = dec(t_now, hit.time);
-      if (w <= 0.0) continue;
-      // Spread the hit over the region the query actually touched
-      // (hit.range, clamped to the fragment) when recorded; otherwise
-      // over the whole fragment (the paper's even split).
-      Interval region = iv;
-      if (hit.has_range) {
-        const auto clamped = hit.range.Intersect(iv);
-        if (clamped.has_value()) region = *clamped;
-      }
-      const double region_width = region.Width();
-      if (region_width <= 0.0) {
-        int p = static_cast<int>((region.lo - domain.lo) / part_width);
-        p = std::clamp(p, 0, num_parts - 1);
-        part_hits[static_cast<size_t>(p)] += w;
-        continue;
-      }
-      // Only parts overlapping the region can receive mass.
-      int first = static_cast<int>((region.lo - domain.lo) / part_width);
-      int last = static_cast<int>((region.hi - domain.lo) / part_width);
-      first = std::clamp(first, 0, num_parts - 1);
-      last = std::clamp(last, 0, num_parts - 1);
-      for (int p = first; p <= last; ++p) {
-        const Interval part(domain.lo + part_width * p,
-                            domain.lo + part_width * (p + 1));
-        const double ow = part.OverlapWidth(region);
-        if (ow > 0.0) {
-          part_hits[static_cast<size_t>(p)] += w * ow / region_width;
-        }
-      }
+    if (const FragmentStats* base = base_of(i)) {
+      for (const FragmentHit& hit : base->hits()) spread_hit(iv, hit);
     }
+    for (const FragmentHit& hit : fragments[i].hits()) spread_hit(iv, hit);
   }
 
   // MLE Normal fit over part midpoints weighted by part hits.

@@ -56,9 +56,19 @@ class MleFragmentModel {
 
   /// Computes H_A for every fragment of a partition over `domain`.
   /// `t_now` and `dec` define the decayed hit counts H(I).
+  ///
+  /// `bases`, when non-null, is parallel to `fragments` and supplies
+  /// each fragment's shared-pool base (nullptr entries for fragments
+  /// without one). This is the PlanningDelta shadow-partition shape:
+  /// a shadow fragment holds only the query-local hit suffix, and its
+  /// base holds the history. Hits are then evaluated base-first, local
+  /// second — the order a folded in-place fragment stores them — so the
+  /// fit is bit-identical to running Adjust after the fold.
   AdjustedHits Adjust(const std::vector<FragmentStats>& fragments,
                       const Interval& domain, double t_now,
-                      const DecayFunction& dec) const;
+                      const DecayFunction& dec,
+                      const std::vector<const FragmentStats*>* bases =
+                          nullptr) const;
 
   /// Chooses an equi-size part width such that every fragment boundary
   /// (approximately) aligns with a part boundary: the greatest

@@ -1,0 +1,262 @@
+#ifndef DEEPSEA_CORE_PLANNING_DELTA_H_
+#define DEEPSEA_CORE_PLANNING_DELTA_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/table.h"
+#include "core/decay.h"
+#include "core/policy.h"
+#include "core/view_catalog.h"
+#include "plan/plan.h"
+#include "plan/signature.h"
+
+namespace deepsea {
+
+class FilterTree;
+
+/// Per-query write buffer for the planning stages (see DESIGN.md,
+/// "Statistics hot path and locking discipline").
+///
+/// The planners (RewritePlanner::UpdateStatsFromRewritings,
+/// CandidateGenerator, SelectionPlanner) historically mutated shared
+/// pool state in place — benefit events, fragment hits, new views, new
+/// tracked fragments, histogram attachments — which forced the whole of
+/// ProcessQuery under the exclusive commit lock. A PlanningDelta
+/// absorbs every one of those writes instead, so planning can run under
+/// PoolManager::SharedLock() concurrently with other planners; the
+/// buffered writes are folded into the shared state at the top of
+/// PoolManager::Apply, inside the exclusive commit section.
+///
+/// Replayability contract: a plan-into-delta-then-fold run must be
+/// bit-identical to the historical mutate-in-place run. The mechanisms:
+///
+///  * Delta-owned views. ViewCatalog::Track calls become TrackView,
+///    which allocates the ViewInfo here with the id ViewCatalog *will*
+///    assign ("v<peek_next_id + k>"). Fold adopts the owned ViewInfo
+///    into the catalog (ViewCatalog::Adopt), preserving its address, so
+///    candidate lists and decisions that captured the pointer stay
+///    valid. Stats/partitions of delta-owned views are mutated directly
+///    (nothing else can see them).
+///
+///  * Shadow partitions. Writes to a shared view's PartitionState go to
+///    a shadow copy: fragments are copied *without* their hit history
+///    (O(#fragments), never O(#hits)), and each shadow fragment keeps a
+///    pointer to its base so readers can evaluate base-then-local.
+///    Planner-added fragments have no base. Fold appends the shadow's
+///    local hits onto the base fragments (same order as in-place
+///    appends) and Tracks the added fragments.
+///
+///  * Effective readers. AccumulatedBenefit / DecayedHits / LastUse /
+///    ... compute the value the shared stats *would* have after the
+///    fold, by starting from the base's incremental evaluation and
+///    accumulating the buffered terms one at a time onto it — the exact
+///    additions, in the exact order, the folded evaluation performs.
+///    (Never base_sum + local_sum: FP addition is not associative.)
+///
+///  * A planning catalog. A (shallow, shared_ptr-map) copy of the real
+///    Catalog at construction. New view tables are Put here immediately
+///    and deferred for the real catalog; histogram attachments to
+///    *shared* tables clone the table first so concurrent planners
+///    never observe a mutation.
+///
+/// Fold is idempotent (a retried Apply after a rolled-back commit must
+/// not double-append) and runs before the commit's transaction begins,
+/// so a rollback never undoes it.
+class PlanningDelta {
+ public:
+  /// Snapshots the planning catalog. `shared_views` is only read during
+  /// planning; Fold mutates it.
+  PlanningDelta(const Catalog& shared_catalog, ViewCatalog* shared_views,
+                double t_now);
+
+  PlanningDelta(const PlanningDelta&) = delete;
+  PlanningDelta& operator=(const PlanningDelta&) = delete;
+
+  double t_now() const { return t_now_; }
+
+  /// The catalog planners must resolve tables against: the shared
+  /// catalog plus this query's new view tables and histogram clones.
+  Catalog* planning_catalog() { return &planning_catalog_; }
+  const Catalog& planning_catalog() const { return planning_catalog_; }
+
+  // --- view overlay -------------------------------------------------
+
+  /// Lookup by signature canonical string across shared + delta-owned
+  /// views (shared wins; ids never collide).
+  ViewInfo* FindView(const std::string& canonical);
+
+  /// ViewCatalog::Track, buffered: returns the existing (shared or
+  /// delta) view for the signature, or allocates a delta-owned one with
+  /// the id the shared catalog will assign at fold time.
+  ViewInfo* TrackView(const PlanPtr& plan, const PlanSignature& signature);
+
+  /// True when `v` was created by this delta (not yet in the shared
+  /// catalog).
+  bool OwnsView(const ViewInfo* v) const;
+
+  /// Shared views in track order, then delta-owned views in track
+  /// order — the order ViewCatalog::AllViews() returns after the fold.
+  std::vector<ViewInfo*> AllViews();
+
+  // --- deferred catalog / index writes ------------------------------
+
+  /// Defers Catalog::Put(table) on the real catalog to fold time. The
+  /// same TablePtr is Put into the planning catalog by the caller, so
+  /// the planning view and the folded state are the same object.
+  void DeferCatalogPut(TablePtr table);
+
+  /// Defers FilterTree::Insert(sig, id) to fold time. Rewrites in later
+  /// queries see the new view; this query's rewrite already ran.
+  void DeferIndexInsert(const PlanSignature& sig, const std::string& view_id);
+
+  /// Attaches `hist` to the view's table for planning, and (for shared
+  /// tables) defers the attachment to the real table at fold. Shared
+  /// tables are cloned into the planning catalog first; delta-owned
+  /// tables are mutated directly. No-op when the table is absent.
+  void AttachHistogram(const ViewInfo& view, const std::string& attr,
+                       const AttributeHistogram& hist);
+
+  // --- benefit events ------------------------------------------------
+
+  /// ViewStats::RecordUse, buffered for shared views (direct for
+  /// delta-owned ones).
+  void RecordUse(ViewInfo* v, double time, double saving, int32_t tenant);
+
+  // --- partitions -----------------------------------------------------
+
+  /// Post-fold equivalent of !v->partitions.empty().
+  bool HasPartitions(const ViewInfo* v) const;
+
+  /// Post-fold partition attrs of `v` in std::map (sorted) order.
+  std::vector<std::string> PartitionAttrs(const ViewInfo* v) const;
+
+  /// The writable PartitionState planners should use for (v, attr):
+  /// the view's own state for delta-owned views, else a lazily created
+  /// shadow of the shared state. nullptr when the partition does not
+  /// exist (and EnsurePartition was never called).
+  PartitionState* Partition(ViewInfo* v, const std::string& attr);
+
+  /// ViewInfo::EnsurePartition, buffered (first domain wins, matching
+  /// the in-place semantics).
+  PartitionState* EnsurePartition(ViewInfo* v, const std::string& attr,
+                                  const Interval& domain);
+
+  /// PartitionState::Track on a delta partition. For shadows this also
+  /// records that the fragment has no base. Callers may mutate the
+  /// returned FragmentStats directly (hits recorded here are the
+  /// query-local suffix).
+  FragmentStats* TrackFragment(PartitionState* part, const Interval& iv,
+                               double est_size_bytes);
+
+  /// For a shadow partition: per-fragment base pointers (nullptr
+  /// entries for planner-added fragments), parallel to
+  /// part->fragments. nullptr when `part` is not a shadow (fragments
+  /// then carry their full history themselves). Used by the MLE model.
+  const std::vector<const FragmentStats*>* BasesOf(
+      const PartitionState* part) const;
+
+  // --- effective stats readers (value after fold, bit-identically) ---
+
+  double AccumulatedBenefit(const ViewInfo* v, const DecayFunction& dec) const;
+  double UndecayedBenefit(const ViewInfo* v) const;
+  double LastUse(const ViewInfo* v) const;
+
+  double DecayedHits(const PartitionState* part, const FragmentStats* f,
+                     const DecayFunction& dec) const;
+  double RawHits(const PartitionState* part, const FragmentStats* f) const;
+  double LastHit(const PartitionState* part, const FragmentStats* f) const;
+  bool HasHits(const PartitionState* part, const FragmentStats* f) const;
+
+  /// Full post-fold hit list [base..., local...] (fragment-inheritance
+  /// paths copy whole hit vectors).
+  std::vector<FragmentHit> EffectiveHits(const PartitionState* part,
+                                         const FragmentStats* f) const;
+
+  // --- policy overlays (mirror policy.cc expression-for-expression) ---
+
+  double ViewValue(ValueModel model, const ViewInfo* v,
+                   const DecayFunction& dec) const;
+  double ViewBenefitForFilter(ValueModel model, const ViewInfo* v,
+                              const DecayFunction& dec) const;
+  double FragmentValue(ValueModel model, const PartitionState* part,
+                       const FragmentStats* f, double view_size,
+                       double view_cost, const DecayFunction& dec,
+                       double adjusted_hits = -1.0) const;
+
+  // --- fold -----------------------------------------------------------
+
+  bool folded() const { return folded_; }
+
+  /// Applies every buffered write to the shared state, in a fixed
+  /// order (views, catalog puts, histogram attaches, index inserts,
+  /// shadow partitions in creation order, benefit patches). Idempotent.
+  /// Must be called inside the exclusive commit section.
+  void Fold(ViewCatalog* views, Catalog* catalog, FilterTree* index);
+
+  /// After the fold: the real PartitionState a shadow folded into
+  /// (identity for non-shadow pointers). Decision actions captured
+  /// shadow pointers during planning; Apply remaps them through this.
+  PartitionState* RealPartition(PartitionState* maybe_shadow) const;
+
+ private:
+  struct ShadowPartition {
+    ViewInfo* view = nullptr;
+    PartitionState state;
+    /// True when the shared view already had this partition (fold then
+    /// folds into it); false when EnsurePartition created it here.
+    bool base_exists = false;
+    /// Parallel to state.fragments; nullptr for planner-added entries.
+    std::vector<const FragmentStats*> bases;
+  };
+
+  struct AttachOp {
+    std::string table;
+    std::string attr;
+    AttributeHistogram hist;
+  };
+
+  ShadowPartition* ShadowFor(const PartitionState* part) const;
+  ShadowPartition& MakeShadow(ViewInfo* v, const std::string& attr,
+                              const PartitionState* base,
+                              const Interval& domain);
+  const FragmentStats* BaseOf(const PartitionState* part,
+                              const FragmentStats* f) const;
+  const std::vector<BenefitEvent>* PatchOf(const ViewInfo* v) const;
+
+  const double t_now_;
+  ViewCatalog* const shared_views_;
+  Catalog planning_catalog_;
+
+  // Delta-owned views, in track order. unique_ptr keeps addresses
+  // stable across fold (ownership moves to the ViewCatalog).
+  std::vector<std::unique_ptr<ViewInfo>> new_views_;
+  std::vector<std::pair<std::string, ViewInfo*>> new_by_signature_;
+
+  // Buffered benefit events per shared view, in creation order (linear
+  // find: a query touches a handful of views).
+  std::vector<std::pair<ViewInfo*, std::vector<BenefitEvent>>> view_patches_;
+
+  // Shadows in creation order (deque: stable addresses). The key map is
+  // only used for lookup, never iterated.
+  std::deque<ShadowPartition> shadows_;
+  std::map<std::pair<const ViewInfo*, std::string>, ShadowPartition*>
+      shadow_by_key_;
+
+  std::vector<TablePtr> deferred_puts_;
+  std::vector<std::pair<PlanSignature, std::string>> deferred_index_;
+  std::vector<AttachOp> attach_ops_;
+
+  // Filled by Fold: shadow state -> real partition.
+  std::vector<std::pair<const PartitionState*, PartitionState*>> fold_remap_;
+
+  bool folded_ = false;
+};
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_PLANNING_DELTA_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <utility>
 #include <vector>
@@ -33,6 +34,11 @@ CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
                                      std::string tenant, int32_t tenant_ord) {
   assert(!CommitHeldByThisThread() && "commit section is not re-entrant");
   commit_mu_.lock();
+  ++commit_epoch_;
+  commit_entered_at_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count();
+  commit_epoch_entered_.fetch_add(1, std::memory_order_relaxed);
   commit_owner_.store(ThisThreadKey(), std::memory_order_relaxed);
   commit_observer_ = observer;
   commit_tenant_ = std::move(tenant);
@@ -43,6 +49,11 @@ CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
 void PoolManager::ReleaseCommit() {
   assert(CommitHeldByThisThread());
   assert(!txn_active_ && "commit released with an open pool transaction");
+  const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  commit_held_ns_.fetch_add(now_ns - commit_entered_at_ns_,
+                            std::memory_order_relaxed);
   commit_observer_ = nullptr;
   commit_tenant_.clear();
   commit_tenant_ord_ = 0;
@@ -134,6 +145,36 @@ void PoolManager::RegisterViewTable(ViewInfo* view) {
   view->stats.size_bytes = est->out_bytes * compression;
   view->stats.creation_cost =
       est->seconds + cluster_->WriteSeconds(view->stats.size_bytes);
+}
+
+void PoolManager::RegisterViewTablePlanning(ViewInfo* view,
+                                            PlanningDelta* delta) const {
+  Catalog* planning = delta->planning_catalog();
+  if (planning->Contains(view->id)) return;
+  auto schema = view->plan->OutputSchema(*planning);
+  if (!schema.ok()) return;
+  auto est = estimator_->Estimate(view->plan);
+  if (!est.ok()) return;
+  const double compression = options_->view_storage_compression;
+  auto table = std::make_shared<Table>(view->id, *schema);
+  table->set_logical_row_count(static_cast<uint64_t>(std::max(est->out_rows, 0.0)));
+  table->set_avg_row_bytes(std::max(est->avg_row_bytes * compression, 1.0));
+  planning->Put(table);
+  delta->DeferCatalogPut(std::move(table));
+  view->stats.size_bytes = est->out_bytes * compression;
+  view->stats.creation_cost =
+      est->seconds + cluster_->WriteSeconds(view->stats.size_bytes);
+}
+
+void PoolManager::AdvanceAllWindows(double t_now) {
+  assert(CommitHeldByThisThread());
+  for (ViewInfo* v : views_.AllViews()) {
+    v->stats.AdvanceWindow(t_now, decay_);
+    for (auto& [attr, part] : v->partitions) {
+      (void)attr;
+      for (FragmentStats& f : part.fragments) f.AdvanceWindow(t_now, decay_);
+    }
+  }
 }
 
 // --- decision transaction ---
@@ -637,10 +678,31 @@ Status PoolManager::ApplyStaged(const SelectionDecision& decision,
 Status PoolManager::Apply(const SelectionDecision& decision,
                           const QueryContext& ctx, QueryReport* report) {
   assert(CommitHeldByThisThread());
+  // Fold the planning delta *before* the decision transaction begins: a
+  // storage fault rolls back the decision, not the statistics (the old
+  // in-place code recorded them during planning, before Apply, too).
+  // Fold is idempotent, so the retry loop in ExecuteDecision may call
+  // Apply repeatedly with the same context.
+  PlanningDelta* delta = ctx.delta();
+  SelectionDecision remapped;
+  const SelectionDecision* to_apply = &decision;
+  if (delta != nullptr) {
+    if (!delta->folded()) {
+      delta->Fold(&views_, catalog_, &rewrite_index_);
+      AdvanceAllWindows(ctx.t_now());
+    }
+    // Planning captured shadow PartitionState pointers; execute against
+    // the real ones they folded into.
+    remapped = decision;
+    for (SelectionAction& a : remapped.actions) {
+      if (a.part != nullptr) a.part = delta->RealPartition(a.part);
+    }
+    to_apply = &remapped;
+  }
   const QueryReport report_backup = *report;
   std::string fault_view;
   TxnBegin();
-  Status st = ApplyStaged(decision, ctx, report, &fault_view);
+  Status st = ApplyStaged(*to_apply, ctx, report, &fault_view);
   if (st.ok()) {
     TxnCommit();
     return st;
@@ -668,8 +730,8 @@ Result<double> PoolManager::MergeStaged(double t_now,
     const double merged_bytes = a.size_bytes + b.size_bytes;
     seconds += cluster_->PartitionedWriteSeconds(merged_bytes, 1);
     // Union the hit histories so the merged fragment keeps its record.
-    std::vector<FragmentHit> hits = a.hits;
-    hits.insert(hits.end(), b.hits.begin(), b.hits.end());
+    std::vector<FragmentHit> hits = a.hits();
+    hits.insert(hits.end(), b.hits().begin(), b.hits().end());
     DEEPSEA_RETURN_IF_ERROR(EvictFragment(cand.view, cand.part, &a));
     DEEPSEA_RETURN_IF_ERROR(EvictFragment(cand.view, cand.part, &b));
     FragmentStats* merged = cand.part->Track(cand.merged, merged_bytes);
@@ -677,7 +739,7 @@ Result<double> PoolManager::MergeStaged(double t_now,
     DEEPSEA_RETURN_IF_ERROR(TxnPut(
         FragmentPath(*cand.view, cand.part->attr, cand.merged), merged_bytes));
     merged->materialized = true;
-    if (merged->hits.empty()) merged->hits = std::move(hits);
+    if (merged->hits().empty()) merged->AdoptHits(std::move(hits));
     ++merges;
     ++report->merged_fragments;
     NotifyMerge(cand.view, cand.part->attr, cand.merged, merged_bytes);

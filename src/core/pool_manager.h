@@ -69,15 +69,20 @@ class CommitGuard {
 ///
 /// Tenancy and locking: one PoolManager may be shared by several
 /// DeepSeaEngine instances (one per tenant) running on different
-/// threads. All mutation — including the *planning* stages, which
-/// update STAT statistics as a side effect (Algorithm 1 line 2) — must
-/// happen inside the exclusive commit section bracketed by a
-/// CommitGuard. Mutable access to the catalog / FS / index is only
-/// available through accessors that take the guard as a token, so the
-/// type system enforces the discipline the old `mutable_views()` /
-/// `mutable_fs()` escape hatches left to convention. The commit
-/// section also carries the committing tenant's observer: pool
-/// mutation events are routed to it, stamped with the tenant id.
+/// threads. All pool *mutation* must happen inside the exclusive
+/// commit section bracketed by a CommitGuard; mutable access to the
+/// catalog / FS / index is only available through accessors that take
+/// the guard as a token, so the type system enforces the discipline.
+/// The *planning* stages, by contrast, run under SharedLock(): they
+/// buffer every would-be STAT write (Algorithm 1 line 2) into the
+/// query's PlanningDelta instead of mutating shared state, and Apply
+/// folds that buffer into the pool at the top of the commit. Planning
+/// is speculative — engines validate via commit_epoch() that no other
+/// commit intervened between planning and their own commit, and replan
+/// under the exclusive lock when one did (see DESIGN.md, "Statistics
+/// hot path and locking discipline"). The commit section also carries
+/// the committing tenant's observer: pool mutation events are routed
+/// to it, stamped with the tenant id.
 ///
 /// Read access: the `*Snapshot()` methods take the commit lock in
 /// shared mode and are safe from any thread (monitoring). The plain
@@ -93,7 +98,8 @@ class PoolManager {
         options_(options),
         cluster_(cluster),
         estimator_(estimator),
-        fs_(options->cluster.block_bytes) {}
+        fs_(options->cluster.block_bytes),
+        decay_(options->decay) {}
 
   // --- commit protocol ---
 
@@ -131,9 +137,38 @@ class PoolManager {
   // --- shared-mode snapshots (safe from any thread) ---
 
   double PoolBytesSnapshot() const;
-  /// Shared-mode lock for multi-read consistency (e.g. SaveState).
+  /// Shared-mode lock for multi-read consistency (SaveState, and the
+  /// speculative planning phase of ProcessQuery).
   std::shared_lock<std::shared_mutex> SharedLock() const {
     return std::shared_lock<std::shared_mutex>(commit_mu_);
+  }
+
+  /// Number of commit sections entered so far. Read it under the shared
+  /// lock before planning and compare after BeginCommit: if exactly one
+  /// commit (your own) intervened, the pool is unchanged since planning
+  /// and the speculative plan is valid. Only meaningful while holding
+  /// the shared or exclusive commit lock (the counter is written inside
+  /// BeginCommit, under the exclusive lock).
+  uint64_t commit_epoch() const { return commit_epoch_; }
+
+  /// Aggregate wall-clock time the exclusive commit lock has been held,
+  /// and the number of commit sections entered. Maintained with two
+  /// steady_clock reads per commit (negligible next to any commit's
+  /// work); reads are relaxed-atomic, so monitors may sample
+  /// concurrently, but a consistent pair requires a quiesced pool.
+  /// bench_hotpath reports held_seconds / wall_seconds as the commit
+  /// serialization fraction.
+  struct CommitLockStats {
+    uint64_t commits = 0;
+    double held_seconds = 0.0;
+  };
+  CommitLockStats commit_lock_stats() const {
+    CommitLockStats s;
+    s.commits = commit_epoch_entered_.load(std::memory_order_relaxed);
+    s.held_seconds =
+        static_cast<double>(commit_held_ns_.load(std::memory_order_relaxed)) *
+        1e-9;
+    return s;
   }
 
   // --- global commit clock ---
@@ -170,6 +205,12 @@ class PoolManager {
   /// Ensures `view` is registered as a relational catalog table with
   /// estimated logical statistics (needed by the cost estimator).
   void RegisterViewTable(ViewInfo* view);
+
+  /// Planning-phase counterpart of RegisterViewTable: registers the
+  /// table in the delta's planning catalog (deferring the real Put to
+  /// the fold) and sets the delta-owned view's estimated statistics.
+  /// Reads only immutable state, so it is safe under the shared lock.
+  void RegisterViewTablePlanning(ViewInfo* view, PlanningDelta* delta) const;
 
   /// Executes a SelectionDecision transactionally: evictions first, then
   /// materializations, all staged through a rollback journal. Charges
@@ -238,6 +279,12 @@ class PoolManager {
  private:
   friend class CommitGuard;
   void ReleaseCommit();
+
+  /// Advances every view's and fragment's timed-out-prefix cursor to
+  /// `t_now` (called after each delta fold, inside the exclusive commit
+  /// section, so evaluations under the shared lock stay O(in-window
+  /// suffix) even for cold entries).
+  void AdvanceAllWindows(double t_now);
 
   // --- decision transaction (stage-then-commit rollback journal) ---
   //
@@ -317,7 +364,19 @@ class PoolManager {
   SimFs fs_;
   ViewCatalog views_;
   FilterTree rewrite_index_;
+  DecayFunction decay_;  ///< pool-side decay (cursor advancement)
   std::atomic<int64_t> clock_{0};  ///< written only inside the commit section
+  /// Commits entered so far. Plain (not atomic) on purpose: written
+  /// under the exclusive lock, read under shared/exclusive — the
+  /// shared_mutex provides the happens-before edge.
+  uint64_t commit_epoch_ = 0;
+
+  /// Commit-lock hold-time accounting (see commit_lock_stats()).
+  /// `commit_entered_at_ns_` is only touched inside the commit section;
+  /// the accumulators are relaxed atomics so monitors may sample them.
+  int64_t commit_entered_at_ns_ = 0;
+  std::atomic<uint64_t> commit_epoch_entered_{0};
+  std::atomic<int64_t> commit_held_ns_{0};
 
   /// Exclusive = commit section; shared = *Snapshot() readers.
   mutable std::shared_mutex commit_mu_;

@@ -3,11 +3,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/interval.h"
+#include "core/planning_delta.h"
 #include "core/view_catalog.h"
 #include "plan/plan.h"
 
@@ -59,6 +61,17 @@ class QueryContext {
   /// consistently no matter which tenant recorded them.
   int64_t clock() const { return clock_; }
   double t_now() const { return static_cast<double>(clock_); }
+
+  /// Creates this query's PlanningDelta over a snapshot of the shared
+  /// catalog and the shared view registry. Must be called (under the
+  /// pool's shared or exclusive commit lock) before the pipeline stages
+  /// run: the stages buffer every statistics/catalog write here instead
+  /// of mutating shared state, and PoolManager::Apply folds the buffer
+  /// into the pool inside the exclusive commit section.
+  void InitPlanning(const Catalog& catalog, ViewCatalog* views) {
+    delta_ = std::make_unique<PlanningDelta>(catalog, views, t_now());
+  }
+  PlanningDelta* delta() const { return delta_.get(); }
 
   /// The tenant issuing this query ("" for a single-tenant engine) and
   /// its interned ordinal in the pool's tenant registry. Stage code
@@ -115,6 +128,7 @@ class QueryContext {
   int64_t clock_ = 0;
   std::string tenant_;
   int32_t tenant_ord_ = 0;
+  std::unique_ptr<PlanningDelta> delta_;
   std::string cover_view_;
   std::string cover_attr_;
   std::vector<Interval> cover_;

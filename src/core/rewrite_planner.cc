@@ -1,5 +1,6 @@
 #include "core/rewrite_planner.h"
 
+#include <cassert>
 #include <set>
 #include <string>
 
@@ -21,9 +22,9 @@ Status RewritePlanner::PlanBest(QueryContext* ctx, QueryReport* report) {
   // 1. Rewritings over all tracked views (Alg. 1 line 1).
   DEEPSEA_ASSIGN_OR_RETURN(std::vector<Rewriting> rewritings,
                            matcher_->ComputeRewritings(ctx->query));
-  // 2. Statistics update (line 2).
+  // 2. Statistics update (line 2), buffered in the planning delta.
   UpdateStatsFromRewritings(rewritings, report->base_seconds, ctx->t_now(),
-                            ctx->tenant_ord());
+                            ctx->tenant_ord(), ctx->delta());
   // 3. Q_best: cheapest executable rewriting, if it beats the base
   //    plan (line 3).
   ctx->ClearCover();
@@ -45,7 +46,8 @@ Status RewritePlanner::PlanBest(QueryContext* ctx, QueryReport* report) {
 
 void RewritePlanner::UpdateStatsFromRewritings(
     const std::vector<Rewriting>& rewritings, double base_seconds,
-    double t_now, int32_t tenant) {
+    double t_now, int32_t tenant, PlanningDelta* delta) {
+  assert(delta != nullptr);
   std::set<std::string> seen_views;
   std::set<std::string> seen_partitions;
   for (const Rewriting& rw : rewritings) {
@@ -55,14 +57,16 @@ void RewritePlanner::UpdateStatsFromRewritings(
     // (the list is sorted by cost, so the first occurrence is best).
     if (seen_views.insert(rw.view_id).second) {
       const double saving = base_seconds - rw.est_seconds;
-      if (saving > 0.0) view->stats.RecordUse(t_now, saving, tenant);
+      if (saving > 0.0) delta->RecordUse(view, t_now, saving, tenant);
     }
     // Fragment hits: every tracked fragment overlapping the query range
-    // "was or could have been used" (Section 7.1).
+    // "was or could have been used" (Section 7.1). Hits land on the
+    // delta's shadow partition; the shadow fragment mirrors the shared
+    // fragment list, so the overlap scan sees the same intervals.
     if (rw.has_query_range && !rw.partition_attr.empty()) {
       const std::string pkey = rw.view_id + "/" + rw.partition_attr;
       if (seen_partitions.insert(pkey).second) {
-        PartitionState* part = view->GetPartition(rw.partition_attr);
+        PartitionState* part = delta->Partition(view, rw.partition_attr);
         if (part != nullptr) {
           for (FragmentStats& f : part->fragments) {
             if (f.interval.Overlaps(rw.query_range)) {

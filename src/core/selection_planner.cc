@@ -1,6 +1,7 @@
 #include "core/selection_planner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "core/partition_match.h"
@@ -12,6 +13,9 @@ namespace deepsea {
 SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
                                                   double base_seconds) {
   const double t_now = ctx.t_now();
+  PlanningDelta* delta = ctx.delta();
+  assert(delta != nullptr);
+  Catalog* pcat = delta->planning_catalog();
   // Quarantined views (repeated permanent storage faults; see
   // DESIGN.md "Failure model and recovery") are skipped as *candidates*
   // until their cooldown expires, so the planner stops proposing work
@@ -43,7 +47,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
     if (v->Quarantined(clock_now)) continue;
     if (v->stats.size_bytes <= 0.0) continue;
     const double benefit =
-        ViewBenefitForFilter(options_->value_model, v->stats, t_now, *decay_);
+        delta->ViewBenefitForFilter(options_->value_model, v, *decay_);
     // Zero-benefit candidates (e.g. one-shot aggregate views that have
     // never matched another query) are never admitted, even when the
     // threshold is relaxed to force eager materialization.
@@ -57,43 +61,53 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
     // materialized. A view may carry partitions on several attributes
     // (Section 4 permits multiple partitions per view); each offers its
     // fragments independently.
-    if (v->partitions.empty() ||
+    if (!delta->HasPartitions(v) ||
         options_->strategy == StrategyKind::kNoPartition) {
       if (v->whole_materialized) continue;
       Item it;
       it.kind = Item::kNewView;
       it.view = v;
       it.size = v->stats.size_bytes;
-      it.value = ViewValue(options_->value_model, v->stats, t_now, *decay_);
+      it.value = delta->ViewValue(options_->value_model, v, *decay_);
       items.push_back(it);
       continue;
     }
-    for (auto& [attr, part_ref] : v->partitions) {
-      PartitionState* part = &part_ref;
+    for (const std::string& attr : delta->PartitionAttrs(v)) {
+      PartitionState* part = delta->Partition(v, attr);
+      if (part == nullptr) continue;
       const std::vector<Interval> mats = part->MaterializedIntervals();
       const std::vector<Interval> planned = ApplyFragmentBounds(
-          *catalog_, *options_, *v, attr,
-          InitialFragmentation(*catalog_, *options_, v, attr));
+          *pcat, *options_, *v, attr, part,
+          InitialFragmentation(*pcat, *options_, *v, attr, *part));
       for (const Interval& iv : planned) {
         // Skip planned pieces whose extent the pool already covers
         // (exactly materialized, or covered by refinement fragments).
         if (!mats.empty() && PartitionMatch(mats, iv).ok()) continue;
         // Inherit hit history from tracked pieces the (possibly merged
         // or split) planned fragment covers, so hot planned fragments
-        // carry their evidence into the ranking.
+        // carry their evidence into the ranking. EffectiveHits resolves
+        // a shadow fragment's base history plus its local suffix.
         std::vector<FragmentHit> inherited;
         if (part->Find(iv) == nullptr) {
           for (const FragmentStats& p : part->fragments) {
             if (iv.Contains(p.interval)) {
-              inherited.insert(inherited.end(), p.hits.begin(), p.hits.end());
+              const std::vector<FragmentHit> eh = delta->EffectiveHits(part, &p);
+              inherited.insert(inherited.end(), eh.begin(), eh.end());
             }
           }
         }
-        FragmentStats* fstat =
-            part->Track(iv, FragmentBytes(*catalog_, *v, attr, iv));
-        if (fstat->hits.empty() && !inherited.empty()) fstat->hits = inherited;
+        FragmentStats* fstat = delta->TrackFragment(
+            part, iv, FragmentBytes(*pcat, *v, attr, iv, part));
+        if (fstat->hits().empty() && !inherited.empty()) {
+          fstat->AdoptHits(std::move(inherited));
+        }
         if (fstat->materialized) continue;
-        fstat->size_bytes = FragmentBytes(*catalog_, *v, attr, iv);
+        fstat->size_bytes = FragmentBytes(*pcat, *v, attr, iv, part);
+        // H(I) is computed once here and reused both by the top-up
+        // filter and (through the adjusted-hits override) by the value
+        // ranking below — FragmentValue would otherwise replay the same
+        // hit list a second time.
+        const double hits = delta->DecayedHits(part, fstat, *decay_);
         // Top-up filter: once the view is in the pool, adding a fragment
         // for a still-uncovered range requires recomputing the view's
         // query (Section 7.1: the cost of a fragment not in the pool is
@@ -101,7 +115,6 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
         // hits on the range amortize that (mirrors the P_sel filter);
         // initial creation admits the planned set as a unit.
         if (v->InPool()) {
-          const double hits = fstat->DecayedHits(t_now, *decay_);
           const double read_cost =
               cluster_->MapPhaseSeconds({fstat->size_bytes}) +
               2.0 * cluster_->config().job_startup_seconds;
@@ -118,9 +131,9 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
         it.part = part;
         it.interval = iv;
         it.size = fstat->size_bytes;
-        it.value = FragmentValue(options_->value_model, *fstat,
-                                 v->stats.size_bytes, v->stats.creation_cost,
-                                 t_now, *decay_);
+        it.value = delta->FragmentValue(options_->value_model, part, fstat,
+                                        v->stats.size_bytes,
+                                        v->stats.creation_cost, *decay_, hits);
         items.push_back(it);
       }
     }
@@ -137,7 +150,8 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
     if (it == adjusted.end()) {
       it = adjusted
                .emplace(part, mle_->Adjust(part->fragments, part->domain,
-                                           t_now, *decay_))
+                                           t_now, *decay_,
+                                           delta->BasesOf(part)))
                .first;
     }
     const auto& adj = it->second;
@@ -150,13 +164,13 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
   // --- P_sel: filter refinement candidates by benefit >= cost.
   for (const FragmentCandidate& fc : ctx.fragment_candidates) {
     if (fc.view->Quarantined(clock_now)) continue;
-    PartitionState* part = fc.view->GetPartition(fc.attr);
+    PartitionState* part = delta->Partition(fc.view, fc.attr);
     if (part == nullptr) continue;
     FragmentStats* fstat = part->Find(fc.interval);
     if (fstat == nullptr || fstat->materialized) continue;
     const double adj = adjusted_hits_for(part, fstat);
     const double hits =
-        adj >= 0.0 ? adj : fstat->DecayedHits(t_now, *decay_);
+        adj >= 0.0 ? adj : delta->DecayedHits(part, fstat, *decay_);
     // Marginal admission: expected read-time saving over the current
     // cover must amortize the creation cost (see FragmentCandidate doc).
     const double benefit = hits * fc.per_hit_saving_seconds;
@@ -169,36 +183,42 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
     it.part = part;
     it.interval = fc.interval;
     it.size = fc.est_bytes;
-    it.value = FragmentValue(options_->value_model, *fstat,
-                             fc.view->stats.size_bytes,
-                             fc.view->stats.creation_cost, t_now, *decay_, adj);
+    // `hits` already folds the MLE adjustment (or the plain decayed
+    // count when MLE is off); passing it as the override avoids a
+    // second DecayedHits replay inside FragmentValue.
+    it.value = delta->FragmentValue(options_->value_model, part, fstat,
+                                    fc.view->stats.size_bytes,
+                                    fc.view->stats.creation_cost, *decay_,
+                                    hits);
     items.push_back(it);
   }
 
   // --- Existing pool content: every materialized fragment / whole view
   //     partakes individually (Section 7.3).
-  for (ViewInfo* v : views_->AllViews()) {
+  for (ViewInfo* v : delta->AllViews()) {
     if (v->whole_materialized) {
       Item it;
       it.kind = Item::kPoolWhole;
       it.view = v;
       it.size = v->stats.size_bytes;
-      it.value = ViewValue(options_->value_model, v->stats, t_now, *decay_);
+      it.value = delta->ViewValue(options_->value_model, v, *decay_);
       items.push_back(it);
     }
-    for (auto& [attr, part] : v->partitions) {
-      (void)attr;
-      for (FragmentStats& f : part.fragments) {
+    for (const std::string& attr : delta->PartitionAttrs(v)) {
+      PartitionState* part = delta->Partition(v, attr);
+      if (part == nullptr) continue;
+      for (const FragmentStats& f : part->fragments) {
         if (!f.materialized) continue;
         Item it;
         it.kind = Item::kPoolFragment;
         it.view = v;
-        it.part = &part;
+        it.part = part;
         it.interval = f.interval;
         it.size = f.size_bytes;
-        it.value = FragmentValue(options_->value_model, f, v->stats.size_bytes,
-                                 v->stats.creation_cost, t_now, *decay_,
-                                 adjusted_hits_for(&part, &f));
+        it.value = delta->FragmentValue(options_->value_model, part, &f,
+                                        v->stats.size_bytes,
+                                        v->stats.creation_cost, *decay_,
+                                        adjusted_hits_for(part, &f));
         items.push_back(it);
       }
     }

@@ -14,10 +14,12 @@
 
 namespace deepsea {
 
-/// One pool mutation chosen by the greedy selection. Actions reference
-/// live STAT entries (view/partition pointers stay valid: ViewCatalog
-/// stores views behind unique_ptr and partitions in a node-stable map),
-/// but fragment entries are re-resolved by interval at apply time
+/// One pool mutation chosen by the greedy selection. View pointers are
+/// stable (ViewCatalog stores views behind unique_ptr, and delta-owned
+/// views keep their address across the fold). Partition pointers may
+/// reference the query's PlanningDelta shadows — PoolManager::Apply
+/// remaps them onto the real partitions after folding the delta —
+/// and fragment entries are re-resolved by interval at apply time
 /// because applying earlier actions may grow the fragment vectors.
 struct SelectionAction {
   enum class Kind {
@@ -50,8 +52,11 @@ struct SelectionDecision {
 /// ALLCAND = V_sel ∪ P_sel ∪ pool content under S_max (Section 7.3).
 /// Planning updates candidate *statistics* tracking (fragments entering
 /// STAT, inherited hit histories) — that is the paper's bookkeeping —
-/// but leaves all pool state (materialized flags, SimFs files, charged
-/// seconds) to PoolManager::Apply.
+/// but all of it lands in the query's PlanningDelta: this stage runs
+/// under the shared lock and reads shared statistics strictly const
+/// (through the delta's effective readers). Pool state (materialized
+/// flags, SimFs files, charged seconds) and the delta fold belong to
+/// PoolManager::Apply.
 class SelectionPlanner {
  public:
   SelectionPlanner(const Catalog* catalog, const EngineOptions* options,

@@ -1,5 +1,7 @@
 #include "core/view_catalog.h"
 
+#include <cassert>
+
 #include "common/str_util.h"
 
 namespace deepsea {
@@ -104,6 +106,17 @@ ViewInfo* ViewCatalog::Track(const PlanPtr& plan, const PlanSignature& signature
   ViewInfo* raw = view.get();
   views_.push_back(std::move(view));
   by_signature_.emplace(canonical, raw);
+  by_id_.emplace(raw->id, raw);
+  return raw;
+}
+
+ViewInfo* ViewCatalog::Adopt(std::unique_ptr<ViewInfo> view) {
+  assert(view->id == StrFormat("v%d", next_id_) &&
+         "adopted view id must match the id Track() would assign");
+  ++next_id_;
+  ViewInfo* raw = view.get();
+  views_.push_back(std::move(view));
+  by_signature_.emplace(raw->signature.ToString(), raw);
   by_id_.emplace(raw->id, raw);
   return raw;
 }

@@ -92,6 +92,14 @@ class ViewCatalog {
   /// id "v<N>") when unseen. `plan` is stored on first track.
   ViewInfo* Track(const PlanPtr& plan, const PlanSignature& signature);
 
+  /// Adopts a view allocated outside the catalog (a PlanningDelta's
+  /// speculative Track). The view's id must equal the id Track() would
+  /// assign next — callers predict it via peek_next_id(), and commit-
+  /// epoch validation guarantees the prediction still holds. The
+  /// ViewInfo's address is preserved, so pointers captured during
+  /// planning remain valid after adoption.
+  ViewInfo* Adopt(std::unique_ptr<ViewInfo> view);
+
   /// Lookup by signature canonical string; nullptr when untracked.
   ViewInfo* FindBySignature(const std::string& canonical);
 

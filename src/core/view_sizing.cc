@@ -61,6 +61,12 @@ Result<AttributeHistogram> DeriveViewHistogram(const Catalog& catalog,
 
 double FragmentBytes(const Catalog& catalog, const ViewInfo& view,
                      const std::string& attr, const Interval& iv) {
+  return FragmentBytes(catalog, view, attr, iv, view.GetPartition(attr));
+}
+
+double FragmentBytes(const Catalog& catalog, const ViewInfo& view,
+                     const std::string& attr, const Interval& iv,
+                     const PartitionState* part) {
   auto view_table = catalog.Get(view.id);
   if (!view_table.ok()) return 0.0;
   const AttributeHistogram* hist = (*view_table)->GetHistogram(attr);
@@ -68,7 +74,6 @@ double FragmentBytes(const Catalog& catalog, const ViewInfo& view,
   if (hist != nullptr && !hist->empty()) {
     return hist->FractionInRange(iv) * total;
   }
-  const auto* part = view.GetPartition(attr);
   if (part != nullptr && part->domain.Width() > 0.0) {
     return iv.OverlapWidth(part->domain) / part->domain.Width() * total;
   }
@@ -100,8 +105,16 @@ std::vector<Interval> InitialFragmentation(const Catalog& catalog,
                                            const std::string& attr) {
   PartitionState* part = view->GetPartition(attr);
   if (part == nullptr) return {};
+  return InitialFragmentation(catalog, options, *view, attr, *part);
+}
+
+std::vector<Interval> InitialFragmentation(const Catalog& catalog,
+                                           const EngineOptions& options,
+                                           const ViewInfo& view,
+                                           const std::string& attr,
+                                           const PartitionState& part) {
   if (options.strategy == StrategyKind::kEquiDepth) {
-    auto view_table = catalog.Get(view->id);
+    auto view_table = catalog.Get(view.id);
     std::vector<double> bounds;
     if (view_table.ok()) {
       const AttributeHistogram* hist = (*view_table)->GetHistogram(attr);
@@ -110,7 +123,7 @@ std::vector<Interval> InitialFragmentation(const Catalog& catalog,
       }
     }
     if (bounds.size() < 2) {
-      const auto pieces = part->domain.SplitEqual(options.equi_depth_fragments);
+      const auto pieces = part.domain.SplitEqual(options.equi_depth_fragments);
       return pieces;
     }
     std::vector<Interval> out;
@@ -122,11 +135,11 @@ std::vector<Interval> InitialFragmentation(const Catalog& catalog,
     return out;
   }
   if (options.strategy == StrategyKind::kNoPartition) {
-    return {part->domain};
+    return {part.domain};
   }
   // DeepSea / NoRefine: the workload-aware pending fragmentation.
-  if (part->pending.empty()) return {part->domain};
-  std::vector<Interval> out = part->pending;
+  if (part.pending.empty()) return {part.domain};
+  std::vector<Interval> out = part.pending;
   std::sort(out.begin(), out.end(), IntervalLess);
   return out;
 }
@@ -136,12 +149,22 @@ std::vector<Interval> ApplyFragmentBounds(const Catalog& catalog,
                                           const ViewInfo& view,
                                           const std::string& attr,
                                           std::vector<Interval> frags) {
+  return ApplyFragmentBounds(catalog, options, view, attr,
+                             view.GetPartition(attr), std::move(frags));
+}
+
+std::vector<Interval> ApplyFragmentBounds(const Catalog& catalog,
+                                          const EngineOptions& options,
+                                          const ViewInfo& view,
+                                          const std::string& attr,
+                                          const PartitionState* part,
+                                          std::vector<Interval> frags) {
   // Upper bound phi: split oversized fragments into equi-size pieces.
   if (options.max_fragment_fraction > 0.0) {
     const double limit = options.max_fragment_fraction * view.stats.size_bytes;
     std::vector<Interval> split;
     for (const Interval& f : frags) {
-      const double bytes = FragmentBytes(catalog, view, attr, f);
+      const double bytes = FragmentBytes(catalog, view, attr, f, part);
       if (bytes > limit && limit > 0.0) {
         const int pieces = static_cast<int>(std::ceil(bytes / limit));
         for (const Interval& p : f.SplitEqual(pieces)) split.push_back(p);
@@ -157,7 +180,7 @@ std::vector<Interval> ApplyFragmentBounds(const Catalog& catalog,
     std::vector<Interval> merged;
     for (const Interval& f : frags) {
       if (!merged.empty() &&
-          FragmentBytes(catalog, view, attr, merged.back()) <
+          FragmentBytes(catalog, view, attr, merged.back(), part) <
               options.cluster.block_bytes) {
         Interval& prev = merged.back();
         prev = Interval(prev.lo, f.hi, prev.lo_inclusive, f.hi_inclusive);

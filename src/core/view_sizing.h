@@ -37,6 +37,14 @@ Result<AttributeHistogram> DeriveViewHistogram(const Catalog& catalog,
 double FragmentBytes(const Catalog& catalog, const ViewInfo& view,
                      const std::string& attr, const Interval& iv);
 
+/// Variant that takes the partition state explicitly (the no-histogram
+/// fallback scales by the partition domain). Planning code passes its
+/// PlanningDelta shadow partition here, which may not exist on `view`
+/// itself yet.
+double FragmentBytes(const Catalog& catalog, const ViewInfo& view,
+                     const std::string& attr, const Interval& iv,
+                     const PartitionState* part);
+
 /// Paper's uniform-within-fragment size estimate for a candidate
 /// (Section 7.2) over the currently tracked fragments.
 double EstimateCandidateBytes(const PartitionState& part, const Interval& iv);
@@ -52,6 +60,13 @@ std::vector<Interval> InitialFragmentation(const Catalog& catalog,
                                            ViewInfo* view,
                                            const std::string& attr);
 
+/// Variant over an explicit partition state (shadow or real).
+std::vector<Interval> InitialFragmentation(const Catalog& catalog,
+                                           const EngineOptions& options,
+                                           const ViewInfo& view,
+                                           const std::string& attr,
+                                           const PartitionState& part);
+
 /// Applies the fragment size bounds (Section 9): splits any interval
 /// whose estimated size exceeds max_fragment_fraction * S(V), then
 /// merges adjacent fragments smaller than one FS block.
@@ -59,6 +74,15 @@ std::vector<Interval> ApplyFragmentBounds(const Catalog& catalog,
                                           const EngineOptions& options,
                                           const ViewInfo& view,
                                           const std::string& attr,
+                                          std::vector<Interval> frags);
+
+/// Variant over an explicit partition state (threads `part` into the
+/// internal FragmentBytes calls).
+std::vector<Interval> ApplyFragmentBounds(const Catalog& catalog,
+                                          const EngineOptions& options,
+                                          const ViewInfo& view,
+                                          const std::string& attr,
+                                          const PartitionState* part,
                                           std::vector<Interval> frags);
 
 }  // namespace deepsea

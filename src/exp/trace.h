@@ -63,8 +63,11 @@ class QueryTrace {
 /// wall-clock time plus pool-mutation counts across the run —
 /// aggregate and broken down by the tenant that committed each
 /// mutation. One TraceObserver may serve several engines sharing a
-/// pool: every hook fires inside the pool's commit section, so the
-/// counters need no locking of their own.
+/// pool only if their queries are externally serialized (e.g. the
+/// turnstile in tests/multitenant_harness.h): planning-stage hooks now
+/// fire under the pool's *shared* lock and may run concurrently across
+/// engines, and the counters carry no locking of their own. With
+/// free-running engines, give each its own TraceObserver.
 class TraceObserver : public EngineObserver {
  public:
   /// `trace` may be null: the observer then only aggregates stage

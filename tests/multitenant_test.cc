@@ -255,7 +255,7 @@ TEST(MultiTenantAttributionTest, PerTenantBenefitsSumToAggregate) {
   bool any_shared_view = false;
   int views_with_events = 0;
   for (const ViewInfo* v : shared.pool()->views().AllViews()) {
-    if (!v->stats.events.empty()) ++views_with_events;
+    if (!v->stats.events().empty()) ++views_with_events;
     const double total = v->stats.AccumulatedBenefit(t_now, decay);
     const auto by_tenant = v->stats.AccumulatedBenefitByTenant(t_now, decay);
     double sum = 0.0;

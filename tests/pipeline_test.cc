@@ -130,6 +130,7 @@ class PipelineStageTest : public ::testing::Test {
     QueryReport report;
     report.query_index = clock;
     QueryContext ctx(query, clock);
+    ctx.InitPlanning(catalog_, pool_->stat(commit_));
     EXPECT_TRUE(rewriter_->PlanBase(&ctx, &report).ok());
     EXPECT_TRUE(rewriter_->PlanBest(&ctx, &report).ok());
     const PlanPtr candidate_plan =
@@ -164,6 +165,7 @@ TEST_F(PipelineStageTest, RewritePlannerComputesBaseThenPicksViewRewriting) {
 
   // First query: no views exist, so the base plan is the best plan.
   QueryContext ctx(query, 1);
+  ctx.InitPlanning(catalog_, pool_->stat(commit_));
   QueryReport report;
   ASSERT_TRUE(rewriter_->PlanBase(&ctx, &report).ok());
   EXPECT_NE(ctx.base_plan, nullptr);
@@ -193,14 +195,19 @@ TEST_F(PipelineStageTest, CandidateGeneratorRegistersViewsAndPartitions) {
   const PlanPtr query = MakeQuery(name, 1000.0, 150000.0);
 
   QueryContext ctx(query, 1);
+  ctx.InitPlanning(catalog_, pool_->stat(commit_));
   QueryReport report;
   ASSERT_TRUE(rewriter_->PlanBase(&ctx, &report).ok());
   generator_->RegisterViewCandidates(ctx.query, report.base_seconds, &ctx);
   ASSERT_FALSE(ctx.view_candidates.empty());
-  // Every candidate entered STAT and the relational catalog.
+  // Every candidate entered the query's PlanningDelta — its planning
+  // catalog carries the estimated view table — while the shared STAT
+  // and the real catalog stay untouched until the delta folds.
   for (const ViewCandidate& c : ctx.view_candidates) {
-    EXPECT_NE(pool_->stat(commit_)->Get(c.view->id), nullptr);
-    EXPECT_TRUE(catalog_.Contains(c.view->id));
+    EXPECT_EQ(pool_->stat(commit_)->Get(c.view->id), nullptr);
+    EXPECT_FALSE(catalog_.Contains(c.view->id));
+    EXPECT_TRUE(ctx.delta()->planning_catalog()->Contains(c.view->id));
+    EXPECT_TRUE(ctx.delta()->OwnsView(c.view));
     EXPECT_GT(c.view->stats.size_bytes, 0.0);
   }
   // The join feeding the query's item_sk selection is an under-select
@@ -212,15 +219,27 @@ TEST_F(PipelineStageTest, CandidateGeneratorRegistersViewsAndPartitions) {
   EXPECT_TRUE(any_under_select);
 
   generator_->RegisterPartitionCandidates(&ctx);
-  // The selection endpoint refined some view's pending fragmentation.
+  // The selection endpoint refined some view's pending fragmentation
+  // (visible through the delta's partition overlay).
   bool any_pending_refined = false;
-  for (ViewInfo* v : pool_->stat(commit_)->AllViews()) {
-    for (auto& [attr, part] : v->partitions) {
-      (void)attr;
-      any_pending_refined = any_pending_refined || part.pending.size() > 1;
+  for (ViewInfo* v : ctx.delta()->AllViews()) {
+    for (const std::string& attr : ctx.delta()->PartitionAttrs(v)) {
+      PartitionState* part = ctx.delta()->Partition(v, attr);
+      any_pending_refined =
+          any_pending_refined || (part != nullptr && part->pending.size() > 1);
     }
   }
   EXPECT_TRUE(any_pending_refined);
+
+  // Folding (an empty decision suffices) publishes the buffered
+  // registrations: the views land in STAT and the relational catalog
+  // with their ViewInfo addresses preserved.
+  QueryReport fold_report;
+  ASSERT_TRUE(pool_->Apply(SelectionDecision(), ctx, &fold_report).ok());
+  for (const ViewCandidate& c : ctx.view_candidates) {
+    EXPECT_EQ(pool_->stat(commit_)->Get(c.view->id), c.view);
+    EXPECT_TRUE(catalog_.Contains(c.view->id));
+  }
 }
 
 TEST_F(PipelineStageTest, SelectionPlannerIsSideEffectFreeUntilApply) {
@@ -229,6 +248,7 @@ TEST_F(PipelineStageTest, SelectionPlannerIsSideEffectFreeUntilApply) {
 
   const int64_t clock = pool_->Tick(commit_);
   QueryContext ctx(query, clock);
+  ctx.InitPlanning(catalog_, pool_->stat(commit_));
   QueryReport report;
   report.query_index = clock;
   ASSERT_TRUE(rewriter_->PlanBase(&ctx, &report).ok());

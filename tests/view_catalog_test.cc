@@ -58,7 +58,7 @@ TEST(PartitionStateTest, TrackIsIdempotent) {
   first->RecordHit(1.0);
   FragmentStats* second = part.Track(Interval(0, 50), 99.0);
   EXPECT_EQ(first, second);
-  EXPECT_EQ(second->hits.size(), 1u);
+  EXPECT_EQ(second->hits().size(), 1u);
   EXPECT_DOUBLE_EQ(second->size_bytes, 10.0);  // original estimate kept
   EXPECT_EQ(part.fragments.size(), 1u);
 }

@@ -1,5 +1,11 @@
 #include "core/view_stats.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/policy.h"
@@ -62,7 +68,9 @@ TEST(ViewStatsTest, LastUse) {
   EXPECT_EQ(stats.LastUse(), 0.0);
   stats.RecordUse(5, 1);
   stats.RecordUse(9, 1);
-  stats.RecordUse(7, 1);
+  // Out-of-order appends go through the assert-free path (RecordUse
+  // requires commit-clock order); LastUse stays the running max.
+  stats.AppendEvent({7, 1, 0});
   EXPECT_EQ(stats.LastUse(), 9.0);
 }
 
@@ -92,6 +100,167 @@ TEST(FragmentStatsTest, AdjustedHitsOverride) {
   f.size_bytes = 100;
   // No real hits, but MLE smoothing assigns 4 adjusted hits.
   EXPECT_DOUBLE_EQ(f.Benefit(100, dec, 1000, 500, /*adjusted_hits=*/4.0), 200.0);
+}
+
+TEST(ViewStatsTest, LastUseIsRunningMaxAcrossUnorderedAppends) {
+  // AppendEvent (state restore, delta folds) bypasses the time-order
+  // assert; the O(1) running max must still agree with a full scan.
+  ViewStats stats;
+  for (const double t : {5.0, 9.0, 2.0, 9.0, 7.5}) {
+    stats.AppendEvent({t, 1.0, 0});
+    EXPECT_EQ(stats.LastUse(), stats.LastUseNaive());
+  }
+  EXPECT_EQ(stats.LastUse(), 9.0);
+}
+
+TEST(FragmentStatsTest, LastHitIsRunningMaxAcrossAdoptAndAppend) {
+  FragmentStats f;
+  EXPECT_EQ(f.LastHit(), 0.0);
+  // AdoptHits rebuilds the cache from an unsorted replacement list.
+  f.AdoptHits({{8.0, Interval(), false, 0},
+               {3.0, Interval(), false, 1},
+               {6.0, Interval(), false, 0}});
+  EXPECT_EQ(f.LastHit(), 8.0);
+  EXPECT_EQ(f.LastHit(), f.LastHitNaive());
+  // AppendHit extends it, order-free.
+  f.AppendHit({5.0, Interval(), false, 0});
+  EXPECT_EQ(f.LastHit(), 8.0);
+  f.AppendHit({11.0, Interval(), false, 2});
+  EXPECT_EQ(f.LastHit(), 11.0);
+  EXPECT_EQ(f.LastHit(), f.LastHitNaive());
+  f.ResetHits();
+  EXPECT_EQ(f.LastHit(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental caches vs naive replay (bit-identity oracle tests).
+//
+// The hot-path readers (AccumulatedBenefit, UndecayedBenefit, LastUse,
+// DecayedHits, LastHit) are incremental: running sums/maxima plus a
+// timed-out-prefix cursor advanced by AdvanceWindow. The *Naive
+// replays retained in view_stats.cc are the pre-incremental
+// implementations; every comparison below is EXPECT_EQ on doubles —
+// bit-identity, not tolerance — because golden traces depend on it.
+
+TEST(ViewStatsIncrementalTest, RandomEventStreamsMatchNaiveBitIdentically) {
+  int config = 0;
+  for (const double t_max : {25.0, 500.0, 5000.0}) {
+    for (const bool enabled : {true, false}) {
+      DecayFunction dec(DecayConfig{t_max, enabled});
+      std::mt19937 rng(1000u + static_cast<uint32_t>(config++));
+      std::uniform_real_distribution<double> step(0.0, 8.0);
+      std::uniform_real_distribution<double> saving(0.0, 50.0);
+      ViewStats stats;
+      double t = 0.0;
+      for (int i = 0; i < 400; ++i) {
+        t += step(rng);
+        stats.RecordUse(t, saving(rng), static_cast<int32_t>(i % 3));
+        // Interleave cursor advancement with appends, as the pool does
+        // (AdvanceAllWindows after each fold).
+        if (i % 5 == 0) stats.AdvanceWindow(t, dec);
+        // Evaluate behind the cursor (fallback to full replay), at it,
+        // inside the window, and far past expiry.
+        for (const double t_eval :
+             {t - 3.0, t, t + 0.5 * t_max, t + 2.0 * t_max}) {
+          EXPECT_EQ(stats.AccumulatedBenefit(t_eval, dec),
+                    stats.AccumulatedBenefitNaive(t_eval, dec))
+              << "t_max=" << t_max << " enabled=" << enabled << " i=" << i;
+        }
+      }
+      EXPECT_EQ(stats.UndecayedBenefit(), stats.UndecayedBenefitNaive());
+      EXPECT_EQ(stats.LastUse(), stats.LastUseNaive());
+      // Multi-tenant attribution stays exact: the per-tenant splits sum
+      // the same terms the aggregate evaluation sums, per tenant.
+      const double t_eval = t + 1.0;
+      auto by_tenant = stats.AccumulatedBenefitByTenant(t_eval, dec);
+      for (const int32_t tenant : {0, 1, 2}) {
+        double naive = 0.0;
+        for (const BenefitEvent& e : stats.events()) {
+          if (e.tenant == tenant) naive += e.saving * dec(t_eval, e.time);
+        }
+        EXPECT_EQ(stats.AccumulatedBenefitForTenant(t_eval, dec, tenant),
+                  naive);
+        EXPECT_EQ(by_tenant[tenant], naive);
+      }
+    }
+  }
+}
+
+TEST(FragmentStatsIncrementalTest, RandomHitStreamsMatchNaiveBitIdentically) {
+  int config = 0;
+  for (const double t_max : {25.0, 500.0, 5000.0}) {
+    for (const bool enabled : {true, false}) {
+      DecayFunction dec(DecayConfig{t_max, enabled});
+      std::mt19937 rng(2000u + static_cast<uint32_t>(config++));
+      std::uniform_real_distribution<double> step(0.0, 8.0);
+      std::uniform_real_distribution<double> pos(0.0, 100.0);
+      FragmentStats f;
+      f.interval = Interval(0.0, 100.0);
+      double t = 0.0;
+      for (int i = 0; i < 400; ++i) {
+        t += step(rng);
+        const double lo = pos(rng);
+        f.RecordHit(t, Interval(lo, lo + 1.0), static_cast<int32_t>(i % 3));
+        if (i % 5 == 0) f.AdvanceWindow(t, dec);
+        if (i % 61 == 0) {
+          // Merge passes splice arbitrary (possibly unsorted) hit
+          // vectors through AdoptHits; the caches must rebuild exactly.
+          std::vector<FragmentHit> spliced = f.hits();
+          if (spliced.size() > 1) std::swap(spliced.front(), spliced.back());
+          f.AdoptHits(std::move(spliced));
+        }
+        for (const double t_eval :
+             {t - 3.0, t, t + 0.5 * t_max, t + 2.0 * t_max}) {
+          EXPECT_EQ(f.DecayedHits(t_eval, dec),
+                    f.DecayedHitsNaive(t_eval, dec))
+              << "t_max=" << t_max << " enabled=" << enabled << " i=" << i;
+        }
+      }
+      EXPECT_EQ(f.LastHit(), f.LastHitNaive());
+      const double t_eval = t + 1.0;
+      auto by_tenant = f.DecayedHitsByTenant(t_eval, dec);
+      for (const int32_t tenant : {0, 1, 2}) {
+        double naive = 0.0;
+        for (const FragmentHit& h : f.hits()) {
+          if (h.tenant == tenant) naive += dec(t_eval, h.time);
+        }
+        EXPECT_EQ(f.DecayedHitsForTenant(t_eval, dec, tenant), naive);
+        EXPECT_EQ(by_tenant[tenant], naive);
+      }
+    }
+  }
+}
+
+TEST(ViewStatsIncrementalTest, ChangingTmaxInvalidatesTheCursor) {
+  // The cursor is computed under one t_max; evaluating under another
+  // must fall back to full replay (CursorValid checks the cutoff).
+  ViewStats stats;
+  DecayFunction dec_short(DecayConfig{10.0, true});
+  DecayFunction dec_long(DecayConfig{1000.0, true});
+  for (int i = 1; i <= 50; ++i) stats.RecordUse(i, 1.0);
+  stats.AdvanceWindow(40.0, dec_short);  // entries < 30 expired under 10
+  EXPECT_EQ(stats.AccumulatedBenefit(40.0, dec_long),
+            stats.AccumulatedBenefitNaive(40.0, dec_long));
+  EXPECT_EQ(stats.AccumulatedBenefit(40.0, dec_short),
+            stats.AccumulatedBenefitNaive(40.0, dec_short));
+  // Re-advancing under the new cutoff rebuilds the cursor from scratch.
+  stats.AdvanceWindow(40.0, dec_long);
+  EXPECT_EQ(stats.AccumulatedBenefit(40.0, dec_long),
+            stats.AccumulatedBenefitNaive(40.0, dec_long));
+}
+
+TEST(FragmentStatsIncrementalTest, AdoptAfterAdvanceResetsTheCursor) {
+  DecayFunction dec(DecayConfig{10.0, true});
+  FragmentStats f;
+  for (int i = 1; i <= 30; ++i) f.RecordHit(i);
+  f.AdvanceWindow(25.0, dec);
+  // Adopt an unsorted list whose old entries would be hidden behind a
+  // stale cursor if AdoptHits failed to reset it.
+  std::vector<FragmentHit> replacement = f.hits();
+  std::reverse(replacement.begin(), replacement.end());
+  f.AdoptHits(std::move(replacement));
+  EXPECT_EQ(f.DecayedHits(25.0, dec), f.DecayedHitsNaive(25.0, dec));
+  EXPECT_EQ(f.LastHit(), f.LastHitNaive());
 }
 
 TEST(PolicyTest, StrategyNames) {
