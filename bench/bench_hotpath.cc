@@ -16,9 +16,15 @@
 //      (PoolManager::commit_lock_stats), reported as the
 //      serialization fraction of the run.
 //
+//   3. observer_overhead — the 4-engine fixed-total-work throughput
+//      config re-run with no observer, per-engine TraceObservers, and
+//      one shared MetricsObserver, so the cost of always-on telemetry
+//      is pinned as a fraction of no-observer throughput (EXPERIMENTS
+//      budget: MetricsObserver <= 5%).
+//
 // Usage:
 //   bench_hotpath [--smoke] [--json=PATH] [--csv=PATH]
-// --smoke shrinks both sections to CI size. JSON results land in
+// --smoke shrinks all sections to CI size. JSON results land in
 // BENCH_hotpath.json by default (the repo's perf baseline file);
 // --csv additionally writes the same rows in CSV form.
 
@@ -34,6 +40,8 @@
 #include "bench_util.h"
 #include "core/shared_pool.h"
 #include "core/view_stats.h"
+#include "exp/metrics.h"
+#include "exp/trace.h"
 
 using namespace deepsea;
 
@@ -127,6 +135,24 @@ struct ThroughputRow {
   double sim_seconds = 0.0;  ///< simulated workload cost (sanity column)
 };
 
+/// Telemetry attached during a throughput run (section 3). Each mode
+/// honors the observer contracts: TraceObserver is not thread-safe, so
+/// it is attached per engine; one MetricsObserver is shared by every
+/// engine (its hot path is per-tenant relaxed atomics).
+enum class ObserverMode { kNone, kTrace, kMetrics };
+
+const char* ObserverModeName(ObserverMode mode) {
+  switch (mode) {
+    case ObserverMode::kNone:
+      return "none";
+    case ObserverMode::kTrace:
+      return "trace";
+    case ObserverMode::kMetrics:
+      return "metrics";
+  }
+  return "unknown";
+}
+
 /// Client think time between a tenant's queries: models the round trip
 /// of the interactive sessions the paper's workload represents. This is
 /// what shared-lock planning converts into capacity — while one
@@ -137,7 +163,8 @@ constexpr auto kThinkTime = std::chrono::microseconds(500);
 /// `total_queries` split evenly across `engines` free-running threads
 /// on ONE shared pool — total work (and thus final pool size) is fixed
 /// per row, so queries/second across rows measures concurrency alone.
-ThroughputRow RunThroughput(int engines, int total_queries) {
+ThroughputRow RunThroughput(int engines, int total_queries,
+                            ObserverMode mode = ObserverMode::kNone) {
   ThroughputRow row;
   row.engines = engines;
   const int per_engine = total_queries / engines;
@@ -160,6 +187,19 @@ ThroughputRow RunThroughput(int engines, int total_queries) {
   for (int e = 0; e < engines; ++e) {
     fleet.push_back(std::make_unique<DeepSeaEngine>(
         &catalog, &pool, "tenant" + std::to_string(e)));
+  }
+
+  std::vector<std::unique_ptr<TraceObserver>> traces;
+  MetricsObserver metrics;
+  if (mode == ObserverMode::kTrace) {
+    for (int e = 0; e < engines; ++e) {
+      traces.push_back(std::make_unique<TraceObserver>(
+          "tenant" + std::to_string(e), nullptr));
+      fleet[static_cast<size_t>(e)]->set_observer(traces.back().get());
+    }
+  } else if (mode == ObserverMode::kMetrics) {
+    metrics.set_pool(pool.pool());
+    for (auto& engine : fleet) engine->set_observer(&metrics);
   }
 
   // Engine construction enters the commit section briefly (InitStages);
@@ -208,10 +248,21 @@ ThroughputRow RunThroughput(int engines, int total_queries) {
   return row;
 }
 
+// --- section 3: observer overhead -----------------------------------
+
+struct OverheadRow {
+  const char* mode = "none";
+  ThroughputRow run;
+  /// 1 - q/s(mode) / q/s(none): positive = slower than no-observer.
+  /// Noise on a small config can make it slightly negative.
+  double overhead_fraction = 0.0;
+};
+
 // --- output ---------------------------------------------------------
 
 std::string ToJson(bool smoke, const std::vector<ScalingRow>& scaling,
-                   const std::vector<ThroughputRow>& throughput) {
+                   const std::vector<ThroughputRow>& throughput,
+                   const std::vector<OverheadRow>& overhead) {
   std::string out;
   char buf[512];
   out += "{\n  \"bench\": \"hotpath\",\n";
@@ -245,12 +296,26 @@ std::string ToJson(bool smoke, const std::vector<ScalingRow>& scaling,
         i + 1 < throughput.size() ? "," : "");
     out += buf;
   }
+  out += "  ],\n  \"observer_overhead\": [\n";
+  for (size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadRow& r = overhead[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"mode\": \"%s\", \"engines\": %d, \"queries\": %d, "
+        "\"wall_seconds\": %.3f, \"queries_per_second\": %.1f, "
+        "\"overhead_fraction\": %.4f}%s\n",
+        r.mode, r.run.engines, r.run.queries, r.run.wall_seconds,
+        r.run.queries_per_second, r.overhead_fraction,
+        i + 1 < overhead.size() ? "," : "");
+    out += buf;
+  }
   out += "  ]\n}\n";
   return out;
 }
 
 std::string ToCsv(const std::vector<ScalingRow>& scaling,
-                  const std::vector<ThroughputRow>& throughput) {
+                  const std::vector<ThroughputRow>& throughput,
+                  const std::vector<OverheadRow>& overhead) {
   std::string out;
   char buf[256];
   out += "section,history,view_incremental_ns,view_naive_ns,"
@@ -269,6 +334,15 @@ std::string ToCsv(const std::vector<ScalingRow>& scaling,
                   r.queries, r.replans, r.wall_seconds, r.queries_per_second,
                   static_cast<unsigned long long>(r.commits),
                   r.commit_held_seconds, r.commit_held_fraction);
+    out += buf;
+  }
+  out += "section,mode,engines,queries,wall_seconds,queries_per_second,"
+         "overhead_fraction\n";
+  for (const OverheadRow& r : overhead) {
+    std::snprintf(buf, sizeof(buf),
+                  "observer_overhead,%s,%d,%d,%.3f,%.1f,%.4f\n", r.mode,
+                  r.run.engines, r.run.queries, r.run.wall_seconds,
+                  r.run.queries_per_second, r.overhead_fraction);
     out += buf;
   }
   return out;
@@ -334,20 +408,47 @@ int main(int argc, char** argv) {
                 r.commit_held_seconds, r.commit_held_fraction);
   }
 
+  // Section 3. The cost of always-on telemetry: the 4-engine fixed-
+  // total-work config under each observer mode. Think time and planning
+  // dominate the per-query path, so the sharded-atomics MetricsObserver
+  // hot path must stay within a few percent of no-observer throughput.
+  const int overhead_engines = 4;
+  std::vector<OverheadRow> overhead;
+  std::printf("\nobserver_overhead (%d engines, %d queries total):\n",
+              overhead_engines, total_queries);
+  std::printf("%10s %8s %8s %8s %10s\n", "observer", "queries", "wall(s)",
+              "q/s", "overhead");
+  for (ObserverMode mode :
+       {ObserverMode::kNone, ObserverMode::kTrace, ObserverMode::kMetrics}) {
+    OverheadRow r;
+    r.mode = ObserverModeName(mode);
+    r.run = RunThroughput(overhead_engines, total_queries, mode);
+    const double base_qps = overhead.empty()
+                                ? r.run.queries_per_second
+                                : overhead.front().run.queries_per_second;
+    r.overhead_fraction =
+        base_qps > 0.0 ? 1.0 - r.run.queries_per_second / base_qps : 0.0;
+    overhead.push_back(r);
+    std::printf("%10s %8d %8.3f %8.1f %9.1f%%\n", r.mode, r.run.queries,
+                r.run.wall_seconds, r.run.queries_per_second,
+                100.0 * r.overhead_fraction);
+  }
+
   std::printf(
       "\nExpected: incremental ns flat beyond history=500 while naive grows"
       "\nlinearly; queries/second improves with engines (planning and think"
       "\ntime overlap; only the commit serializes) while the commit lock's"
-      "\nheld/wall fraction stays below 1.\n\n");
+      "\nheld/wall fraction stays below 1; observer overhead within a few"
+      "\npercent of no-observer throughput (MetricsObserver budget: 5%%).\n\n");
 
-  const std::string json = ToJson(smoke, scaling, throughput);
+  const std::string json = ToJson(smoke, scaling, throughput, overhead);
   if (!WriteFile(json_path, json)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }
   std::printf("wrote %s\n", json_path.c_str());
   if (!csv_path.empty()) {
-    if (!WriteFile(csv_path, ToCsv(scaling, throughput))) {
+    if (!WriteFile(csv_path, ToCsv(scaling, throughput, overhead))) {
       std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
       return 1;
     }

@@ -9,10 +9,13 @@
 //
 // Run:  ./examples/adaptive_dashboard
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "exp/metrics.h"
 #include "exp/trace.h"
 #include "workload/bigbench.h"
 #include "workload/range_generator.h"
@@ -65,10 +68,18 @@ int main() {
   ds_options.candidate_snap_fraction = 0.0125;
   DeepSeaEngine deepsea_engine(&ds_catalog, ds_options);
 
-  // Watch the pipeline: the TraceObserver aggregates per-stage time and
-  // pool-mutation counts as the season runs (printed at the end).
+  // Watch the pipeline through both telemetry sinks at once: the
+  // TraceObserver aggregates per-stage time for the offline-style
+  // breakdown below, the MetricsObserver maintains the live Prometheus
+  // series, and a MulticastObserver fans the single observer slot out
+  // to both (each hook reaches the sinks in attachment order).
   TraceObserver observer("dashboard", nullptr);
-  deepsea_engine.set_observer(&observer);
+  MetricsObserver metrics;
+  metrics.set_pool(&deepsea_engine.pool());
+  MulticastObserver multicast;
+  multicast.Add(&observer);
+  multicast.Add(&metrics);
+  deepsea_engine.set_observer(&multicast);
 
   EngineOptions hive_options;
   hive_options.strategy = StrategyKind::kHive;
@@ -121,6 +132,22 @@ int main() {
     std::printf("  %-10s %10.0f s %10.2f ms\n", EngineStageName(s),
                 st.sim_seconds, st.wall_seconds * 1e3);
   }
+  // The same season, as the Prometheus scrape an operator would watch
+  // live (a subset; OBSERVABILITY.md documents every series).
+  std::printf("\nprometheus scrape (operator view, excerpt):\n");
+  const std::string scrape = metrics.RenderPrometheusText();
+  size_t pos = 0, printed = 0;
+  while (pos < scrape.size() && printed < 24) {
+    size_t eol = scrape.find('\n', pos);
+    if (eol == std::string::npos) eol = scrape.size();
+    const std::string line = scrape.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# HELP", 0) == 0) continue;  // keep the excerpt short
+    std::printf("  %s\n", line.c_str());
+    ++printed;
+  }
+  std::printf("  ... (%zu lines total)\n",
+              static_cast<size_t>(std::count(scrape.begin(), scrape.end(), '\n')));
   std::printf(
       "\nWeeks repeating a trend are nearly free once the hot fragments are"
       "\nmaterialized; a trend jump costs one repartitioning, then pays off.\n");

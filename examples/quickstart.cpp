@@ -8,10 +8,15 @@
 // printed result comes from actual data.
 //
 // Run:  ./examples/quickstart
+//
+// At end-of-run the example prints a Prometheus scrape of the session
+// (see OBSERVABILITY.md) and also writes it to quickstart_metrics.prom
+// in the working directory — CI validates that file with tools/promlint.
 
 #include <cstdio>
 
 #include "core/engine.h"
+#include "exp/metrics.h"
 #include "workload/bigbench.h"
 
 using namespace deepsea;
@@ -36,6 +41,12 @@ int main() {
   options.physical_execution = true;
   options.benefit_cost_threshold = 0.05;  // materialize after little evidence
   DeepSeaEngine engine(&catalog, options);
+
+  // Attach the production metrics sink: counters/histograms accumulate
+  // from the observer hooks, pool gauges are read at scrape time.
+  MetricsObserver metrics;
+  metrics.set_pool(&engine.pool());
+  engine.set_observer(&metrics);
 
   // 3. Ask the same analytic question over a drifting item range:
   //    "revenue per category for items in [lo, hi]" (template Q30).
@@ -95,6 +106,16 @@ int main() {
       if (++shown >= 8) break;
     }
     std::printf("  (%zu rows total)\n", report->physical.rows.size());
+  }
+
+  // 6. The Prometheus scrape an operator would see (OBSERVABILITY.md
+  //    explains every series). Also saved for the CI format check.
+  const std::string scrape = metrics.RenderPrometheusText();
+  std::printf("\n--- prometheus scrape ---\n%s", scrape.c_str());
+  if (FILE* f = std::fopen("quickstart_metrics.prom", "w")) {
+    std::fwrite(scrape.data(), 1, scrape.size(), f);
+    std::fclose(f);
+    std::printf("--- scrape written to quickstart_metrics.prom ---\n");
   }
   return 0;
 }

@@ -7,9 +7,16 @@ namespace deepsea {
 
 namespace {
 
-/// Brackets one pipeline stage with observer notifications. Wall-clock
-/// time is measured only while an observer is attached, so benches and
-/// experiments without observers pay nothing for the seam.
+/// Brackets one pipeline stage with observer notifications.
+///
+/// Timing contract (see EngineObserver in engine_observer.h): the
+/// wall_seconds reported to OnStageEnd is measured *only while an
+/// observer is attached*. That contract is enforced structurally here —
+/// the single `observer_ == nullptr` boolean check below is the only
+/// gate, and when it trips neither the constructor nor Finish() makes
+/// any std::chrono call, so unobserved runs pay zero clock overhead and
+/// attaching/detaching an observer cannot perturb the simulated-time
+/// fields of QueryReport (asserted by pipeline_test.cc).
 class StageScope {
  public:
   StageScope(EngineObserver* observer, EngineStage stage,
@@ -23,7 +30,7 @@ class StageScope {
 
   /// Ends the stage, reporting the simulated seconds it charged.
   void Finish(double sim_seconds) {
-    if (observer_ == nullptr) return;
+    if (observer_ == nullptr) return;  // the single unobserved-path check
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();

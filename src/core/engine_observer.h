@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/interval.h"
@@ -164,6 +165,56 @@ class EngineObserver {
   }
 
   virtual void OnQueryEnd(const QueryReport& report) { (void)report; }
+};
+
+/// Fan-out observer: forwards every hook to each attached sink in
+/// attachment order, so independent sinks (say a TraceObserver for the
+/// offline CSV and a MetricsObserver for the live scrape) can watch one
+/// engine through its single observer slot. The multicast adds no
+/// synchronization of its own — each hook inherits exactly the locking
+/// context documented above, and each sink must individually satisfy
+/// the concurrency contract for the hooks it consumes. The sink list is
+/// fixed topology: Add() before the multicast is attached to an engine,
+/// never while queries are in flight. Sinks must outlive the multicast
+/// or the engine must be detached first.
+class MulticastObserver : public EngineObserver {
+ public:
+  MulticastObserver() = default;
+  explicit MulticastObserver(std::vector<EngineObserver*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void Add(EngineObserver* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  size_t size() const { return sinks_.size(); }
+
+  void OnQueryStart(int64_t query_index, const PlanPtr& query,
+                    const std::string& tenant) override;
+  void OnStageStart(EngineStage stage, const QueryContext& ctx) override;
+  void OnStageEnd(EngineStage stage, const QueryContext& ctx,
+                  double sim_seconds, double wall_seconds) override;
+  void OnMaterializeView(const ViewInfo& view, double sim_seconds,
+                         const std::string& tenant) override;
+  void OnMaterializeFragment(const ViewInfo& view, const std::string& attr,
+                             const Interval& interval, double bytes,
+                             const std::string& tenant) override;
+  void OnEvict(const ViewInfo& view, const std::string& attr,
+               const Interval& interval, double bytes,
+               const std::string& tenant) override;
+  void OnMerge(const ViewInfo& view, const std::string& attr,
+               const Interval& merged, double bytes,
+               const std::string& tenant) override;
+  void OnFault(EngineStage stage, const std::string& view_id,
+               const Status& status, int attempt,
+               const std::string& tenant) override;
+  void OnRetry(EngineStage stage, int next_attempt,
+               const std::string& tenant) override;
+  void OnDegrade(EngineStage stage, const std::string& view_id,
+                 const Status& status, const std::string& tenant) override;
+  void OnQueryEnd(const QueryReport& report) override;
+
+ private:
+  std::vector<EngineObserver*> sinks_;
 };
 
 }  // namespace deepsea

@@ -203,13 +203,18 @@ struct ScheduledRunResult {
 /// otherwise see each other's registrations. `configure`, when given,
 /// runs against the quiesced pool before any engine is built — the
 /// fault-injection tests use it to install a FaultPolicy (which must
-/// outlive the call).
+/// outlive the call). `attach`, when given, runs once per engine after
+/// construction and before any query — the metrics tests use it to
+/// attach observers (tenant index is the second argument; observers
+/// must satisfy the engine_observer.h concurrency contract themselves
+/// when the run is threaded).
 inline ScheduledRunResult RunScheduled(
     Catalog* catalog, const EngineOptions& options,
     const std::vector<std::string>& tenants,
     const std::vector<std::vector<PlanPtr>>& plans,
     const std::vector<int>& schedule, bool threaded,
-    const std::function<void(PoolManager*)>& configure = nullptr) {
+    const std::function<void(PoolManager*)>& configure = nullptr,
+    const std::function<void(DeepSeaEngine*, int)>& attach = nullptr) {
   const int n = static_cast<int>(plans.size());
   SharedPool shared(catalog, options);
   if (configure) configure(shared.pool());
@@ -218,6 +223,7 @@ inline ScheduledRunResult RunScheduled(
   for (int t = 0; t < n; ++t) {
     engines.push_back(
         std::make_unique<DeepSeaEngine>(catalog, &shared, tenants[t]));
+    if (attach) attach(engines.back().get(), t);
   }
   ScheduledRunResult out;
   out.reports.resize(static_cast<size_t>(n));

@@ -18,6 +18,7 @@
 #include "core/query_context.h"
 #include "core/rewrite_planner.h"
 #include "core/selection_planner.h"
+#include "exp/metrics.h"
 #include "exp/trace.h"
 #include "workload/bigbench.h"
 #include "workload/sdss.h"
@@ -375,6 +376,65 @@ TEST(EngineObserverTest, DetachingTheObserverSilencesIt) {
   engine.set_observer(nullptr);
   ASSERT_TRUE(engine.ProcessQuery(*plan).ok());
   EXPECT_EQ(observer.queries(), 1);  // unchanged after detach
+}
+
+// StageScope's contract (engine.cc): wall-clock is measured only while
+// an observer is attached, and observers never influence the simulated
+// results. Three engines over identically seeded catalogs — bare,
+// TraceObserver, multicast(Trace + Metrics) — must produce identical
+// QueryReport sim-time fields for the same workload.
+TEST(EngineObserverTest, AttachingObserversDoesNotChangeSimTime) {
+  const auto names = BigBenchTemplates::Names();
+  Rng rng(23);
+  std::vector<PlanPtr> workload;
+  for (int i = 0; i < 25; ++i) {
+    const std::string& name =
+        names[static_cast<size_t>(rng.UniformInt(0, names.size() - 1))];
+    const double lo = rng.Uniform(0.0, 200000.0);
+    workload.push_back(MakeQuery(name, lo, lo + 60000.0));
+  }
+
+  auto run = [&](EngineObserver* observer) {
+    Catalog catalog;
+    EXPECT_TRUE(BigBenchDataset::Generate(DataOptions(), &catalog).ok());
+    DeepSeaEngine engine(&catalog, BaseOptions());
+    engine.set_observer(observer);
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      // Detach mid-run too: the report stream must not notice.
+      if (observer != nullptr && i == workload.size() / 2) {
+        engine.set_observer(nullptr);
+      }
+      if (observer != nullptr && i == workload.size() / 2 + 1) {
+        engine.set_observer(observer);
+      }
+      auto report = engine.ProcessQuery(workload[i]);
+      EXPECT_TRUE(report.ok());
+      if (report.ok()) {
+        lines.push_back(StrFormat(
+            "%.17g,%.17g,%.17g,%.17g,%s,%d,%.17g", report->base_seconds,
+            report->best_seconds, report->materialize_seconds,
+            report->total_seconds, report->used_view.c_str(),
+            report->fragments_read, report->pool_bytes_after));
+      }
+    }
+    return lines;
+  };
+
+  const std::vector<std::string> bare = run(nullptr);
+  TraceObserver trace("DS", nullptr);
+  const std::vector<std::string> traced = run(&trace);
+  MetricsObserver metrics;
+  TraceObserver trace2("DS", nullptr);
+  MulticastObserver multicast({&trace2, &metrics});
+  const std::vector<std::string> multicasted = run(&multicast);
+
+  ASSERT_EQ(bare.size(), traced.size());
+  ASSERT_EQ(bare.size(), multicasted.size());
+  for (size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_EQ(traced[i], bare[i]) << "TraceObserver perturbed query " << i;
+    EXPECT_EQ(multicasted[i], bare[i]) << "multicast perturbed query " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

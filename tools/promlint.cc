@@ -1,0 +1,65 @@
+// promlint: strict Prometheus text-exposition-format checker.
+//
+// Usage:  promlint <file.prom> [more files...]
+//         promlint -          (read a single exposition from stdin)
+//
+// Exit status 0 when every input is valid, 1 on the first violation
+// (printed with its line number). CI runs this over the scrape the
+// quickstart example writes (quickstart_metrics.prom); it shares the
+// validator in src/exp/metrics.h with the unit tests, so the CLI and
+// the test suite can never disagree about what "valid" means.
+
+#include <cstdio>
+#include <string>
+
+#include "exp/metrics.h"
+
+namespace {
+
+bool ReadAll(std::FILE* f, std::string* out) {
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  return std::ferror(f) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.prom>... | %s -\n", argv[0],
+                 argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string text;
+    if (arg == "-") {
+      if (!ReadAll(stdin, &text)) {
+        std::fprintf(stderr, "promlint: error reading stdin\n");
+        return 1;
+      }
+    } else {
+      std::FILE* f = std::fopen(arg.c_str(), "rb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "promlint: cannot open %s\n", arg.c_str());
+        return 1;
+      }
+      const bool ok = ReadAll(f, &text);
+      std::fclose(f);
+      if (!ok) {
+        std::fprintf(stderr, "promlint: error reading %s\n", arg.c_str());
+        return 1;
+      }
+    }
+    const deepsea::Status status = deepsea::ValidatePrometheusText(text);
+    if (!status.ok()) {
+      std::fprintf(stderr, "promlint: %s: %s\n",
+                   arg == "-" ? "<stdin>" : arg.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("promlint: %s: OK\n", arg == "-" ? "<stdin>" : arg.c_str());
+  }
+  return 0;
+}
