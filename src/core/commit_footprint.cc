@@ -1,0 +1,97 @@
+#include "core/commit_footprint.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace deepsea {
+
+namespace {
+
+bool Contains(const std::vector<std::string>& sorted_or_not,
+              const std::string& key) {
+  return std::find(sorted_or_not.begin(), sorted_or_not.end(), key) !=
+         sorted_or_not.end();
+}
+
+/// Write touches partition (view, attr)? Honors the "" whole-view
+/// wildcard on the write side.
+bool WritesPartition(const CommitFootprint& write, const std::string& view,
+                     const std::string& attr) {
+  for (const auto& [wv, wa] : write.partitions) {
+    if (wv != view) continue;
+    if (wa.empty() || attr.empty() || wa == attr) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CommitFootprint::Merge(const CommitFootprint& other) {
+  all = all || other.all;
+  catalog_counter = catalog_counter || other.catalog_counter;
+  catalog_sigs.insert(catalog_sigs.end(), other.catalog_sigs.begin(),
+                      other.catalog_sigs.end());
+  views.insert(views.end(), other.views.begin(), other.views.end());
+  partitions.insert(partitions.end(), other.partitions.begin(),
+                    other.partitions.end());
+  fragments.insert(fragments.end(), other.fragments.begin(),
+                   other.fragments.end());
+}
+
+void CommitFootprint::Normalize() {
+  std::sort(catalog_sigs.begin(), catalog_sigs.end());
+  catalog_sigs.erase(std::unique(catalog_sigs.begin(), catalog_sigs.end()),
+                     catalog_sigs.end());
+  std::sort(views.begin(), views.end());
+  views.erase(std::unique(views.begin(), views.end()), views.end());
+  std::sort(partitions.begin(), partitions.end());
+  partitions.erase(std::unique(partitions.begin(), partitions.end()),
+                   partitions.end());
+  auto frag_key = [](const FragRange& f) {
+    return std::make_tuple(f.view, f.attr, f.range.lo, f.range.hi,
+                           f.range.lo_inclusive, f.range.hi_inclusive);
+  };
+  std::sort(fragments.begin(), fragments.end(),
+            [&](const FragRange& a, const FragRange& b) {
+              return frag_key(a) < frag_key(b);
+            });
+  fragments.erase(std::unique(fragments.begin(), fragments.end(),
+                              [&](const FragRange& a, const FragRange& b) {
+                                return frag_key(a) == frag_key(b);
+                              }),
+                  fragments.end());
+}
+
+bool FootprintsConflict(const CommitFootprint& read,
+                        const CommitFootprint& write) {
+  if (read.all || write.all) {
+    // An `all` write invalidates every plan; a plan that read `all`
+    // (none do today, but the symmetry is cheap) conflicts with any
+    // non-empty write.
+    return read.all ? !write.Empty() : true;
+  }
+  if (read.catalog_counter && write.catalog_counter) return true;
+  for (const std::string& sig : read.catalog_sigs) {
+    if (Contains(write.catalog_sigs, sig)) return true;
+  }
+  for (const std::string& v : read.views) {
+    if (Contains(write.views, v)) return true;
+  }
+  // Partition-structure reads vs structure writes.
+  for (const auto& [rv, ra] : read.partitions) {
+    if (WritesPartition(write, rv, ra)) return true;
+  }
+  // Fragment reads: overlapped by a fragment write, or the partition's
+  // structure changed under them.
+  for (const CommitFootprint::FragRange& r : read.fragments) {
+    if (WritesPartition(write, r.view, r.attr)) return true;
+    for (const CommitFootprint::FragRange& w : write.fragments) {
+      if (r.view == w.view && r.attr == w.attr && r.range.Overlaps(w.range)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace deepsea

@@ -1,0 +1,105 @@
+#ifndef DEEPSEA_CORE_COMMIT_FOOTPRINT_H_
+#define DEEPSEA_CORE_COMMIT_FOOTPRINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/interval.h"
+
+namespace deepsea {
+
+/// What a plan read — or what a commit writes — of the shared pool
+/// state, at the granularity the conflict detector validates (see
+/// DESIGN.md, "Statistics hot path and locking discipline").
+///
+/// A PlanningDelta accumulates its *read* footprint while the planning
+/// stages run under PoolManager::SharedLock(), and derives its *write*
+/// footprint from the buffered writes when the engine enters the
+/// commit. PoolManager keeps a bounded table of recently committed
+/// write footprints; a plan is valid iff no foreign write footprint
+/// published after the plan's read epoch intersects its read footprint.
+///
+/// Granularities, coarsest to finest:
+///
+///  * `all` — the commit rewrote arbitrary pool state (state loads,
+///    merge passes, the legacy token-only BeginCommit). Conflicts with
+///    every read.
+///  * `catalog_counter` — the view-id counter / rewrite-index
+///    structure. Read by any plan that *predicts* a new view id
+///    (PlanningDelta::TrackView), written by any commit that creates
+///    views. Two concurrent creators always conflict, which is what
+///    makes "v<N>" id prediction safe.
+///  * `catalog_sigs` — view-signature catalog entries probed
+///    (FindView) or created (TrackView). A foreign commit creating a
+///    signature this plan probed invalidates the plan; creations with
+///    signatures the plan never probed do not.
+///  * `views` — per-view statistics and materialization state (benefit
+///    events, whole-view flags, quarantine, eviction).
+///  * `partitions` — the *structure* of one (view, attr) partition:
+///    its tracked-fragment set and pending list. `attr == ""` is a
+///    whole-view wildcard (EvictWholeView touches every partition).
+///  * `fragments` — one (view, attr) fragment range: hit history,
+///    size, materialized flag. Ranges conflict only when they overlap,
+///    so two tenants refining disjoint regions of one partition
+///    commute.
+///
+/// The asymmetric rule: a partition-*structure* read conflicts with a
+/// structure write, and a fragment read conflicts with a structure
+/// write (the fragment list changed under it) — but a structure read
+/// does NOT conflict with a plain fragment write (hits appended to an
+/// existing fragment leave the structure the reader depended on
+/// intact).
+struct CommitFootprint {
+  /// One fragment-range entry: (view, partition attr, value range).
+  struct FragRange {
+    std::string view;
+    std::string attr;
+    Interval range;
+  };
+
+  bool all = false;
+  bool catalog_counter = false;
+  std::vector<std::string> catalog_sigs;
+  std::vector<std::string> views;
+  /// (view, attr); attr "" = every partition of the view.
+  std::vector<std::pair<std::string, std::string>> partitions;
+  std::vector<FragRange> fragments;
+
+  bool Empty() const {
+    return !all && !catalog_counter && catalog_sigs.empty() && views.empty() &&
+           partitions.empty() && fragments.empty();
+  }
+
+  void AddView(const std::string& id) { views.push_back(id); }
+  void AddPartition(const std::string& id, const std::string& attr) {
+    partitions.emplace_back(id, attr);
+  }
+  void AddFragment(const std::string& id, const std::string& attr,
+                   const Interval& range) {
+    fragments.push_back(FragRange{id, attr, range});
+  }
+  void AddCatalogSig(const std::string& canonical) {
+    catalog_sigs.push_back(canonical);
+  }
+
+  /// Merge `other` into this footprint.
+  void Merge(const CommitFootprint& other);
+
+  /// Sort + dedup every entry list (conflict checks are scans, but a
+  /// plan can record the same key many times over; normalizing keeps
+  /// the epoch table and the in-flight registry small).
+  void Normalize();
+};
+
+/// True when the write footprint intersects the read footprint — the
+/// reading plan observed state this commit changed, so the plan must
+/// be thrown away and rebuilt. Symmetric in neither argument order nor
+/// meaning: the first argument is always the READ set, the second the
+/// foreign WRITE set.
+bool FootprintsConflict(const CommitFootprint& read,
+                        const CommitFootprint& write);
+
+}  // namespace deepsea
+
+#endif  // DEEPSEA_CORE_COMMIT_FOOTPRINT_H_

@@ -45,6 +45,35 @@ class StageScope {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Adds the pool writes the decision's actions will perform to `fp`.
+/// Complements PlanningDelta::CollectWriteFootprint (the statistics
+/// fold) with the materialize/evict mutations of Apply. `a.part` may
+/// point at a shadow partition — only its attr is read, which is the
+/// same string the folded real partition carries.
+void MergeDecisionWrites(const SelectionDecision& decision,
+                         CommitFootprint* fp) {
+  for (const SelectionAction& a : decision.actions) {
+    if (a.view == nullptr) continue;
+    fp->AddView(a.view->id);
+    switch (a.kind) {
+      case SelectionAction::Kind::kEvictWholeView:
+        fp->AddPartition(a.view->id, "");
+        break;
+      case SelectionAction::Kind::kMaterializeView:
+        fp->AddPartition(a.view->id, "");
+        break;
+      case SelectionAction::Kind::kEvictFragment:
+      case SelectionAction::Kind::kMaterializeRefinement:
+      case SelectionAction::Kind::kMaterializeViewFragment:
+        if (a.part != nullptr) {
+          fp->AddPartition(a.view->id, a.part->attr);
+          fp->AddFragment(a.view->id, a.part->attr, a.interval);
+        }
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 DeepSeaEngine::DeepSeaEngine(Catalog* catalog, EngineOptions options)
@@ -131,19 +160,20 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   report.tenant_id = tenant_;
   SelectionDecision decision;
   std::unique_ptr<QueryContext> ctx;
-  uint64_t planned_epoch = 0;
+  uint64_t read_epoch = 0;
   int64_t t_spec = 0;
 
   // Phase 1 — speculative planning under the shared lock. The stages
   // buffer every statistics/catalog write into the context's
-  // PlanningDelta, so concurrent tenants plan in parallel; the pool is
-  // read-only here. The commit clock this query *will* get, assuming no
-  // other commit intervenes, is clock()+1 — planning runs at that
-  // timestamp so a validated plan is exactly the plan the serialized
-  // pipeline would have produced.
+  // PlanningDelta — recording the plan's read footprint as they go —
+  // so concurrent tenants plan in parallel; the pool is read-only
+  // here. The commit clock this query *will* get, assuming no other
+  // commit intervenes, is clock()+1 — planning runs at that timestamp
+  // so a validated plan is exactly the plan the serialized pipeline
+  // would have produced.
   {
     auto shared = pool_->SharedLock();
-    planned_epoch = pool_->commit_epoch();
+    read_epoch = pool_->read_epoch();
     t_spec = pool_->clock() + 1;
     ctx = std::make_unique<QueryContext>(query, t_spec, tenant_, tenant_ord_);
     ctx->InitPlanning(*catalog_, stat_);
@@ -151,26 +181,78 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
   }
 
-  // Phase 2 — exclusive commit. Valid iff exactly one commit (ours)
-  // happened since planning AND the clock landed on the speculated
-  // timestamp; SetFaultPolicy / LoadState / InitStages commit without
-  // ticking, which the epoch check catches.
-  CommitGuard commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
+  // Phase 2 — commit. Pool-structural work (view creation, evictions,
+  // merge passes) takes the exclusive lock; everything else tries the
+  // sharded path: IX on the pool lock plus the commit shards of the
+  // write footprint, validated by read-set conflict detection. A plan
+  // whose reads no foreign commit touched commits as-is — concurrently
+  // with other disjoint-footprint tenants; a conflicting plan replans
+  // under the exclusive lock (stage observers see the stages a second
+  // time, OnQueryStart is not re-fired).
+  bool needs_exclusive =
+      options_.merge.enabled || ctx->delta()->RequiresStructuralCommit();
+  for (const SelectionAction& a : decision.actions) {
+    if (a.kind == SelectionAction::Kind::kEvictWholeView ||
+        a.kind == SelectionAction::Kind::kEvictFragment) {
+      // Evictions change the pool occupancy every tenant's knapsack
+      // budgets against; route them through the exclusive lock.
+      needs_exclusive = true;
+    }
+  }
+
+  CommitGuard commit;
+  bool conflict_genuine = false;
+  bool replan = false;
+  bool sharded = false;
+  if (!needs_exclusive) {
+    CommitFootprint write_fp = ctx->delta()->CollectWriteFootprint();
+    MergeDecisionWrites(decision, &write_fp);
+    write_fp.Normalize();
+    commit = pool_->TryBeginShardedCommit(
+        observer_, tenant_, tenant_ord_, std::move(write_fp),
+        ctx->delta()->read_footprint(), read_epoch, &conflict_genuine);
+    sharded = commit.held();
+    replan = !sharded;
+  }
+  if (!commit.held()) {
+    commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
+    if (!replan) {
+      // Structural path: same read-set validation, under the exclusive
+      // lock (no in-flight sharded commits can exist here).
+      replan = !pool_->ValidateReadSet(commit, ctx->delta()->read_footprint(),
+                                       read_epoch, &conflict_genuine);
+    }
+  }
+
   const int64_t t = pool_->Tick(commit);
-  if (pool_->commit_epoch() != planned_epoch + 1 || t != t_spec) {
-    // Another commit intervened: the speculative plan may rest on stale
-    // statistics. Replan against current state under the exclusive lock
-    // (statistically rare; stage observers see the stages a second
-    // time, OnQueryStart is not re-fired).
+  if (replan) {
     report = QueryReport();
     report.tenant_id = tenant_;
     report.replanned = true;
+    report.replan_conflict = conflict_genuine;
+    report.replan_spurious = !conflict_genuine;
     decision = SelectionDecision();
     ctx = std::make_unique<QueryContext>(query, t, tenant_, tenant_ord_);
     ctx->InitPlanning(*catalog_, stat_);
     DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
   }
+  // Under the sharded path a concurrent commit may have won a smaller
+  // clock value; events planned at t_spec keep their timestamp (commit-
+  // order independence is what lets disjoint commits run concurrently),
+  // while the report records the actual commit position.
   report.query_index = t;
+
+  if (!sharded && !options_.merge.enabled) {
+    // The exclusive commit publishes `all` by default; a validated (or
+    // replanned) plan knows its precise writes — publish those instead
+    // so disjoint in-flight plans of other tenants survive this commit.
+    // (With the merge pass enabled the commit may touch any view, so
+    // `all` stands. Collect before Apply folds the delta.)
+    CommitFootprint write_fp = ctx->delta()->CollectWriteFootprint();
+    MergeDecisionWrites(decision, &write_fp);
+    write_fp.Normalize();
+    pool_->SetCommitFootprint(commit, std::move(write_fp));
+  }
 
   if (options_.strategy != StrategyKind::kHive) {
     {
@@ -222,6 +304,14 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   totals_.faults += report.fault_count;
   totals_.retries += report.retry_count;
   if (report.degraded) totals_.queries_degraded += 1;
+  if (report.replanned) totals_.replans += 1;
+  if (report.replan_conflict) totals_.replans_conflict += 1;
+  if (report.replan_spurious) totals_.replans_spurious += 1;
+  if (sharded) {
+    totals_.commits_sharded += 1;
+  } else {
+    totals_.commits_exclusive += 1;
+  }
   totals_.total_seconds += report.total_seconds;
   totals_.base_seconds += report.base_seconds;
   totals_.materialize_seconds += report.materialize_seconds;

@@ -50,13 +50,24 @@ namespace deepsea {
 /// attaches to a SharedPool as one named tenant among several.
 /// ProcessQuery is two-phase: the planning stages (1-3) run
 /// speculatively under the pool's *shared* lock, buffering every
-/// would-be statistics write into the query's PlanningDelta, so
-/// concurrent tenants plan in parallel; only the commit — fold the
-/// delta, apply the decision, merge — takes the exclusive lock. The
-/// engine validates via the pool's commit epoch that no other commit
-/// intervened between planning and its own commit, and replans under
-/// the exclusive lock when one did, so the resulting pool state is
-/// still a function of the commit order alone. Statistics recorded
+/// would-be statistics write into the query's PlanningDelta — which
+/// records the plan's read footprint as it goes — so concurrent
+/// tenants plan in parallel. The commit then takes one of two paths:
+///
+///  * Sharded (the steady-state default): IX on the pool lock plus the
+///    per-view commit shards of the plan's write footprint. The plan is
+///    validated by read-set conflict detection — it commits as planned
+///    unless a foreign commit published after its read epoch (or still
+///    in flight) wrote something it read. Disjoint-footprint tenants
+///    commit truly concurrently.
+///
+///  * Exclusive: pool-structural work (view creation, evictions, merge
+///    passes) and replans after a failed validation. QueryReport's
+///    replan_conflict / replan_spurious record why a replan happened.
+///
+/// Either way the resulting pool state is a function of the commit
+/// order alone: conflicting plans are rebuilt, and commuting (disjoint)
+/// plans produce the same state in any order. Statistics recorded
 /// during a query are stamped with the tenant's interned ordinal for
 /// per-tenant benefit attribution.
 ///
@@ -145,7 +156,7 @@ class DeepSeaEngine {
   void InitStages();
   /// Runs stages 1-3 (rewrite, candidates, selection) against `ctx`'s
   /// PlanningDelta. Called once under the shared lock (speculative) and
-  /// again under the exclusive lock when epoch validation fails; the
+  /// again under the exclusive lock when read-set validation fails; the
   /// caller holds whichever lock the run requires. Only the rewrite
   /// stage runs for plain Hive.
   Status RunPlanningStages(QueryContext* ctx, QueryReport* report,

@@ -137,6 +137,13 @@ struct QueryReport {
   /// engine; see DESIGN.md, "Statistics hot path and locking
   /// discipline").
   bool replanned = false;
+  /// Why: a foreign commit's write footprint actually intersected this
+  /// plan's read footprint (genuine conflict) ...
+  bool replan_conflict = false;
+  /// ... or the bounded commit-epoch table could no longer cover the
+  /// plan's read epoch and the engine invalidated conservatively.
+  /// Exactly one of the two is set when `replanned` is.
+  bool replan_spurious = false;
 
   std::string used_view;             ///< view answering the query ("" = none)
   int fragments_read = 0;
@@ -183,6 +190,11 @@ struct EngineTotals {
   int64_t faults = 0;             ///< failed decision-execution attempts
   int64_t retries = 0;            ///< transient-fault retries
   int64_t queries_degraded = 0;   ///< queries whose decision was abandoned
+  int64_t replans = 0;            ///< queries replanned under the X lock
+  int64_t replans_conflict = 0;   ///< ... due to a genuine read-set conflict
+  int64_t replans_spurious = 0;   ///< ... due to epoch-table coverage loss
+  int64_t commits_sharded = 0;    ///< commits on the sharded (IX) path
+  int64_t commits_exclusive = 0;  ///< commits on the exclusive (X) path
 };
 
 }  // namespace deepsea

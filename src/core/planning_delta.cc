@@ -17,6 +17,9 @@ PlanningDelta::PlanningDelta(const Catalog& shared_catalog,
 // --- view overlay ---------------------------------------------------
 
 ViewInfo* PlanningDelta::FindView(const std::string& canonical) {
+  // The probe itself is a catalog read: a foreign commit creating this
+  // signature changes the answer, so the plan must be invalidated.
+  read_target().AddCatalogSig(canonical);
   if (ViewInfo* v = shared_views_->FindBySignature(canonical)) return v;
   for (const auto& [sig, v] : new_by_signature_) {
     if (sig == canonical) return v;
@@ -28,6 +31,10 @@ ViewInfo* PlanningDelta::TrackView(const PlanPtr& plan,
                                    const PlanSignature& signature) {
   const std::string canonical = signature.ToString();
   if (ViewInfo* existing = FindView(canonical)) return existing;
+  // The id prediction below reads the shared view-id counter: any
+  // foreign commit that creates views moves it, so two concurrent
+  // creators must always conflict (one replans and re-predicts).
+  read_target().catalog_counter = true;
   auto view = std::make_unique<ViewInfo>();
   // The id ViewCatalog::Track would assign; Adopt() asserts it still
   // holds at fold time (guaranteed by epoch validation).
@@ -93,6 +100,10 @@ void PlanningDelta::RecordUse(ViewInfo* v, double time, double saving,
     v->stats.RecordUse(time, saving, tenant);
     return;
   }
+  // The saving being recorded was computed from the view's current
+  // rewriting cost (materialized state), so a use is a read as well as
+  // a buffered write.
+  NoteViewRead(v);
   for (auto& [view, events] : view_patches_) {
     if (view == v) {
       events.push_back({time, saving, tenant});
@@ -127,7 +138,15 @@ PlanningDelta::ShadowPartition& PlanningDelta::MakeShadow(
   ShadowPartition& sp = shadows_.back();
   sp.view = v;
   sp.state.attr = attr;
+  sp.base = base;
+  // Creating the shadow reads the shared partition wholesale: the
+  // fragment list (fold maps base-backed fragments by index), the
+  // materialized flags, and — through the effective-hit readers — any
+  // fragment's history. Record a structure read plus a whole-domain
+  // fragment read rather than instrumenting every fine-grained reader.
+  NotePartitionRead(v, attr);
   if (base != nullptr) {
+    read_target().AddFragment(v->id, attr, base->domain);
     sp.base_exists = true;
     sp.state.domain = base->domain;
     sp.state.pending = base->pending;
@@ -151,6 +170,8 @@ PlanningDelta::ShadowPartition& PlanningDelta::MakeShadow(
 }
 
 bool PlanningDelta::HasPartitions(const ViewInfo* v) const {
+  // Reads the existence of any partition on `v` (wildcard attr).
+  NotePartitionRead(v, "");
   if (!v->partitions.empty()) return true;
   for (const ShadowPartition& sp : shadows_) {
     if (sp.view == v) return true;
@@ -160,6 +181,7 @@ bool PlanningDelta::HasPartitions(const ViewInfo* v) const {
 
 std::vector<std::string> PlanningDelta::PartitionAttrs(
     const ViewInfo* v) const {
+  NotePartitionRead(v, "");
   // std::map order (sorted), matching iteration over v->partitions
   // after the fold.
   std::map<std::string, bool> attrs;
@@ -179,7 +201,12 @@ PartitionState* PlanningDelta::Partition(ViewInfo* v, const std::string& attr) {
   if (it != shadow_by_key_.end()) return &it->second->state;
   const PartitionState* base =
       static_cast<const ViewInfo*>(v)->GetPartition(attr);
-  if (base == nullptr) return nullptr;
+  if (base == nullptr) {
+    // The absence of a partition is also a structural fact the plan
+    // depended on: a foreign commit creating (v, attr) invalidates it.
+    NotePartitionRead(v, attr);
+    return nullptr;
+  }
   return &MakeShadow(v, attr, base, base->domain).state;
 }
 
@@ -228,6 +255,7 @@ const FragmentStats* PlanningDelta::BaseOf(const PartitionState* part,
 
 double PlanningDelta::AccumulatedBenefit(const ViewInfo* v,
                                          const DecayFunction& dec) const {
+  NoteViewRead(v);
   double acc = v->stats.AccumulatedBenefit(t_now_, dec);
   if (const std::vector<BenefitEvent>* patch = PatchOf(v)) {
     if (!dec.config().enabled) {
@@ -242,6 +270,7 @@ double PlanningDelta::AccumulatedBenefit(const ViewInfo* v,
 }
 
 double PlanningDelta::UndecayedBenefit(const ViewInfo* v) const {
+  NoteViewRead(v);
   double acc = v->stats.UndecayedBenefit();
   if (const std::vector<BenefitEvent>* patch = PatchOf(v)) {
     for (const BenefitEvent& e : *patch) acc += e.saving;
@@ -250,6 +279,7 @@ double PlanningDelta::UndecayedBenefit(const ViewInfo* v) const {
 }
 
 double PlanningDelta::LastUse(const ViewInfo* v) const {
+  NoteViewRead(v);
   double last = v->stats.LastUse();
   if (const std::vector<BenefitEvent>* patch = PatchOf(v)) {
     for (const BenefitEvent& e : *patch) {
@@ -401,6 +431,18 @@ void PlanningDelta::Fold(ViewCatalog* views, Catalog* catalog,
   //    then Track planner-added fragments, whose appends match the
   //    in-place append order.
   for (ShadowPartition& sp : shadows_) {
+    if (sp.base_exists && !ShadowDirty(sp)) {
+      // Read-only shadow (created to evaluate a pool view, never
+      // written). Skipping it keeps the index-based fold below from
+      // asserting against a base a foreign commit legitimately changed
+      // after this plan's soft reads were dropped. The remap entry is
+      // still needed: decision actions may have captured the shadow
+      // pointer (they only do when the reads were promoted, so the
+      // base is epoch-protected and still present).
+      fold_remap_.emplace_back(&sp.state,
+                               sp.view->GetPartition(sp.state.attr));
+      continue;
+    }
     PartitionState* real = sp.view->EnsurePartition(sp.state.attr,
                                                     sp.state.domain);
     for (size_t i = 0; i < sp.state.fragments.size(); ++i) {
@@ -434,6 +476,85 @@ PartitionState* PlanningDelta::RealPartition(
     if (shadow == maybe_shadow) return real;
   }
   return maybe_shadow;
+}
+
+// --- read/write footprints ----------------------------------------------
+
+void PlanningDelta::NoteViewRead(const ViewInfo* v) const {
+  if (OwnsView(v)) return;  // private to this delta until the fold
+  read_target().AddView(v->id);
+}
+
+void PlanningDelta::NotePartitionRead(const ViewInfo* v,
+                                      const std::string& attr) const {
+  if (OwnsView(v)) return;
+  read_target().AddPartition(v->id, attr);
+}
+
+void PlanningDelta::PromoteSoftReads() {
+  reads_.Merge(soft_reads_);
+  soft_reads_ = CommitFootprint{};
+}
+
+bool PlanningDelta::ShadowDirty(const ShadowPartition& sp) {
+  if (!sp.base_exists) return true;  // created here: a structure write
+  if (sp.state.pending != sp.base->pending) return true;
+  if (sp.state.fragments.size() != sp.base->fragments.size()) return true;
+  for (size_t i = 0; i < sp.state.fragments.size(); ++i) {
+    const FragmentStats& sf = sp.state.fragments[i];
+    const FragmentStats* base = sp.bases[i];
+    if (base == nullptr) return true;  // planner-added fragment
+    if (!sf.hits().empty()) return true;
+    if (sf.size_bytes != base->size_bytes) return true;
+    if (sf.materialized != base->materialized) return true;
+  }
+  return false;
+}
+
+bool PlanningDelta::RequiresStructuralCommit() const {
+  return !new_views_.empty() || !deferred_puts_.empty() ||
+         !deferred_index_.empty() || !attach_ops_.empty();
+}
+
+CommitFootprint PlanningDelta::CollectWriteFootprint() const {
+  assert(!folded_ && "write footprint must be collected before Fold");
+  CommitFootprint fp;
+  if (RequiresStructuralCommit()) {
+    // New views, catalog tables, histogram attaches and rewrite-index
+    // inserts change what *any* concurrent plan could have rewritten
+    // against (the FilterTree lookup and the cost model observe them),
+    // so the only write set that keeps threaded runs bit-identical to
+    // sequential replay is everything. These commits take the global
+    // exclusive path anyway; at steady state (pool warmed up) commits
+    // stop being structural and publish the precise sets below.
+    fp.all = true;
+    return fp;
+  }
+  for (const auto& [view, events] : view_patches_) fp.AddView(view->id);
+  for (const ShadowPartition& sp : shadows_) {
+    const std::string& vid = sp.view->id;
+    const std::string& attr = sp.state.attr;
+    if (!sp.base_exists) {
+      fp.AddPartition(vid, attr);  // EnsurePartition created it
+    } else if (sp.state.pending != sp.base->pending) {
+      fp.AddPartition(vid, attr);
+    }
+    for (size_t i = 0; i < sp.state.fragments.size(); ++i) {
+      const FragmentStats& sf = sp.state.fragments[i];
+      const FragmentStats* base = sp.bases[i];
+      if (base == nullptr) {
+        // Planner-tracked fragment: the fragment list changed and the
+        // new range carries its own hits and size.
+        fp.AddPartition(vid, attr);
+        fp.AddFragment(vid, attr, sf.interval);
+      } else if (!sf.hits().empty() || sf.size_bytes != base->size_bytes ||
+                 sf.materialized != base->materialized) {
+        fp.AddFragment(vid, attr, sf.interval);
+      }
+    }
+  }
+  fp.Normalize();
+  return fp;
 }
 
 }  // namespace deepsea

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/table.h"
+#include "core/commit_footprint.h"
 #include "core/decay.h"
 #include "core/policy.h"
 #include "core/view_catalog.h"
@@ -188,6 +189,40 @@ class PlanningDelta {
                        double view_cost, const DecayFunction& dec,
                        double adjusted_hits = -1.0) const;
 
+  // --- read/write footprints (commit conflict detection) --------------
+  //
+  // While planning runs under SharedLock(), the delta records which
+  // shared state it depended on: view stats read by the value/filter
+  // overlays, partition structure read when a shadow is created,
+  // signature catalog entries probed by FindView, and the view-id
+  // counter when TrackView predicts an id. BeginCommit validates this
+  // read footprint against the write footprints of commits that
+  // published after the plan's read epoch (see commit_footprint.h).
+
+  /// Everything recorded so far (soft reads excluded until promoted).
+  const CommitFootprint& read_footprint() const { return reads_; }
+
+  /// Brackets a read window whose reads only matter when the pool
+  /// budget is binding: SelectionPlanner evaluates *every* pool view in
+  /// its knapsack, but when nothing is rejected the foreign values it
+  /// read had no influence on the decision. Reads recorded inside the
+  /// window land in a side set; PromoteSoftReads() merges them into the
+  /// read footprint (call it when the knapsack rejected anything).
+  void BeginSoftReads() { soft_mode_ = true; }
+  void EndSoftReads() { soft_mode_ = false; }
+  void PromoteSoftReads();
+
+  /// The write footprint of this plan's buffered writes (benefit
+  /// patches, shadow-partition changes, created views/catalog entries).
+  /// Decision actions are merged in by the engine. Pre-fold only.
+  CommitFootprint CollectWriteFootprint() const;
+
+  /// True when folding this delta mutates pool-structural state (new
+  /// views, catalog puts, histogram attaches, rewrite-index inserts) —
+  /// such commits must take the global exclusive path, never a
+  /// view-group sharded one.
+  bool RequiresStructuralCommit() const;
+
   // --- fold -----------------------------------------------------------
 
   bool folded() const { return folded_; }
@@ -210,6 +245,9 @@ class PlanningDelta {
     /// True when the shared view already had this partition (fold then
     /// folds into it); false when EnsurePartition created it here.
     bool base_exists = false;
+    /// The shared partition this shadow copies (nullptr when created
+    /// here). Used to detect read-only shadows at fold time.
+    const PartitionState* base = nullptr;
     /// Parallel to state.fragments; nullptr for planner-added entries.
     std::vector<const FragmentStats*> bases;
   };
@@ -227,6 +265,20 @@ class PlanningDelta {
   const FragmentStats* BaseOf(const PartitionState* part,
                               const FragmentStats* f) const;
   const std::vector<BenefitEvent>* PatchOf(const ViewInfo* v) const;
+
+  /// True when the shadow buffered any write (local hits, added or
+  /// resized fragments, changed pending list). Read-only shadows are
+  /// skipped by Fold, so a plan whose soft reads were dropped never
+  /// asserts against a base a foreign commit legitimately changed.
+  static bool ShadowDirty(const ShadowPartition& sp);
+
+  // Read-footprint recording (const readers record through these;
+  // the sets are mutable for that reason).
+  CommitFootprint& read_target() const {
+    return soft_mode_ ? soft_reads_ : reads_;
+  }
+  void NoteViewRead(const ViewInfo* v) const;
+  void NotePartitionRead(const ViewInfo* v, const std::string& attr) const;
 
   const double t_now_;
   ViewCatalog* const shared_views_;
@@ -253,6 +305,11 @@ class PlanningDelta {
 
   // Filled by Fold: shadow state -> real partition.
   std::vector<std::pair<const PartitionState*, PartitionState*>> fold_remap_;
+
+  // Read footprint (mutable: recorded from const readers).
+  mutable CommitFootprint reads_;
+  mutable CommitFootprint soft_reads_;
+  mutable bool soft_mode_ = false;
 
   bool folded_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <utility>
 #include <vector>
@@ -15,14 +16,99 @@ namespace deepsea {
 
 namespace {
 
-/// Per-thread key for commit ownership: the address of a thread_local
-/// is unique among live threads and never 0.
-uintptr_t ThisThreadKey() {
-  static thread_local const char key = 0;
-  return reinterpret_cast<uintptr_t>(&key);
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sorted, deduplicated shard indices of every view a write footprint
+/// touches. `all` footprints have no shard set (they take the X path).
+std::vector<int> ShardSetOf(const CommitFootprint& fp) {
+  std::vector<int> shards;
+  auto add = [&shards](const std::string& view_id) {
+    shards.push_back(PoolManager::ShardOf(view_id));
+  };
+  for (const std::string& v : fp.views) add(v);
+  for (const auto& [v, attr] : fp.partitions) {
+    (void)attr;
+    add(v);
+  }
+  for (const CommitFootprint::FragRange& f : fp.fragments) add(f.view);
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
 }
 
 }  // namespace
+
+// --- PoolLock ---
+
+void PoolLock::LockShared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return intent_ == 0 && !exclusive_ && exclusive_waiting_ == 0;
+  });
+  ++shared_;
+}
+
+void PoolLock::UnlockShared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(shared_ > 0);
+  if (--shared_ == 0) cv_.notify_all();
+}
+
+void PoolLock::LockIntent() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return shared_ == 0 && !exclusive_ && exclusive_waiting_ == 0;
+  });
+  ++intent_;
+}
+
+void PoolLock::UnlockIntent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(intent_ > 0);
+  if (--intent_ == 0) cv_.notify_all();
+}
+
+void PoolLock::LockExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++exclusive_waiting_;
+  cv_.wait(lock, [this] { return shared_ == 0 && intent_ == 0 && !exclusive_; });
+  --exclusive_waiting_;
+  exclusive_ = true;
+}
+
+void PoolLock::UnlockExclusive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(exclusive_);
+  exclusive_ = false;
+  cv_.notify_all();
+}
+
+// --- commit context ---
+
+struct PoolManager::CommitCtx {
+  PoolManager* pool = nullptr;  ///< non-null while this thread commits
+  bool exclusive = false;       ///< X (true) vs sharded IX (false)
+  std::vector<int> shards;      ///< held shard indices, ascending
+  CommitFootprint publish_fp;   ///< published to the epoch table on release
+  uint64_t inflight_id = 0;     ///< in-flight registry key (sharded only)
+  int64_t entered_ns = 0;
+  EngineObserver* observer = nullptr;
+  std::string tenant;
+  int32_t tenant_ord = 0;
+  bool txn_active = false;
+  std::vector<TxnViewImage> txn_views;
+  std::vector<TxnFileImage> txn_files;
+  std::vector<TxnEvent> txn_events;
+};
+
+PoolManager::CommitCtx& PoolManager::Ctx() {
+  static thread_local CommitCtx ctx;
+  return ctx;
+}
 
 void CommitGuard::Release() {
   if (pool_ == nullptr) return;
@@ -30,39 +116,199 @@ void CommitGuard::Release() {
   pool_ = nullptr;
 }
 
-CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
-                                     std::string tenant, int32_t tenant_ord) {
-  assert(!CommitHeldByThisThread() && "commit section is not re-entrant");
-  commit_mu_.lock();
-  ++commit_epoch_;
-  commit_entered_at_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now().time_since_epoch())
-                              .count();
-  commit_epoch_entered_.fetch_add(1, std::memory_order_relaxed);
-  commit_owner_.store(ThisThreadKey(), std::memory_order_relaxed);
-  commit_observer_ = observer;
-  commit_tenant_ = std::move(tenant);
-  commit_tenant_ord_ = tenant_ord;
+CommitGuard PoolManager::EnterCommitLocked(bool exclusive,
+                                           EngineObserver* observer,
+                                           std::string tenant,
+                                           int32_t tenant_ord,
+                                           CommitFootprint publish_fp) {
+  CommitCtx& ctx = Ctx();
+  assert(ctx.pool == nullptr);
+  ctx.pool = this;
+  ctx.exclusive = exclusive;
+  ctx.publish_fp = std::move(publish_fp);
+  ctx.inflight_id = 0;
+  ctx.entered_ns = NowNs();
+  ctx.observer = observer;
+  ctx.tenant = std::move(tenant);
+  ctx.tenant_ord = tenant_ord;
+  commits_entered_.fetch_add(1, std::memory_order_relaxed);
   return CommitGuard(this);
 }
 
+CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
+                                     std::string tenant, int32_t tenant_ord) {
+  assert(!CommitHeldByThisThread() && "commit section is not re-entrant");
+  lock_.LockExclusive();
+  CommitFootprint everything;
+  everything.all = true;
+  return EnterCommitLocked(/*exclusive=*/true, observer, std::move(tenant),
+                           tenant_ord, std::move(everything));
+}
+
+CommitGuard PoolManager::TryBeginShardedCommit(
+    EngineObserver* observer, std::string tenant, int32_t tenant_ord,
+    CommitFootprint write_fp, const CommitFootprint& read_fp,
+    uint64_t read_epoch, bool* conflict_genuine) {
+  assert(!CommitHeldByThisThread() && "commit section is not re-entrant");
+  assert(!write_fp.all && "structural commits must take the BeginCommit path");
+  lock_.LockIntent();
+  std::vector<int> shards = ShardSetOf(write_fp);
+  for (int s : shards) {
+    shard_mu_[static_cast<size_t>(s)].lock();
+    shard_acct_[static_cast<size_t>(s)].acquisitions.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  uint64_t inflight_id = 0;
+  {
+    std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+    if (!ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine)) {
+      // Conflict: undo the entry (shards in reverse order, then IX) and
+      // let the caller escalate to the exclusive path.
+      for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+        shard_mu_[static_cast<size_t>(*it)].unlock();
+      }
+      lock_.UnlockIntent();
+      return CommitGuard();
+    }
+    // Register the write set while still under epoch_mu_, so no other
+    // commit can validate in the window between our validation and our
+    // registration.
+    inflight_id = next_inflight_id_++;
+    inflight_.emplace_back(inflight_id, write_fp);
+  }
+  if (conflict_genuine != nullptr) *conflict_genuine = false;
+  CommitGuard guard = EnterCommitLocked(/*exclusive=*/false, observer,
+                                        std::move(tenant), tenant_ord,
+                                        std::move(write_fp));
+  CommitCtx& ctx = Ctx();
+  ctx.shards = std::move(shards);
+  ctx.inflight_id = inflight_id;
+  return guard;
+}
+
 void PoolManager::ReleaseCommit() {
-  assert(CommitHeldByThisThread());
-  assert(!txn_active_ && "commit released with an open pool transaction");
-  const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             std::chrono::steady_clock::now().time_since_epoch())
-                             .count();
-  commit_held_ns_.fetch_add(now_ns - commit_entered_at_ns_,
-                            std::memory_order_relaxed);
-  commit_observer_ = nullptr;
-  commit_tenant_.clear();
-  commit_tenant_ord_ = 0;
-  commit_owner_.store(0, std::memory_order_relaxed);
-  commit_mu_.unlock();
+  CommitCtx& ctx = Ctx();
+  assert(ctx.pool == this);
+  assert(!ctx.txn_active && "commit released with an open pool transaction");
+  const int64_t now_ns = NowNs();
+  commit_held_ns_.fetch_add(now_ns - ctx.entered_ns, std::memory_order_relaxed);
+  {
+    // Publish the write footprint (and retire the in-flight entry)
+    // BEFORE dropping any lock: once another commit can validate, the
+    // epoch table must already cover this commit's writes.
+    std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+    if (ctx.inflight_id != 0) {
+      for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+        if (it->first == ctx.inflight_id) {
+          inflight_.erase(it);
+          break;
+        }
+      }
+    }
+    if (!ctx.publish_fp.Empty()) {
+      const uint64_t seq = commit_seq_.load(std::memory_order_relaxed) + 1;
+      published_.push_back(PublishedWrite{seq, std::move(ctx.publish_fp)});
+      if (published_.size() > kEpochRingCapacity) published_.pop_front();
+      commit_seq_.store(seq, std::memory_order_release);
+    }
+  }
+  for (auto it = ctx.shards.rbegin(); it != ctx.shards.rend(); ++it) {
+    shard_acct_[static_cast<size_t>(*it)].held_ns.fetch_add(
+        now_ns - ctx.entered_ns, std::memory_order_relaxed);
+    shard_mu_[static_cast<size_t>(*it)].unlock();
+  }
+  const bool exclusive = ctx.exclusive;
+  ctx = CommitCtx{};
+  if (exclusive) {
+    lock_.UnlockExclusive();
+  } else {
+    lock_.UnlockIntent();
+  }
+}
+
+bool PoolManager::ValidateReadSetLocked(const CommitFootprint& read_fp,
+                                        uint64_t read_epoch,
+                                        bool* conflict_genuine) const {
+  const uint64_t seq_now = commit_seq_.load(std::memory_order_relaxed);
+  if (seq_now > read_epoch) {
+    // Can the bounded ring still cover everything published after the
+    // plan's read epoch? If the oldest retained publish is newer than
+    // read_epoch + 1, publishes have been dropped and we must assume
+    // the worst (a spurious invalidation, by construction).
+    const uint64_t oldest =
+        published_.empty() ? seq_now + 1 : published_.front().seq;
+    if (oldest > read_epoch + 1) {
+      if (conflict_genuine != nullptr) *conflict_genuine = false;
+      return false;
+    }
+    for (const PublishedWrite& p : published_) {
+      if (p.seq <= read_epoch) continue;
+      if (FootprintsConflict(read_fp, p.fp)) {
+        if (conflict_genuine != nullptr) *conflict_genuine = true;
+        return false;
+      }
+    }
+  }
+  for (const auto& [id, fp] : inflight_) {
+    (void)id;
+    if (FootprintsConflict(read_fp, fp)) {
+      if (conflict_genuine != nullptr) *conflict_genuine = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PoolManager::ValidateReadSet(const CommitGuard& commit,
+                                  const CommitFootprint& read_fp,
+                                  uint64_t read_epoch,
+                                  bool* conflict_genuine) const {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  if (!ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine)) {
+    return false;
+  }
+  if (conflict_genuine != nullptr) *conflict_genuine = false;
+  return true;
+}
+
+void PoolManager::SetCommitFootprint(const CommitGuard& commit,
+                                     CommitFootprint fp) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  CommitCtx& ctx = Ctx();
+  // A sharded commit already registered its footprint in the in-flight
+  // table; only the exclusive path may narrow what it publishes.
+  assert(ctx.exclusive && "SetCommitFootprint is for exclusive commits");
+  ctx.publish_fp = std::move(fp);
 }
 
 bool PoolManager::CommitHeldByThisThread() const {
-  return commit_owner_.load(std::memory_order_relaxed) == ThisThreadKey();
+  return Ctx().pool == this;
+}
+
+int PoolManager::ShardOf(const std::string& view_id) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : view_id) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(kCommitShards));
+}
+
+std::vector<PoolManager::CommitShardStats> PoolManager::commit_shard_stats()
+    const {
+  std::vector<CommitShardStats> out(kCommitShards);
+  for (int i = 0; i < kCommitShards; ++i) {
+    const ShardAccounting& a = shard_acct_[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)].acquisitions =
+        a.acquisitions.load(std::memory_order_relaxed);
+    out[static_cast<size_t>(i)].held_seconds =
+        static_cast<double>(a.held_ns.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  return out;
 }
 
 ViewCatalog* PoolManager::stat(const CommitGuard& commit) {
@@ -84,7 +330,17 @@ FilterTree* PoolManager::rewrite_index(const CommitGuard& commit) {
 }
 
 double PoolManager::PoolBytesSnapshot() const {
-  std::shared_lock<std::shared_mutex> lock(commit_mu_);
+  PoolSharedLock lock(&lock_);
+#ifndef NDEBUG
+  // The cached per-view byte counters must agree with a fresh walk of
+  // the fragment lists whenever the pool is quiescent for writes (S
+  // mode excludes every commit).
+  const double cached = views_.PoolBytes();
+  const double exact = views_.PoolBytesExact();
+  assert(std::abs(cached - exact) <=
+             1e-6 * std::max(1.0, std::max(std::abs(cached), std::abs(exact))) &&
+         "cached pool bytes out of sync with fragment state");
+#endif
   return views_.PoolBytes();
 }
 
@@ -97,8 +353,9 @@ int64_t PoolManager::Tick(const CommitGuard& commit) {
 void PoolManager::AdvanceClockTo(const CommitGuard& commit, int64_t t) {
   assert(commit.held() && CommitHeldByThisThread());
   (void)commit;
-  if (t > clock_.load(std::memory_order_relaxed)) {
-    clock_.store(t, std::memory_order_relaxed);
+  int64_t cur = clock_.load(std::memory_order_relaxed);
+  while (t > cur &&
+         !clock_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
   }
 }
 
@@ -166,14 +423,37 @@ void PoolManager::RegisterViewTablePlanning(ViewInfo* view,
       est->seconds + cluster_->WriteSeconds(view->stats.size_bytes);
 }
 
-void PoolManager::AdvanceAllWindows(double t_now) {
+void PoolManager::AdvanceWindowsAfterFold(double t_now) {
   assert(CommitHeldByThisThread());
-  for (ViewInfo* v : views_.AllViews()) {
+  CommitCtx& ctx = Ctx();
+  auto advance = [this, t_now](ViewInfo* v) {
     v->stats.AdvanceWindow(t_now, decay_);
     for (auto& [attr, part] : v->partitions) {
       (void)attr;
       for (FragmentStats& f : part.fragments) f.AdvanceWindow(t_now, decay_);
     }
+  };
+  if (ctx.exclusive) {
+    for (ViewInfo* v : views_.AllViews()) advance(v);
+    return;
+  }
+  // A sharded commit may only touch the views whose shards it holds:
+  // advance exactly the write footprint. Foreign views' cursors advance
+  // when their own commits fold — the cursor is an evaluation cache,
+  // never part of the pool fingerprint, so partial advancement is
+  // sound.
+  const CommitFootprint& fp = ctx.publish_fp;
+  std::vector<std::string> ids = fp.views;
+  for (const auto& [v, attr] : fp.partitions) {
+    (void)attr;
+    ids.push_back(v);
+  }
+  for (const CommitFootprint::FragRange& f : fp.fragments) ids.push_back(f.view);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (const std::string& id : ids) {
+    ViewInfo* v = views_.Get(id);
+    if (v != nullptr) advance(v);
   }
 }
 
@@ -181,46 +461,49 @@ void PoolManager::AdvanceAllWindows(double t_now) {
 
 void PoolManager::TxnBegin() {
   assert(CommitHeldByThisThread());
-  assert(!txn_active_ && "pool transactions do not nest");
-  txn_active_ = true;
+  CommitCtx& ctx = Ctx();
+  assert(!ctx.txn_active && "pool transactions do not nest");
+  ctx.txn_active = true;
 }
 
 void PoolManager::TxnCommit() {
-  assert(txn_active_);
-  txn_active_ = false;
-  if (commit_observer_ != nullptr) {
-    for (const TxnEvent& e : txn_events_) {
+  CommitCtx& ctx = Ctx();
+  assert(ctx.txn_active);
+  ctx.txn_active = false;
+  if (ctx.observer != nullptr) {
+    for (const TxnEvent& e : ctx.txn_events) {
       switch (e.kind) {
         case TxnEvent::Kind::kMaterializeView:
-          commit_observer_->OnMaterializeView(*e.view, e.value, commit_tenant_);
+          ctx.observer->OnMaterializeView(*e.view, e.value, ctx.tenant);
           break;
         case TxnEvent::Kind::kMaterializeFragment:
-          commit_observer_->OnMaterializeFragment(*e.view, e.attr, e.interval,
-                                                  e.value, commit_tenant_);
+          ctx.observer->OnMaterializeFragment(*e.view, e.attr, e.interval,
+                                              e.value, ctx.tenant);
           break;
         case TxnEvent::Kind::kEvict:
-          commit_observer_->OnEvict(*e.view, e.attr, e.interval, e.value,
-                                    commit_tenant_);
+          ctx.observer->OnEvict(*e.view, e.attr, e.interval, e.value,
+                                ctx.tenant);
           break;
         case TxnEvent::Kind::kMerge:
-          commit_observer_->OnMerge(*e.view, e.attr, e.interval, e.value,
-                                    commit_tenant_);
+          ctx.observer->OnMerge(*e.view, e.attr, e.interval, e.value,
+                                ctx.tenant);
           break;
       }
     }
   }
-  txn_events_.clear();
-  txn_views_.clear();
-  txn_files_.clear();
+  ctx.txn_events.clear();
+  ctx.txn_views.clear();
+  ctx.txn_files.clear();
 }
 
 void PoolManager::TxnRollback() {
-  assert(txn_active_);
-  txn_active_ = false;
+  CommitCtx& ctx = Ctx();
+  assert(ctx.txn_active);
+  ctx.txn_active = false;
   // Restore view metadata in reverse snapshot order. Partitions are
   // restored in place so PartitionState addresses survive (the retried
   // decision's actions point at them).
-  for (auto it = txn_views_.rbegin(); it != txn_views_.rend(); ++it) {
+  for (auto it = ctx.txn_views.rbegin(); it != ctx.txn_views.rend(); ++it) {
     ViewInfo* v = it->view;
     v->whole_materialized = it->whole_materialized;
     v->stats = it->stats;
@@ -239,18 +522,20 @@ void PoolManager::TxnRollback() {
     for (const auto& [attr, part] : it->partitions) {
       if (v->partitions.count(attr) == 0) v->partitions.emplace(attr, part);
     }
+    v->RefreshCachedBytes();
   }
-  for (auto it = txn_files_.rbegin(); it != txn_files_.rend(); ++it) {
+  for (auto it = ctx.txn_files.rbegin(); it != ctx.txn_files.rend(); ++it) {
     fs_.RestoreForRollback(it->path, it->existed, it->bytes);
   }
-  txn_events_.clear();
-  txn_views_.clear();
-  txn_files_.clear();
+  ctx.txn_events.clear();
+  ctx.txn_views.clear();
+  ctx.txn_files.clear();
 }
 
 void PoolManager::TxnSnapshotView(ViewInfo* view) {
-  if (!txn_active_) return;
-  for (const TxnViewImage& img : txn_views_) {
+  CommitCtx& ctx = Ctx();
+  if (!ctx.txn_active) return;
+  for (const TxnViewImage& img : ctx.txn_views) {
     if (img.view == view) return;  // first touch already captured
   }
   TxnViewImage img;
@@ -260,13 +545,14 @@ void PoolManager::TxnSnapshotView(ViewInfo* view) {
   img.fault_count = view->fault_count;
   img.quarantined_until = view->quarantined_until;
   img.partitions = view->partitions;
-  txn_views_.push_back(std::move(img));
+  ctx.txn_views.push_back(std::move(img));
 }
 
 Status PoolManager::TxnPut(const std::string& path, double bytes) {
-  if (!txn_active_) return fs_.Put(path, bytes);
+  CommitCtx& ctx = Ctx();
+  if (!ctx.txn_active) return fs_.Put(path, bytes);
   bool have = false;
-  for (const TxnFileImage& img : txn_files_) {
+  for (const TxnFileImage& img : ctx.txn_files) {
     if (img.path == path) {
       have = true;
       break;
@@ -280,14 +566,15 @@ Status PoolManager::TxnPut(const std::string& path, double bytes) {
     img.bytes = size.ok() ? *size : 0.0;
   }
   DEEPSEA_RETURN_IF_ERROR(fs_.Put(path, bytes));
-  if (!have) txn_files_.push_back(std::move(img));
+  if (!have) ctx.txn_files.push_back(std::move(img));
   return Status::OK();
 }
 
 Status PoolManager::TxnDelete(const std::string& path) {
-  if (!txn_active_) return fs_.Delete(path);
+  CommitCtx& ctx = Ctx();
+  if (!ctx.txn_active) return fs_.Delete(path);
   bool have = false;
-  for (const TxnFileImage& img : txn_files_) {
+  for (const TxnFileImage& img : ctx.txn_files) {
     if (img.path == path) {
       have = true;
       break;
@@ -301,73 +588,76 @@ Status PoolManager::TxnDelete(const std::string& path) {
     img.bytes = size.ok() ? *size : 0.0;
   }
   DEEPSEA_RETURN_IF_ERROR(fs_.Delete(path));
-  if (!have) txn_files_.push_back(std::move(img));
+  if (!have) ctx.txn_files.push_back(std::move(img));
   return Status::OK();
 }
 
 void PoolManager::NotifyMaterializeView(const ViewInfo* view,
                                         double sim_seconds) {
-  if (commit_observer_ == nullptr) return;
-  if (txn_active_) {
+  CommitCtx& ctx = Ctx();
+  if (ctx.observer == nullptr) return;
+  if (ctx.txn_active) {
     TxnEvent e;
     e.kind = TxnEvent::Kind::kMaterializeView;
     e.view = view;
     e.value = sim_seconds;
-    txn_events_.push_back(std::move(e));
+    ctx.txn_events.push_back(std::move(e));
     return;
   }
-  commit_observer_->OnMaterializeView(*view, sim_seconds, commit_tenant_);
+  ctx.observer->OnMaterializeView(*view, sim_seconds, ctx.tenant);
 }
 
 void PoolManager::NotifyMaterializeFragment(const ViewInfo* view,
                                             const std::string& attr,
                                             const Interval& interval,
                                             double bytes) {
-  if (commit_observer_ == nullptr) return;
-  if (txn_active_) {
+  CommitCtx& ctx = Ctx();
+  if (ctx.observer == nullptr) return;
+  if (ctx.txn_active) {
     TxnEvent e;
     e.kind = TxnEvent::Kind::kMaterializeFragment;
     e.view = view;
     e.attr = attr;
     e.interval = interval;
     e.value = bytes;
-    txn_events_.push_back(std::move(e));
+    ctx.txn_events.push_back(std::move(e));
     return;
   }
-  commit_observer_->OnMaterializeFragment(*view, attr, interval, bytes,
-                                          commit_tenant_);
+  ctx.observer->OnMaterializeFragment(*view, attr, interval, bytes, ctx.tenant);
 }
 
 void PoolManager::NotifyEvict(const ViewInfo* view, const std::string& attr,
                               const Interval& interval, double bytes) {
-  if (commit_observer_ == nullptr) return;
-  if (txn_active_) {
+  CommitCtx& ctx = Ctx();
+  if (ctx.observer == nullptr) return;
+  if (ctx.txn_active) {
     TxnEvent e;
     e.kind = TxnEvent::Kind::kEvict;
     e.view = view;
     e.attr = attr;
     e.interval = interval;
     e.value = bytes;
-    txn_events_.push_back(std::move(e));
+    ctx.txn_events.push_back(std::move(e));
     return;
   }
-  commit_observer_->OnEvict(*view, attr, interval, bytes, commit_tenant_);
+  ctx.observer->OnEvict(*view, attr, interval, bytes, ctx.tenant);
 }
 
 void PoolManager::NotifyMerge(const ViewInfo* view, const std::string& attr,
                               const Interval& merged, double bytes) {
-  if (commit_observer_ == nullptr) return;
-  if (txn_active_) {
+  CommitCtx& ctx = Ctx();
+  if (ctx.observer == nullptr) return;
+  if (ctx.txn_active) {
     TxnEvent e;
     e.kind = TxnEvent::Kind::kMerge;
     e.view = view;
     e.attr = attr;
     e.interval = merged;
     e.value = bytes;
-    txn_events_.push_back(std::move(e));
+    ctx.txn_events.push_back(std::move(e));
     return;
   }
-  commit_observer_->OnMerge(*view, attr, merged, bytes, commit_tenant_);
+  ctx.observer->OnMerge(*view, attr, merged, bytes, ctx.tenant);
 }
 
 // --- creation / eviction primitives ---
@@ -427,6 +717,7 @@ Result<double> PoolManager::MaterializeView(ViewInfo* view,
   // A successful materialization proves the storage path works again.
   view->fault_count = 0;
   view->quarantined_until = 0;
+  view->RefreshCachedBytes();
   report->created_views.push_back(view->id);
   NotifyMaterializeView(view, extra_seconds);
   return extra_seconds;
@@ -513,6 +804,7 @@ Result<double> PoolManager::MaterializeFragment(ViewInfo* view,
   // A successful refinement proves the storage path works again.
   view->fault_count = 0;
   view->quarantined_until = 0;
+  view->RefreshCachedBytes();
   return seconds;
 }
 
@@ -532,6 +824,7 @@ Status PoolManager::EvictFragment(ViewInfo* view, PartitionState* part,
   }
   DEEPSEA_RETURN_IF_ERROR(st);
   frag->materialized = false;
+  view->RefreshCachedBytes();
   NotifyEvict(view, part->attr, frag->interval, frag->size_bytes);
   return Status::OK();
 }
@@ -560,6 +853,7 @@ Result<int> PoolManager::EvictWholeView(ViewInfo* view) {
     DEEPSEA_RETURN_IF_ERROR(st);
     view->whole_materialized = false;
     ++evicted;
+    view->RefreshCachedBytes();
     NotifyEvict(view, "", Interval(), view->stats.size_bytes);
   }
   return evicted;
@@ -644,6 +938,7 @@ Status PoolManager::ApplyStaged(const SelectionDecision& decision,
         DEEPSEA_RETURN_IF_ERROR(TxnPut(path, a.size_bytes));
         f->materialized = true;
         ++report->created_fragments;
+        a.view->RefreshCachedBytes();
         NotifyMaterializeFragment(a.view, a.part->attr, a.interval,
                                   a.size_bytes);
         NewViewWork& work = work_for(a.view);
@@ -669,6 +964,7 @@ Status PoolManager::ApplyStaged(const SelectionDecision& decision,
     }
     view->fault_count = 0;
     view->quarantined_until = 0;
+    view->RefreshCachedBytes();
     report->created_views.push_back(view->id);
     NotifyMaterializeView(view, extra);
   }
@@ -689,7 +985,7 @@ Status PoolManager::Apply(const SelectionDecision& decision,
   if (delta != nullptr) {
     if (!delta->folded()) {
       delta->Fold(&views_, catalog_, &rewrite_index_);
-      AdvanceAllWindows(ctx.t_now());
+      AdvanceWindowsAfterFold(ctx.t_now());
     }
     // Planning captured shadow PartitionState pointers; execute against
     // the real ones they folded into.
@@ -740,6 +1036,7 @@ Result<double> PoolManager::MergeStaged(double t_now,
         FragmentPath(*cand.view, cand.part->attr, cand.merged), merged_bytes));
     merged->materialized = true;
     if (merged->hits().empty()) merged->AdoptHits(std::move(hits));
+    cand.view->RefreshCachedBytes();
     ++merges;
     ++report->merged_fragments;
     NotifyMerge(cand.view, cand.part->attr, cand.merged, merged_bytes);
@@ -751,6 +1048,7 @@ Result<double> PoolManager::RunMergePass(double t_now,
                                          const DecayFunction& decay,
                                          QueryReport* report) {
   assert(CommitHeldByThisThread());
+  assert(Ctx().exclusive && "merge passes require the exclusive commit");
   const QueryReport report_backup = *report;
   TxnBegin();
   Result<double> seconds = MergeStaged(t_now, decay, report);

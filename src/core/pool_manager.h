@@ -1,15 +1,19 @@
 #ifndef DEEPSEA_CORE_POOL_MANAGER_H_
 #define DEEPSEA_CORE_POOL_MANAGER_H_
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/table.h"
+#include "core/commit_footprint.h"
 #include "core/decay.h"
 #include "core/engine_observer.h"
 #include "core/engine_options.h"
@@ -25,11 +29,81 @@ namespace deepsea {
 
 class PoolManager;
 
-/// RAII ownership of a PoolManager's exclusive commit section. A guard
-/// is obtained from PoolManager::BeginCommit and proves — by being
-/// passed to the guarded accessors — that the caller holds the commit
-/// lock. Movable (so engines can return/stash it), not copyable.
-/// Destroying or Release()ing the guard unlocks the pool.
+/// Three-mode pool lock (see DESIGN.md, "Statistics hot path and
+/// locking discipline"):
+///
+///   S  (shared)          planning stages, SaveState, metric snapshots
+///   IX (intent-exclusive) sharded commits — admit each other, their
+///                        actual data writes are serialized by the
+///                        per-view commit shards
+///   X  (exclusive)       structural commits (view creation, eviction,
+///                        merge passes, state loads, the legacy token-
+///                        only BeginCommit)
+///
+/// Compatibility: S admits only S, IX admits only IX, X admits nothing.
+/// Planning is therefore still strictly exclusive with every commit —
+/// exactly the PR 4 invariant that lets planners read shared state
+/// without per-view read locks — while commits with disjoint footprints
+/// overlap with one another. A pending X blocks new S/IX entrants, so
+/// structural commits cannot starve.
+class PoolLock {
+ public:
+  void LockShared();
+  void UnlockShared();
+  void LockIntent();
+  void UnlockIntent();
+  void LockExclusive();
+  void UnlockExclusive();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int shared_ = 0;
+  int intent_ = 0;
+  int exclusive_waiting_ = 0;
+  bool exclusive_ = false;
+};
+
+/// Movable RAII holder of a PoolLock's S mode (what
+/// PoolManager::SharedLock() returns).
+class PoolSharedLock {
+ public:
+  PoolSharedLock() = default;
+  explicit PoolSharedLock(PoolLock* lock) : lock_(lock) {
+    lock_->LockShared();
+  }
+  PoolSharedLock(PoolSharedLock&& other) noexcept : lock_(other.lock_) {
+    other.lock_ = nullptr;
+  }
+  PoolSharedLock& operator=(PoolSharedLock&& other) noexcept {
+    if (this != &other) {
+      Release();
+      lock_ = other.lock_;
+      other.lock_ = nullptr;
+    }
+    return *this;
+  }
+  PoolSharedLock(const PoolSharedLock&) = delete;
+  PoolSharedLock& operator=(const PoolSharedLock&) = delete;
+  ~PoolSharedLock() { Release(); }
+
+  void Release() {
+    if (lock_ == nullptr) return;
+    lock_->UnlockShared();
+    lock_ = nullptr;
+  }
+
+ private:
+  PoolLock* lock_ = nullptr;
+};
+
+/// RAII ownership of a PoolManager commit section — exclusive (X) when
+/// obtained from BeginCommit, sharded (IX + view-group shard locks)
+/// when obtained from TryBeginShardedCommit. A guard proves — by being
+/// passed to the guarded accessors — that the caller holds the commit.
+/// Movable (so engines can return/stash it), not copyable. Destroying
+/// or Release()ing the guard publishes the commit's write footprint and
+/// unlocks the pool.
 class CommitGuard {
  public:
   CommitGuard() = default;
@@ -69,27 +143,37 @@ class CommitGuard {
 ///
 /// Tenancy and locking: one PoolManager may be shared by several
 /// DeepSeaEngine instances (one per tenant) running on different
-/// threads. All pool *mutation* must happen inside the exclusive
-/// commit section bracketed by a CommitGuard; mutable access to the
-/// catalog / FS / index is only available through accessors that take
-/// the guard as a token, so the type system enforces the discipline.
-/// The *planning* stages, by contrast, run under SharedLock(): they
-/// buffer every would-be STAT write (Algorithm 1 line 2) into the
-/// query's PlanningDelta instead of mutating shared state, and Apply
-/// folds that buffer into the pool at the top of the commit. Planning
-/// is speculative — engines validate via commit_epoch() that no other
-/// commit intervened between planning and their own commit, and replan
-/// under the exclusive lock when one did (see DESIGN.md, "Statistics
-/// hot path and locking discipline"). The commit section also carries
-/// the committing tenant's observer: pool mutation events are routed
-/// to it, stamped with the tenant id.
+/// threads. The *planning* stages run under SharedLock(): they buffer
+/// every would-be STAT write (Algorithm 1 line 2) into the query's
+/// PlanningDelta — recording the read footprint as they go — and Apply
+/// folds that buffer into the pool at the top of the commit. Commits
+/// come in two flavors:
 ///
-/// Read access: the `*Snapshot()` methods take the commit lock in
-/// shared mode and are safe from any thread (monitoring). The plain
-/// const accessors (`views()`, `fs()`, `PoolBytes()`) are unlocked and
-/// require the caller to either hold the commit guard or know the pool
-/// is externally quiesced — taking even a shared lock there would
-/// self-deadlock the engine pipeline, which reads them mid-commit.
+///  * Sharded (TryBeginShardedCommit): IX on the pool lock plus the
+///    per-view commit shards of the write footprint, acquired in
+///    ascending shard order (deadlock-free). Validation is read-set
+///    conflict detection: the commit proceeds only when no foreign
+///    write footprint published after the plan's read epoch — and no
+///    in-flight sharded commit — intersects the plan's read footprint.
+///    Disjoint-footprint tenants therefore commit truly concurrently.
+///
+///  * Exclusive (BeginCommit): the global X path for pool-structural
+///    work — view creation, eviction, merge passes, state loads — and
+///    for replans after a failed sharded validation. Publishes `all` by
+///    default; engines narrow it via SetCommitFootprint.
+///
+/// The commit section carries the committing tenant's observer in
+/// thread-local commit context: pool mutation events are routed to it,
+/// stamped with the tenant id.
+///
+/// Read access: the `*Snapshot()` methods take the pool lock in S mode
+/// and are safe from any thread (monitoring). The plain const accessors
+/// (`views()`, `fs()`, `PoolBytes()`) are unlocked and require the
+/// caller to either hold a commit guard or know the pool is externally
+/// quiesced — taking even a shared lock there would self-deadlock the
+/// engine pipeline, which reads them mid-commit. (PoolBytes itself sums
+/// per-view atomic byte caches, so sampling it from inside a sharded
+/// commit is race-free even while foreign commits mutate their views.)
 class PoolManager {
  public:
   PoolManager(Catalog* catalog, const EngineOptions* options,
@@ -103,18 +187,64 @@ class PoolManager {
 
   // --- commit protocol ---
 
-  /// Enters the exclusive commit section, blocking until every other
-  /// commit (and shared-mode snapshot) has drained. `observer` receives
-  /// the pool-mutation events of this commit (nullptr = silent);
-  /// `tenant` / `tenant_ord` stamp those events and the recorded
-  /// statistics. Re-entering from the thread that already holds the
-  /// commit is a programming error (asserts in debug builds).
+  /// Enters the exclusive (X) commit section, blocking until every
+  /// other commit, sharded commit, and shared-mode reader has drained.
+  /// `observer` receives the pool-mutation events of this commit
+  /// (nullptr = silent); `tenant` / `tenant_ord` stamp those events and
+  /// the recorded statistics. Unless narrowed via SetCommitFootprint,
+  /// the commit publishes an `all` write footprint (conservatively
+  /// invalidating every in-flight plan — correct for arbitrary direct
+  /// mutation through the guarded accessors). Re-entering from a thread
+  /// that already holds a commit is a programming error (asserts in
+  /// debug builds).
   CommitGuard BeginCommit(EngineObserver* observer = nullptr,
                           std::string tenant = std::string(),
                           int32_t tenant_ord = 0);
 
-  /// True when the calling thread is inside the commit section. The
-  /// mutation primitives assert this in debug builds.
+  /// Attempts a sharded (IX) commit for a plan whose reads are
+  /// `read_fp` (recorded under SharedLock at epoch `read_epoch`) and
+  /// whose writes are `write_fp`. Acquires IX plus the write set's
+  /// commit shards, then validates the read set against every foreign
+  /// write footprint published after `read_epoch` and every in-flight
+  /// sharded commit.
+  ///
+  /// On success returns a held guard; the commit owns exactly its
+  /// shards, must confine mutation to its write footprint, and
+  /// publishes `write_fp` on release. On conflict returns an empty
+  /// guard with *conflict_genuine set: true when a footprint actually
+  /// intersected, false when the bounded epoch table could no longer
+  /// cover `read_epoch` (a spurious, conservative invalidation). The
+  /// caller escalates to BeginCommit and replans there.
+  CommitGuard TryBeginShardedCommit(EngineObserver* observer,
+                                    std::string tenant, int32_t tenant_ord,
+                                    CommitFootprint write_fp,
+                                    const CommitFootprint& read_fp,
+                                    uint64_t read_epoch,
+                                    bool* conflict_genuine);
+
+  /// Re-validates a read set from inside an exclusive commit (no
+  /// in-flight sharded commits can exist there). Same conflict
+  /// semantics as TryBeginShardedCommit; used by the engine's X path
+  /// and by the conflict tests.
+  bool ValidateReadSet(const CommitGuard& commit,
+                       const CommitFootprint& read_fp, uint64_t read_epoch,
+                       bool* conflict_genuine) const;
+
+  /// Overrides the write footprint this commit publishes on release
+  /// (BeginCommit's default is `all`; a validated engine commit knows
+  /// its precise writes). An empty footprint publishes nothing — the
+  /// epoch does not advance.
+  void SetCommitFootprint(const CommitGuard& commit, CommitFootprint fp);
+
+  /// The epoch to sample (under SharedLock) before planning: the
+  /// sequence number of the latest published commit. Passed to
+  /// TryBeginShardedCommit / ValidateReadSet as `read_epoch`.
+  uint64_t read_epoch() const {
+    return commit_seq_.load(std::memory_order_acquire);
+  }
+
+  /// True when the calling thread is inside a commit section of this
+  /// pool. The mutation primitives assert this in debug builds.
   bool CommitHeldByThisThread() const;
 
   // --- guarded mutable access (the guard token proves the lock) ---
@@ -131,45 +261,60 @@ class PoolManager {
   const SimFs& fs() const { return fs_; }
   const EngineOptions& options() const { return *options_; }
 
-  /// Current pool occupancy in bytes (S(C)). Unlocked — see class doc.
+  /// Current pool occupancy in bytes (S(C)). Sums the per-view atomic
+  /// byte caches — safe inside a sharded commit; see class doc.
   double PoolBytes() const { return views_.PoolBytes(); }
 
   // --- shared-mode snapshots (safe from any thread) ---
 
   double PoolBytesSnapshot() const;
-  /// Shared-mode lock for multi-read consistency (SaveState, and the
-  /// speculative planning phase of ProcessQuery).
-  std::shared_lock<std::shared_mutex> SharedLock() const {
-    return std::shared_lock<std::shared_mutex>(commit_mu_);
+  /// Shared-mode (S) lock for multi-read consistency (SaveState, and
+  /// the speculative planning phase of ProcessQuery).
+  PoolSharedLock SharedLock() const { return PoolSharedLock(&lock_); }
+
+  /// Number of commit sections entered so far (exclusive and sharded).
+  /// Monitoring only — plan validation uses read_epoch().
+  uint64_t commit_epoch() const {
+    return commits_entered_.load(std::memory_order_relaxed);
   }
 
-  /// Number of commit sections entered so far. Read it under the shared
-  /// lock before planning and compare after BeginCommit: if exactly one
-  /// commit (your own) intervened, the pool is unchanged since planning
-  /// and the speculative plan is valid. Only meaningful while holding
-  /// the shared or exclusive commit lock (the counter is written inside
-  /// BeginCommit, under the exclusive lock).
-  uint64_t commit_epoch() const { return commit_epoch_; }
-
-  /// Aggregate wall-clock time the exclusive commit lock has been held,
-  /// and the number of commit sections entered. Maintained with two
-  /// steady_clock reads per commit (negligible next to any commit's
-  /// work); reads are relaxed-atomic, so monitors may sample
-  /// concurrently, but a consistent pair requires a quiesced pool.
-  /// bench_hotpath reports held_seconds / wall_seconds as the commit
-  /// serialization fraction.
+  /// Aggregate wall-clock time spent inside commit sections, and the
+  /// number of commit sections entered. Sharded commits overlap, so
+  /// held_seconds may exceed wall time at high tenancy; the per-shard
+  /// breakdown below is the serialization measure. Reads are
+  /// relaxed-atomic: monitors may sample concurrently, but a consistent
+  /// pair requires a quiesced pool.
   struct CommitLockStats {
     uint64_t commits = 0;
     double held_seconds = 0.0;
   };
   CommitLockStats commit_lock_stats() const {
     CommitLockStats s;
-    s.commits = commit_epoch_entered_.load(std::memory_order_relaxed);
+    s.commits = commits_entered_.load(std::memory_order_relaxed);
     s.held_seconds =
         static_cast<double>(commit_held_ns_.load(std::memory_order_relaxed)) *
         1e-9;
     return s;
   }
+
+  // --- commit shards ---
+
+  /// Number of per-view commit shard locks. Views map to shards by
+  /// FNV-1a of their id; a sharded commit holds the shards of its write
+  /// footprint, in ascending index order.
+  static constexpr int kCommitShards = 64;
+  static int ShardOf(const std::string& view_id);
+
+  /// Per-shard acquisition count and cumulative hold time. A shard's
+  /// held_seconds / wall_seconds is the fraction of the run it
+  /// serialized commits on its view group (bench_hotpath reports the
+  /// max across shards). Relaxed-atomic sampling, like
+  /// commit_lock_stats().
+  struct CommitShardStats {
+    uint64_t acquisitions = 0;
+    double held_seconds = 0.0;
+  };
+  std::vector<CommitShardStats> commit_shard_stats() const;
 
   // --- global commit clock ---
 
@@ -200,7 +345,7 @@ class PoolManager {
   /// Takes the commit lock itself; call from outside the commit section.
   void SetFaultPolicy(FaultPolicy* policy);
 
-  // --- mutation API (requires the commit section; asserts in debug) ---
+  // --- mutation API (requires a commit section; asserts in debug) ---
 
   /// Ensures `view` is registered as a relational catalog table with
   /// estimated logical statistics (needed by the cost estimator).
@@ -232,6 +377,7 @@ class PoolManager {
   /// Fragment-merging maintenance pass (Section 11 extension); returns
   /// the simulated seconds charged. Transactional like Apply: a fault
   /// rolls back the whole pass (and `report`) and returns its status.
+  /// Requires the exclusive commit (it may touch any view).
   Result<double> RunMergePass(double t_now, const DecayFunction& decay,
                               QueryReport* report);
 
@@ -278,24 +424,45 @@ class PoolManager {
 
  private:
   friend class CommitGuard;
-  void ReleaseCommit();
 
-  /// Advances every view's and fragment's timed-out-prefix cursor to
-  /// `t_now` (called after each delta fold, inside the exclusive commit
-  /// section, so evaluations under the shared lock stay O(in-window
-  /// suffix) even for cold entries).
-  void AdvanceAllWindows(double t_now);
+  /// Per-thread commit context: who holds a commit on which pool, in
+  /// which mode, with which shards, observer, tenant stamp, publish
+  /// footprint, and transaction journal. Thread-local because sharded
+  /// commits run concurrently — one commit per thread.
+  struct CommitCtx;
+  static CommitCtx& Ctx();
+
+  void ReleaseCommit();
+  /// Common entry bookkeeping once the pool lock (X or IX) is held.
+  CommitGuard EnterCommitLocked(bool exclusive, EngineObserver* observer,
+                                std::string tenant, int32_t tenant_ord,
+                                CommitFootprint publish_fp);
+  /// Read-set validation against the published ring and the in-flight
+  /// registry. Caller holds epoch_mu_.
+  bool ValidateReadSetLocked(const CommitFootprint& read_fp,
+                             uint64_t read_epoch,
+                             bool* conflict_genuine) const;
+
+  /// Advances timed-out-prefix cursors after a delta fold so
+  /// evaluations under the shared lock stay O(in-window suffix) even
+  /// for cold entries. The exclusive path advances every view; a
+  /// sharded commit only advances the views of its write footprint (the
+  /// ones its shards own). The cursor is an evaluation cache, never
+  /// part of the pool fingerprint, so partial advancement is sound.
+  void AdvanceWindowsAfterFold(double t_now);
 
   // --- decision transaction (stage-then-commit rollback journal) ---
   //
-  // TxnBegin arms the journal; every fs mutation goes through TxnPut /
-  // TxnDelete (which record first-touch file preimages), every metadata
-  // mutation is covered by TxnSnapshotView (full pre-image of the
-  // view's mutable state), and observer notifications queue in
-  // txn_events_. TxnCommit flushes the events and drops the journal;
-  // TxnRollback restores every snapshot/preimage and discards the
-  // events. With no transaction armed the helpers degrade to the plain
-  // operations (direct primitive calls from tests / state restore).
+  // TxnBegin arms the journal (kept in the thread-local commit
+  // context, so concurrent sharded commits journal independently);
+  // every fs mutation goes through TxnPut / TxnDelete (which record
+  // first-touch file preimages), every metadata mutation is covered by
+  // TxnSnapshotView (full pre-image of the view's mutable state), and
+  // observer notifications queue in the context. TxnCommit flushes the
+  // events and drops the journal; TxnRollback restores every
+  // snapshot/preimage and discards the events. With no transaction
+  // armed the helpers degrade to the plain operations (direct primitive
+  // calls from tests / state restore).
   void TxnBegin();
   void TxnCommit();
   void TxnRollback();
@@ -349,14 +516,6 @@ class PoolManager {
     double value = 0.0;  ///< sim_seconds (view) or bytes (fragment events)
   };
 
-  // Journals are vectors scanned linearly (a decision touches few views
-  // / files); pointer-keyed maps would make rollback order depend on
-  // heap addresses. Valid only while txn_active_.
-  bool txn_active_ = false;
-  std::vector<TxnViewImage> txn_views_;
-  std::vector<TxnFileImage> txn_files_;
-  std::vector<TxnEvent> txn_events_;
-
   Catalog* catalog_;
   const EngineOptions* options_;
   const ClusterModel* cluster_;
@@ -365,33 +524,51 @@ class PoolManager {
   ViewCatalog views_;
   FilterTree rewrite_index_;
   DecayFunction decay_;  ///< pool-side decay (cursor advancement)
-  std::atomic<int64_t> clock_{0};  ///< written only inside the commit section
-  /// Commits entered so far. Plain (not atomic) on purpose: written
-  /// under the exclusive lock, read under shared/exclusive — the
-  /// shared_mutex provides the happens-before edge.
-  uint64_t commit_epoch_ = 0;
+  std::atomic<int64_t> clock_{0};  ///< advanced only inside commit sections
 
-  /// Commit-lock hold-time accounting (see commit_lock_stats()).
-  /// `commit_entered_at_ns_` is only touched inside the commit section;
-  /// the accumulators are relaxed atomics so monitors may sample them.
-  int64_t commit_entered_at_ns_ = 0;
-  std::atomic<uint64_t> commit_epoch_entered_{0};
+  /// Commit-section accounting (see commit_lock_stats()).
+  std::atomic<uint64_t> commits_entered_{0};
   std::atomic<int64_t> commit_held_ns_{0};
 
-  /// Exclusive = commit section; shared = *Snapshot() readers.
-  mutable std::shared_mutex commit_mu_;
-  /// Address of a thread_local in the committing thread (0 = free);
-  /// lets mutators assert the lock discipline without owning a TLS key.
-  std::atomic<uintptr_t> commit_owner_{0};
-  // Commit context: set by BeginCommit, cleared on release. Only
-  // touched inside the commit section.
-  EngineObserver* commit_observer_ = nullptr;
-  std::string commit_tenant_;
-  int32_t commit_tenant_ord_ = 0;
+  /// The pool lock (S planning / IX sharded commit / X exclusive
+  /// commit).
+  mutable PoolLock lock_;
 
-  /// Guards the tenant registry alone — never held together with
-  /// commit_mu_, so InternTenant is callable from any context
-  /// (including inside a commit, e.g. during LoadState).
+  /// Per-view-group commit shard locks and their accounting. Plain
+  /// mutexes: holders are IX commits, which the pool lock already
+  /// isolates from planners and X commits.
+  std::array<std::mutex, kCommitShards> shard_mu_;
+  struct ShardAccounting {
+    std::atomic<uint64_t> acquisitions{0};
+    std::atomic<int64_t> held_ns{0};
+  };
+  std::array<ShardAccounting, kCommitShards> shard_acct_;
+
+  // --- commit epoch table (leaf lock: epoch_mu_ nests inside the pool
+  //     lock and the shard locks, and never acquires anything) ---
+
+  mutable std::mutex epoch_mu_;
+  /// Sequence number of the latest *published* write footprint. Commits
+  /// publishing an empty footprint do not advance it.
+  std::atomic<uint64_t> commit_seq_{0};
+  struct PublishedWrite {
+    uint64_t seq = 0;
+    CommitFootprint fp;
+  };
+  /// Bounded ring of recent publishes, oldest first. A plan whose
+  /// read_epoch fell off the ring is invalidated conservatively
+  /// (counted as spurious by the engine).
+  std::deque<PublishedWrite> published_;
+  static constexpr size_t kEpochRingCapacity = 128;
+  /// Write footprints of in-flight sharded commits (registered at
+  /// validation, removed at publish). Validation checks them so a plan
+  /// never validates against a half-applied foreign commit.
+  std::vector<std::pair<uint64_t, CommitFootprint>> inflight_;
+  uint64_t next_inflight_id_ = 1;
+
+  /// Guards the tenant registry alone — never held together with the
+  /// pool lock, so InternTenant is callable from any context (including
+  /// inside a commit, e.g. during LoadState).
   mutable std::mutex tenant_mu_;
   std::vector<std::string> tenants_{std::string()};
 };

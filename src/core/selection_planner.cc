@@ -195,6 +195,16 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
 
   // --- Existing pool content: every materialized fragment / whole view
   //     partakes individually (Section 7.3).
+  //
+  // Soft-read window: a pool sweep touches EVERY view, which would give
+  // every plan a read footprint conflicting with every commit. The
+  // sweep's values only matter when the knapsack is contended — when
+  // something gets rejected (evicted, or a new candidate squeezed out).
+  // So the reads are buffered softly and promoted into the real read
+  // footprint only in that case; an uncontended knapsack (pool fits)
+  // admits everything regardless of the swept values, and the plan's
+  // decision is insensitive to them.
+  delta->BeginSoftReads();
   for (ViewInfo* v : delta->AllViews()) {
     if (v->whole_materialized) {
       Item it;
@@ -223,6 +233,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
       }
     }
   }
+  delta->EndSoftReads();
 
   // --- Greedy knapsack by value (Section 7.3).
   std::stable_sort(items.begin(), items.end(),
@@ -238,6 +249,9 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
       reject.push_back(&it);
     }
   }
+  // Contended knapsack: the pool sweep's values shaped the outcome, so
+  // its reads become part of the plan's validated footprint.
+  if (!reject.empty()) delta->PromoteSoftReads();
 
   // Declarative decision: evict rejected pool content first (frees the
   // simulated FS), then materialize admitted new content in greedy

@@ -152,6 +152,14 @@ std::vector<const ViewInfo*> ViewCatalog::AllViews() const {
 
 double ViewCatalog::PoolBytes() const {
   double total = 0.0;
+  for (const auto& v : views_) {
+    total += v->cached_pool_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double ViewCatalog::PoolBytesExact() const {
+  double total = 0.0;
   for (const auto& v : views_) total += v->MaterializedBytes();
   return total;
 }

@@ -1,6 +1,7 @@
 #ifndef DEEPSEA_CORE_VIEW_CATALOG_H_
 #define DEEPSEA_CORE_VIEW_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,8 +76,20 @@ struct ViewInfo {
   /// In the pool = whole view or at least one fragment materialized.
   bool InPool() const;
 
-  /// Bytes currently occupied in the pool by this view.
+  /// Bytes currently occupied in the pool by this view (fresh walk of
+  /// the fragment lists — requires the view to be stable, i.e. the
+  /// caller's commit owns it).
   double MaterializedBytes() const;
+
+  /// Cached copy of MaterializedBytes(), refreshed by every pool
+  /// primitive that changes it (materialize / evict / merge / rollback
+  /// / state load). Atomic so ViewCatalog::PoolBytes() can be sampled
+  /// from inside a sharded commit while foreign commits mutate their
+  /// own views concurrently.
+  std::atomic<double> cached_pool_bytes{0.0};
+  void RefreshCachedBytes() {
+    cached_pool_bytes.store(MaterializedBytes(), std::memory_order_relaxed);
+  }
 
   PartitionState* GetPartition(const std::string& attr);
   const PartitionState* GetPartition(const std::string& attr) const;
@@ -115,8 +128,14 @@ class ViewCatalog {
   /// Lets state loading predict ids while validating, before applying.
   int peek_next_id() const { return next_id_; }
 
-  /// Total pool bytes S(C) across all views.
+  /// Total pool bytes S(C) across all views. Sums the per-view cached
+  /// byte counters (race-free from inside any commit); bit-identical to
+  /// PoolBytesExact() whenever the caches are current.
   double PoolBytes() const;
+
+  /// Total pool bytes by a fresh walk of every fragment list. Requires
+  /// a quiescent pool (debug cross-check for the caches).
+  double PoolBytesExact() const;
 
  private:
   std::vector<std::unique_ptr<ViewInfo>> views_;

@@ -192,6 +192,12 @@ void MetricsObserver::OnQueryEnd(const QueryReport& report) {
   t->queries.fetch_add(1, std::memory_order_relaxed);
   if (report.replanned) {
     t->replanned_queries.fetch_add(1, std::memory_order_relaxed);
+    if (report.replan_conflict) {
+      t->replans_conflict.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (report.replan_spurious) {
+      t->replans_spurious.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (!report.used_view.empty()) {
     t->queries_from_views.fetch_add(1, std::memory_order_relaxed);
@@ -240,6 +246,8 @@ MetricsObserver::MetricsSnapshot::Totals() const {
     (void)name;
     total.queries += t.queries;
     total.replanned_queries += t.replanned_queries;
+    total.replans_conflict += t.replans_conflict;
+    total.replans_spurious += t.replans_spurious;
     total.queries_from_views += t.queries_from_views;
     total.degraded_queries += t.degraded_queries;
     total.fragments_read += t.fragments_read;
@@ -270,6 +278,10 @@ MetricsObserver::MetricsSnapshot MetricsObserver::TakeSnapshot() const {
       out.queries = t->queries.load(std::memory_order_relaxed);
       out.replanned_queries =
           t->replanned_queries.load(std::memory_order_relaxed);
+      out.replans_conflict =
+          t->replans_conflict.load(std::memory_order_relaxed);
+      out.replans_spurious =
+          t->replans_spurious.load(std::memory_order_relaxed);
       out.queries_from_views =
           t->queries_from_views.load(std::memory_order_relaxed);
       out.degraded_queries =
@@ -323,6 +335,7 @@ MetricsObserver::MetricsSnapshot MetricsObserver::TakeSnapshot() const {
         pool_->commit_lock_stats();
     g.commits = lock_stats.commits;
     g.commit_lock_held_seconds = lock_stats.held_seconds;
+    g.commit_shards = pool_->commit_shard_stats();
     const double wall =
         static_cast<double>(SteadyNowNs() - attach_wall_ns_) * 1e-9;
     g.commit_lock_hold_fraction =
@@ -354,6 +367,15 @@ const std::vector<MetricInfo>& MetricsObserver::Registry() {
       {"deepsea_replanned_queries_total", "counter",
        "Queries whose speculative shared-lock plan was invalidated by a "
        "foreign commit and replanned under the exclusive lock.",
+       "tenant", false, false},
+      {"deepsea_replans_conflict_total", "counter",
+       "Replans caused by a genuine read-set conflict: a foreign commit "
+       "published after the plan's read epoch (or still in flight) wrote "
+       "something the plan read.",
+       "tenant", false, false},
+      {"deepsea_replans_spurious_total", "counter",
+       "Replans forced without a proven conflict because the bounded "
+       "epoch table no longer covered the plan's read epoch.",
        "tenant", false, false},
       {"deepsea_queries_from_views_total", "counter",
        "Queries answered from a materialized view.", "tenant", false, false},
@@ -436,9 +458,15 @@ const std::vector<MetricInfo>& MetricsObserver::Registry() {
        "engine construction and state loads).",
        "", false, true},
       {"deepsea_commit_lock_held_seconds_total", "counter",
-       "Aggregate host wall-clock time the exclusive commit lock has "
-       "been held.",
+       "Aggregate host wall-clock time commit sections have been held "
+       "(exclusive and sharded; concurrent sharded commits each "
+       "contribute their full span).",
        "", true, true},
+      {"deepsea_commit_shard_held_seconds_total", "counter",
+       "Aggregate host wall-clock time each commit shard has been held "
+       "by sharded commits; only shards with at least one acquisition "
+       "are exported.",
+       "shard", true, true},
       {"deepsea_commit_lock_hold_fraction", "gauge",
        "Commit-lock hold time over wall time since the pool was "
        "attached to this observer.",
@@ -501,6 +529,10 @@ std::string MetricsObserver::RenderPrometheusText(
                  [](const auto& t) { return double(t.queries); });
   tenant_counter("deepsea_replanned_queries_total",
                  [](const auto& t) { return double(t.replanned_queries); });
+  tenant_counter("deepsea_replans_conflict_total",
+                 [](const auto& t) { return double(t.replans_conflict); });
+  tenant_counter("deepsea_replans_spurious_total",
+                 [](const auto& t) { return double(t.replans_spurious); });
   tenant_counter("deepsea_queries_from_views_total",
                  [](const auto& t) { return double(t.queries_from_views); });
   tenant_counter("deepsea_degraded_queries_total",
@@ -581,6 +613,14 @@ std::string MetricsObserver::RenderPrometheusText(
           StrFormat("%llu", static_cast<unsigned long long>(g.commits)));
     gauge("deepsea_commit_lock_held_seconds_total",
           FormatValue(g.commit_lock_held_seconds));
+    if (header("deepsea_commit_shard_held_seconds_total") != nullptr) {
+      for (size_t i = 0; i < g.commit_shards.size(); ++i) {
+        if (g.commit_shards[i].acquisitions == 0) continue;
+        out += StrFormat(
+            "deepsea_commit_shard_held_seconds_total{shard=\"%zu\"} %s\n", i,
+            FormatValue(g.commit_shards[i].held_seconds).c_str());
+      }
+    }
     gauge("deepsea_commit_lock_hold_fraction",
           FormatValue(g.commit_lock_hold_fraction));
   }

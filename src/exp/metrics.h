@@ -136,6 +136,8 @@ class MetricsObserver : public EngineObserver {
     struct Tenant {
       int64_t queries = 0;
       int64_t replanned_queries = 0;
+      int64_t replans_conflict = 0;  ///< genuine read-set conflicts
+      int64_t replans_spurious = 0;  ///< epoch-table coverage loss
       int64_t queries_from_views = 0;
       int64_t degraded_queries = 0;
       int64_t fragments_read = 0;
@@ -165,6 +167,9 @@ class MetricsObserver : public EngineObserver {
       uint64_t commits = 0;
       double commit_lock_held_seconds = 0.0;
       double commit_lock_hold_fraction = 0.0;
+      /// Per commit shard: acquisitions and cumulative hold seconds
+      /// (index = shard id; see PoolManager::commit_shard_stats()).
+      std::vector<PoolManager::CommitShardStats> commit_shards;
     };
 
     std::map<std::string, Tenant> tenants;  ///< keyed by tenant id
@@ -221,6 +226,8 @@ class MetricsObserver : public EngineObserver {
   struct TenantMetrics {
     std::atomic<int64_t> queries{0};
     std::atomic<int64_t> replanned_queries{0};
+    std::atomic<int64_t> replans_conflict{0};
+    std::atomic<int64_t> replans_spurious{0};
     std::atomic<int64_t> queries_from_views{0};
     std::atomic<int64_t> degraded_queries{0};
     std::atomic<int64_t> fragments_read{0};

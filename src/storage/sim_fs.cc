@@ -26,6 +26,7 @@ Status SimFs::Guard(FsOp op, const std::string& path) {
 }
 
 Status SimFs::Create(const std::string& path, double bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.count(path) > 0) {
     return Status::AlreadyExists("file exists: " + path);
   }
@@ -37,6 +38,7 @@ Status SimFs::Create(const std::string& path, double bytes) {
 }
 
 Status SimFs::Put(const std::string& path, double bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   DEEPSEA_RETURN_IF_ERROR(Guard(FsOp::kPut, path));
   auto it = files_.find(path);
   if (it != files_.end()) {
@@ -53,6 +55,7 @@ Status SimFs::Put(const std::string& path, double bytes) {
 }
 
 Status SimFs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   DEEPSEA_RETURN_IF_ERROR(Guard(FsOp::kDelete, path));
@@ -62,14 +65,25 @@ Status SimFs::Delete(const std::string& path) {
   return Status::OK();
 }
 
-Result<double> SimFs::Size(const std::string& path) const {
+bool SimFs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Result<double> SimFs::SizeLocked(const std::string& path) const {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second;
 }
 
+Result<double> SimFs::Size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SizeLocked(path);
+}
+
 Result<double> SimFs::Read(const std::string& path) {
-  DEEPSEA_ASSIGN_OR_RETURN(double size, Size(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  DEEPSEA_ASSIGN_OR_RETURN(double size, SizeLocked(path));
   DEEPSEA_RETURN_IF_ERROR(Guard(FsOp::kRead, path));
   ledger_.bytes_read += size;
   ++ledger_.read_ops;
@@ -77,12 +91,14 @@ Result<double> SimFs::Read(const std::string& path) {
 }
 
 Result<int64_t> SimFs::NumBlocks(const std::string& path) const {
-  DEEPSEA_ASSIGN_OR_RETURN(double size, Size(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  DEEPSEA_ASSIGN_OR_RETURN(double size, SizeLocked(path));
   if (size <= 0.0) return static_cast<int64_t>(0);
   return static_cast<int64_t>(std::ceil(size / block_bytes_));
 }
 
 double SimFs::TotalBytes(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   double total = 0.0;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -92,6 +108,7 @@ double SimFs::TotalBytes(const std::string& prefix) const {
 }
 
 std::vector<std::string> SimFs::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -101,6 +118,7 @@ std::vector<std::string> SimFs::List(const std::string& prefix) const {
 }
 
 int64_t SimFs::DeleteAll(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t removed = 0;
   auto it = files_.lower_bound(prefix);
   while (it != files_.end() &&
@@ -115,6 +133,7 @@ int64_t SimFs::DeleteAll(const std::string& prefix) {
 
 void SimFs::RestoreForRollback(const std::string& path, bool existed,
                                double bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++ledger_.rollback_restores;
   if (existed) {
     files_[path] = bytes;

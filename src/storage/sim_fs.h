@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,12 @@ struct IoLedger {
 /// counters and returns the policy's status. With no policy installed
 /// (the default) every operation behaves exactly as before the seam
 /// existed — fault machinery off is zero behavior change.
+///
+/// Thread safety: every operation takes an internal mutex — sharded
+/// commits from different tenants write disjoint pool *paths* but share
+/// this one file map and ledger. The `ledger()` reference is stable,
+/// but reading a *consistent* ledger still requires a quiesced FS (no
+/// in-flight commits).
 class SimFs {
  public:
   /// `block_bytes` is the HDFS block size; it is both the unit of
@@ -86,7 +93,7 @@ class SimFs {
 
   Status Delete(const std::string& path);
 
-  bool Exists(const std::string& path) const { return files_.count(path) > 0; }
+  bool Exists(const std::string& path) const;
 
   /// File size; fails when absent.
   Result<double> Size(const std::string& path) const;
@@ -122,8 +129,12 @@ class SimFs {
  private:
   /// Consults the fault policy for `op` on `path`; on injection, bumps
   /// the matching failure counter and returns the injected status.
+  /// Caller holds mu_.
   Status Guard(FsOp op, const std::string& path);
+  /// Size lookup with mu_ already held.
+  Result<double> SizeLocked(const std::string& path) const;
 
+  mutable std::mutex mu_;
   double block_bytes_;
   std::map<std::string, double> files_;
   IoLedger ledger_;

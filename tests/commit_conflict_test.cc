@@ -1,0 +1,394 @@
+// Conflict-matrix tests for the sharded commit path.
+//
+// Three layers, bottom up:
+//  * FootprintsConflict — the pure read-vs-write intersection rules
+//    (granularities, wildcards, the asymmetric structure rule);
+//  * PoolManager — read-set validation against the bounded epoch table
+//    and the in-flight registry (genuine vs spurious verdicts, the
+//    PR 4 false-positive regression, ring overflow), plus the
+//    ordered-multi-lock deadlock test for the commit shards;
+//  * DeepSeaEngine — single-tenant and sequentially interleaved
+//    multi-tenant runs never replan (determinism contract).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "multitenant_harness.h"
+
+#include "core/commit_footprint.h"
+#include "core/engine.h"
+#include "core/pool_manager.h"
+#include "core/shared_pool.h"
+#include "workload/bigbench.h"
+
+namespace deepsea {
+namespace {
+
+CommitFootprint ViewRead(const std::string& id) {
+  CommitFootprint fp;
+  fp.AddView(id);
+  return fp;
+}
+
+CommitFootprint FragmentRead(const std::string& id, const std::string& attr,
+                             const Interval& range) {
+  CommitFootprint fp;
+  fp.AddFragment(id, attr, range);
+  return fp;
+}
+
+// --- FootprintsConflict: the intersection matrix ---------------------
+
+TEST(FootprintsConflictTest, DisjointViewsDoNotConflict) {
+  EXPECT_FALSE(FootprintsConflict(ViewRead("v1"), ViewRead("v2")));
+  EXPECT_TRUE(FootprintsConflict(ViewRead("v1"), ViewRead("v1")));
+}
+
+TEST(FootprintsConflictTest, SameViewDisjointFragmentsDoNotConflict) {
+  const CommitFootprint read = FragmentRead("v1", "item_sk", Interval(0, 10));
+  EXPECT_FALSE(FootprintsConflict(
+      read, FragmentRead("v1", "item_sk", Interval(20, 30))));
+  // A different partition attribute of the same view commutes too.
+  EXPECT_FALSE(
+      FootprintsConflict(read, FragmentRead("v1", "ss_date", Interval(0, 10))));
+  // ...and so does the same range on a different view.
+  EXPECT_FALSE(
+      FootprintsConflict(read, FragmentRead("v2", "item_sk", Interval(0, 10))));
+}
+
+TEST(FootprintsConflictTest, OverlappingFragmentsConflict) {
+  const CommitFootprint read = FragmentRead("v1", "item_sk", Interval(0, 10));
+  EXPECT_TRUE(FootprintsConflict(
+      read, FragmentRead("v1", "item_sk", Interval(5, 15))));
+  // Shared endpoint: closed intervals touch, which counts as overlap.
+  EXPECT_TRUE(FootprintsConflict(
+      read, FragmentRead("v1", "item_sk", Interval(10, 20))));
+}
+
+TEST(FootprintsConflictTest, CatalogEntryOverlap) {
+  CommitFootprint probe;
+  probe.AddCatalogSig("sig-a");
+  CommitFootprint create_a;
+  create_a.AddCatalogSig("sig-a");
+  CommitFootprint create_b;
+  create_b.AddCatalogSig("sig-b");
+  // A foreign commit creating a signature this plan probed invalidates
+  // it; creating a signature it never probed does not.
+  EXPECT_TRUE(FootprintsConflict(probe, create_a));
+  EXPECT_FALSE(FootprintsConflict(probe, create_b));
+
+  // Two concurrent view creators always collide on the id counter —
+  // that is what makes "v<N>" id prediction safe.
+  CommitFootprint counter;
+  counter.catalog_counter = true;
+  EXPECT_TRUE(FootprintsConflict(counter, counter));
+  EXPECT_FALSE(FootprintsConflict(counter, create_b));
+}
+
+TEST(FootprintsConflictTest, StructuralAllConflictsWithEveryRead) {
+  CommitFootprint all;
+  all.all = true;
+  EXPECT_TRUE(FootprintsConflict(ViewRead("v1"), all));
+  EXPECT_TRUE(
+      FootprintsConflict(FragmentRead("v9", "x", Interval(0, 1)), all));
+  // An `all` WRITE is conservative: it invalidates every plan, even
+  // one that recorded no reads. An `all` READER conflicts with any
+  // non-empty write but not with a commit that published nothing.
+  EXPECT_TRUE(FootprintsConflict(CommitFootprint{}, all));
+  EXPECT_TRUE(FootprintsConflict(all, ViewRead("v1")));
+  EXPECT_FALSE(FootprintsConflict(all, CommitFootprint{}));
+}
+
+TEST(FootprintsConflictTest, StructuralMergeEvictWritesHitFragmentReaders) {
+  // Merge/evict commits write partition *structure*: a fragment reader
+  // of that partition saw a fragment list the commit changed.
+  CommitFootprint structure_write;
+  structure_write.AddPartition("v1", "item_sk");
+  EXPECT_TRUE(FootprintsConflict(
+      FragmentRead("v1", "item_sk", Interval(0, 10)), structure_write));
+  EXPECT_FALSE(FootprintsConflict(
+      FragmentRead("v1", "ss_date", Interval(0, 10)), structure_write));
+
+  // EvictWholeView writes with the "" wildcard: every partition of the
+  // view, any attribute.
+  CommitFootprint wildcard_write;
+  wildcard_write.AddPartition("v1", "");
+  EXPECT_TRUE(FootprintsConflict(
+      FragmentRead("v1", "ss_date", Interval(0, 10)), wildcard_write));
+  EXPECT_FALSE(FootprintsConflict(
+      FragmentRead("v2", "ss_date", Interval(0, 10)), wildcard_write));
+}
+
+TEST(FootprintsConflictTest, StructureReadCommutesWithPlainFragmentWrite) {
+  // The asymmetric rule: appending hits to an existing fragment leaves
+  // the structure a partition reader depended on intact...
+  CommitFootprint structure_read;
+  structure_read.AddPartition("v1", "item_sk");
+  EXPECT_FALSE(FootprintsConflict(
+      structure_read, FragmentRead("v1", "item_sk", Interval(0, 10))));
+  // ...but a fragment reader IS invalidated by a structure write
+  // (tested above), and a structure reader by a structure write.
+  CommitFootprint structure_write;
+  structure_write.AddPartition("v1", "item_sk");
+  EXPECT_TRUE(FootprintsConflict(structure_read, structure_write));
+}
+
+// --- PoolManager: validation against the epoch table -----------------
+
+class CommitValidationTest : public ::testing::Test {
+ protected:
+  CommitValidationTest() : shared_(&catalog_, EngineOptions()) {}
+
+  PoolManager* pool() { return shared_.pool(); }
+
+  /// One exclusive commit that publishes exactly `write_fp`.
+  void PublishWrite(const CommitFootprint& write_fp) {
+    CommitGuard commit = pool()->BeginCommit();
+    pool()->SetCommitFootprint(commit, write_fp);
+  }
+
+  Catalog catalog_;
+  SharedPool shared_;
+};
+
+TEST_F(CommitValidationTest, DisjointForeignCommitNoLongerForcesReplan) {
+  // The PR 4 false positive: under commit-epoch validation ANY foreign
+  // commit invalidated every in-flight plan. Read-set validation must
+  // keep a plan whose footprint the foreign write never touched.
+  const uint64_t read_epoch = pool()->read_epoch();
+  PublishWrite(ViewRead("vA"));
+
+  CommitGuard commit = pool()->BeginCommit();
+  bool genuine = true;
+  EXPECT_TRUE(
+      pool()->ValidateReadSet(commit, ViewRead("vB"), read_epoch, &genuine));
+  EXPECT_FALSE(genuine);
+  pool()->SetCommitFootprint(commit, CommitFootprint{});
+}
+
+TEST_F(CommitValidationTest, OverlappingForeignCommitIsAGenuineConflict) {
+  const uint64_t read_epoch = pool()->read_epoch();
+  PublishWrite(FragmentRead("vA", "item_sk", Interval(0, 100)));
+
+  CommitGuard commit = pool()->BeginCommit();
+  bool genuine = false;
+  EXPECT_FALSE(pool()->ValidateReadSet(
+      commit, FragmentRead("vA", "item_sk", Interval(50, 60)), read_epoch,
+      &genuine));
+  EXPECT_TRUE(genuine);
+  // A commit published BEFORE the plan's read epoch is invisible: the
+  // plan read the state it produced.
+  bool genuine2 = true;
+  EXPECT_TRUE(pool()->ValidateReadSet(
+      commit, FragmentRead("vA", "item_sk", Interval(50, 60)),
+      pool()->read_epoch(), &genuine2));
+  pool()->SetCommitFootprint(commit, CommitFootprint{});
+}
+
+TEST_F(CommitValidationTest, EpochRingOverflowInvalidatesSpuriously) {
+  const uint64_t stale_epoch = pool()->read_epoch();
+  // Push enough publishes through the bounded ring that it can no
+  // longer prove what happened right after stale_epoch.
+  for (int i = 0; i < 200; ++i) PublishWrite(ViewRead("other"));
+
+  CommitGuard commit = pool()->BeginCommit();
+  bool genuine = true;
+  EXPECT_FALSE(
+      pool()->ValidateReadSet(commit, ViewRead("mine"), stale_epoch, &genuine));
+  EXPECT_FALSE(genuine) << "coverage loss must report spurious, not genuine";
+  // A fresh epoch is fully covered: same read set, no conflict.
+  EXPECT_TRUE(pool()->ValidateReadSet(commit, ViewRead("mine"),
+                                      pool()->read_epoch(), &genuine));
+  pool()->SetCommitFootprint(commit, CommitFootprint{});
+}
+
+TEST_F(CommitValidationTest, ShardedCommitsPublishOnRelease) {
+  const uint64_t read_epoch = pool()->read_epoch();
+  bool genuine = true;
+  {
+    CommitGuard commit = pool()->TryBeginShardedCommit(
+        nullptr, "", 0, FragmentRead("v1", "item_sk", Interval(0, 10)),
+        CommitFootprint{}, read_epoch, &genuine);
+    ASSERT_TRUE(commit.held());
+  }
+  EXPECT_GT(pool()->read_epoch(), read_epoch);
+
+  // A plan that read the published range must now fail validation.
+  CommitGuard probe = pool()->BeginCommit();
+  EXPECT_FALSE(pool()->ValidateReadSet(
+      probe, FragmentRead("v1", "item_sk", Interval(5, 6)), read_epoch,
+      &genuine));
+  EXPECT_TRUE(genuine);
+  pool()->SetCommitFootprint(probe, CommitFootprint{});
+}
+
+TEST_F(CommitValidationTest, InFlightShardedCommitConflicts) {
+  // Thread A holds a sharded commit writing v1; the main thread's
+  // sharded attempt reads v1 and must be rejected as a genuine
+  // conflict even though nothing has been published yet.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  std::thread holder([&] {
+    bool genuine = true;
+    CommitGuard commit = pool()->TryBeginShardedCommit(
+        nullptr, "a", 0, ViewRead("v1"), CommitFootprint{},
+        pool()->read_epoch(), &genuine);
+    ASSERT_TRUE(commit.held());
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  bool genuine = false;
+  CommitGuard attempt = pool()->TryBeginShardedCommit(
+      nullptr, "b", 0, ViewRead("v2"), ViewRead("v1"), pool()->read_epoch(),
+      &genuine);
+  EXPECT_FALSE(attempt.held());
+  EXPECT_TRUE(genuine);
+
+  // Disjoint read set: commits concurrently alongside the in-flight one.
+  CommitGuard ok = pool()->TryBeginShardedCommit(
+      nullptr, "b", 0, ViewRead("v2"), ViewRead("v3"), pool()->read_epoch(),
+      &genuine);
+  EXPECT_TRUE(ok.held());
+  ok.Release();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+}
+
+TEST_F(CommitValidationTest, ShardStatsCountAcquisitions) {
+  bool genuine = true;
+  {
+    CommitGuard commit = pool()->TryBeginShardedCommit(
+        nullptr, "", 0, ViewRead("v1"), CommitFootprint{},
+        pool()->read_epoch(), &genuine);
+    ASSERT_TRUE(commit.held());
+  }
+  const auto stats = pool()->commit_shard_stats();
+  ASSERT_EQ(stats.size(), static_cast<size_t>(PoolManager::kCommitShards));
+  const int shard = PoolManager::ShardOf("v1");
+  ASSERT_GE(shard, 0);
+  ASSERT_LT(shard, PoolManager::kCommitShards);
+  EXPECT_GE(stats[static_cast<size_t>(shard)].acquisitions, 1u);
+  EXPECT_GE(stats[static_cast<size_t>(shard)].held_seconds, 0.0);
+}
+
+// --- lock order: overlapping shard sets, opposite arrival order ------
+
+TEST_F(CommitValidationTest, OpposingShardOrdersDoNotDeadlock) {
+  // Two threads repeatedly take sharded commits whose write footprints
+  // list overlapping view groups in OPPOSITE order. Acquisition is by
+  // ascending shard index regardless of footprint order, so the runs
+  // serialize on the shared shards instead of deadlocking. (A
+  // footprint-order acquisition would deadlock this test in the first
+  // few iterations; the ctest timeout is the failure detector.)
+  std::vector<std::string> views;
+  std::set<int> shards;
+  for (int i = 0; shards.size() < 6; ++i) {
+    const std::string id = "w" + std::to_string(i);
+    if (shards.insert(PoolManager::ShardOf(id)).second) views.push_back(id);
+  }
+  // Overlapping subsets: {0..3} and {2..5}, reversed for thread B.
+  std::vector<std::string> set_a(views.begin(), views.begin() + 4);
+  std::vector<std::string> set_b(views.begin() + 2, views.end());
+  std::vector<std::string> set_b_rev(set_b.rbegin(), set_b.rend());
+
+  constexpr int kIterations = 300;
+  std::atomic<int> commits{0};
+  auto worker = [&](const std::vector<std::string>& ids) {
+    for (int i = 0; i < kIterations; ++i) {
+      CommitFootprint write_fp;
+      for (const std::string& id : ids) write_fp.AddView(id);
+      bool genuine = true;
+      CommitGuard commit = pool()->TryBeginShardedCommit(
+          nullptr, "", 0, std::move(write_fp), CommitFootprint{},
+          pool()->read_epoch(), &genuine);
+      if (commit.held()) commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread ta(worker, set_a);
+  std::thread tb(worker, set_b_rev);
+  ta.join();
+  tb.join();
+  // Empty read sets never conflict, so every attempt must have entered.
+  EXPECT_EQ(commits.load(), 2 * kIterations);
+}
+
+// --- engine determinism: no replans without real concurrency ---------
+
+BigBenchDataset::Options SmallData() {
+  BigBenchDataset::Options o;
+  o.total_bytes = 100e9;
+  o.sample_rows_per_fact = 256;
+  o.sample_rows_per_dim = 64;
+  o.seed = 7;
+  SdssTraceModel sdss(SdssTraceModel::Config{}, 2017);
+  o.item_sk_distribution = sdss.AccessDensity(420);
+  return o;
+}
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.strategy = StrategyKind::kDeepSea;
+  o.benefit_cost_threshold = 0.02;
+  o.enforce_block_lower_bound = true;
+  o.max_fragment_fraction = 0.1;
+  return o;
+}
+
+TEST(EngineReplanTest, SingleTenantNeverReplans) {
+  Catalog catalog;
+  ASSERT_TRUE(BigBenchDataset::Generate(SmallData(), &catalog).ok());
+  SharedPool shared(&catalog, TestOptions());
+  DeepSeaEngine engine(&catalog, &shared, "solo");
+  for (const PlanPtr& plan : mt::BuildPlans(mt::SdssTenantWorkload(60, 31))) {
+    ASSERT_TRUE(engine.ProcessQuery(plan).ok());
+  }
+  EXPECT_EQ(engine.totals().replans, 0);
+  EXPECT_EQ(engine.totals().replans_conflict, 0);
+  EXPECT_EQ(engine.totals().replans_spurious, 0);
+}
+
+TEST(EngineReplanTest, SequentialInterleavingNeverReplans) {
+  // Two tenants strictly alternating on ONE thread: every plan is
+  // validated at the epoch it was read at, with no commit in between,
+  // so even overlapping workloads must never replan.
+  Catalog catalog;
+  ASSERT_TRUE(BigBenchDataset::Generate(SmallData(), &catalog).ok());
+  SharedPool shared(&catalog, TestOptions());
+  DeepSeaEngine alice(&catalog, &shared, "alice");
+  DeepSeaEngine bob(&catalog, &shared, "bob");
+  const auto plans_a = mt::BuildPlans(mt::SdssTenantWorkload(40, 11));
+  const auto plans_b = mt::BuildPlans(mt::SdssTenantWorkload(40, 12));
+  for (size_t i = 0; i < plans_a.size(); ++i) {
+    ASSERT_TRUE(alice.ProcessQuery(plans_a[i]).ok());
+    ASSERT_TRUE(bob.ProcessQuery(plans_b[i]).ok());
+  }
+  EXPECT_EQ(alice.totals().replans, 0);
+  EXPECT_EQ(bob.totals().replans, 0);
+}
+
+}  // namespace
+}  // namespace deepsea

@@ -117,6 +117,33 @@ inline std::vector<PlanPtr> BuildPlans(const std::vector<TenantQuery>& queries) 
   return out;
 }
 
+/// A seeded fully random commit order: each step picks uniformly among
+/// the tenants that still have queries left. Unlike ShuffledSchedule
+/// (a permuted round robin, which keeps tenants roughly in lockstep)
+/// this produces bursts — one tenant can commit many times while
+/// another's plan stays in flight — which is exactly the shape that
+/// stresses read-set validation and the bounded epoch table.
+inline std::vector<int> RandomSchedule(
+    const std::vector<int>& queries_per_tenant, uint64_t seed) {
+  std::vector<int> remaining = queries_per_tenant;
+  std::vector<int> alive;
+  for (size_t t = 0; t < remaining.size(); ++t) {
+    if (remaining[t] > 0) alive.push_back(static_cast<int>(t));
+  }
+  Rng rng(seed);
+  std::vector<int> schedule;
+  while (!alive.empty()) {
+    const size_t i = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(alive.size()) - 1));
+    const int who = alive[i];
+    schedule.push_back(who);
+    if (--remaining[static_cast<size_t>(who)] == 0) {
+      alive.erase(alive.begin() + static_cast<long>(i));
+    }
+  }
+  return schedule;
+}
+
 /// A seeded permutation of the round-robin commit order: tenant t
 /// appears `queries_per_tenant[t]` times. seed selects the permutation;
 /// the same seed always yields the same schedule.

@@ -99,6 +99,50 @@ TEST(MultiTenantScheduleTest, ThreadedTurnstileMatchesSequentialReplay) {
   }
 }
 
+// Schedule fuzz: N seeds × M schedule families. Every seeded random
+// interleaving, run threaded through the turnstile over the sharded
+// commit locks, must reproduce the sequential replay of the same
+// commit order bit for bit — per-query reports included. This is the
+// property that pins the sharded commit path: read-set validation and
+// per-view shard locks may reorder nothing observable.
+TEST(MultiTenantScheduleFuzzTest, SeededRandomSchedulesMatchSequentialReplay) {
+  const std::vector<std::string> tenants = {"t0", "t1", "t2", "t3"};
+  const auto plans = TenantPlans({811, 822, 833, 844}, /*queries_each=*/15);
+  const std::vector<int> per_tenant(4, 15);
+
+  for (uint64_t seed : {3u, 17u, 29u}) {
+    for (int family = 0; family < 2; ++family) {
+      const std::vector<int> schedule =
+          family == 0 ? mt::RandomSchedule(per_tenant, seed)
+                      : mt::ShuffledSchedule(per_tenant, seed);
+
+      Catalog seq_catalog;
+      ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &seq_catalog).ok());
+      const mt::ScheduledRunResult seq =
+          mt::RunScheduled(&seq_catalog, BaseOptions(), tenants, plans,
+                           schedule, /*threaded=*/false);
+
+      Catalog thr_catalog;
+      ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &thr_catalog).ok());
+      const mt::ScheduledRunResult thr =
+          mt::RunScheduled(&thr_catalog, BaseOptions(), tenants, plans,
+                           schedule, /*threaded=*/true);
+
+      EXPECT_EQ(seq.fingerprint, thr.fingerprint)
+          << "seed " << seed << " family " << family;
+      ASSERT_EQ(seq.reports.size(), thr.reports.size());
+      for (size_t t = 0; t < seq.reports.size(); ++t) {
+        ASSERT_EQ(seq.reports[t].size(), thr.reports[t].size())
+            << tenants[t] << " seed " << seed;
+        for (size_t i = 0; i < seq.reports[t].size(); ++i) {
+          EXPECT_EQ(seq.reports[t][i], thr.reports[t][i])
+              << tenants[t] << " query " << i << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
 TEST(MultiTenantScheduleTest, PoolStateIsFunctionOfCommitOrderAlone) {
   const std::vector<std::string> tenants = {"alice", "bob"};
   const auto plans = TenantPlans({501, 502}, /*queries_each=*/30);
@@ -121,10 +165,7 @@ TEST(MultiTenantScheduleTest, PoolStateIsFunctionOfCommitOrderAlone) {
 
 // --- free-running stress (the ThreadSanitizer target) ---
 
-TEST(MultiTenantStressTest, FreeRunningTenantsKeepPoolConsistent) {
-  constexpr int kTenants = 4;
-  constexpr int kQueriesEach = 500;
-
+void RunFreeRunningStress(int num_tenants, int queries_each) {
   Catalog catalog;
   ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &catalog).ok());
   EngineOptions options = BaseOptions();
@@ -132,16 +173,16 @@ TEST(MultiTenantStressTest, FreeRunningTenantsKeepPoolConsistent) {
 
   std::vector<uint64_t> seeds;
   std::vector<std::string> tenants;
-  for (int t = 0; t < kTenants; ++t) {
+  for (int t = 0; t < num_tenants; ++t) {
     seeds.push_back(900 + static_cast<uint64_t>(t));
     tenants.push_back("tenant" + std::to_string(t));
   }
-  const auto plans = TenantPlans(seeds, kQueriesEach);
+  const auto plans = TenantPlans(seeds, queries_each);
 
   SharedPool shared(&catalog, options);
   std::vector<std::unique_ptr<DeepSeaEngine>> engines;
   std::vector<std::unique_ptr<TraceObserver>> observers;
-  for (int t = 0; t < kTenants; ++t) {
+  for (int t = 0; t < num_tenants; ++t) {
     engines.push_back(
         std::make_unique<DeepSeaEngine>(&catalog, &shared, tenants[t]));
     observers.push_back(
@@ -151,7 +192,7 @@ TEST(MultiTenantStressTest, FreeRunningTenantsKeepPoolConsistent) {
 
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
-  for (int t = 0; t < kTenants; ++t) {
+  for (int t = 0; t < num_tenants; ++t) {
     threads.emplace_back([&, t] {
       for (const PlanPtr& plan : plans[static_cast<size_t>(t)]) {
         auto report = engines[static_cast<size_t>(t)]->ProcessQuery(plan);
@@ -166,7 +207,7 @@ TEST(MultiTenantStressTest, FreeRunningTenantsKeepPoolConsistent) {
   EXPECT_EQ(failures.load(), 0);
   // Every commit ticked the clock exactly once.
   EXPECT_EQ(shared.pool()->clock(),
-            static_cast<int64_t>(kTenants) * kQueriesEach);
+            static_cast<int64_t>(num_tenants) * queries_each);
   // S_max holds no matter how the tenants interleaved...
   EXPECT_LE(shared.pool()->PoolBytesSnapshot(),
             options.pool_limit_bytes * 1.0001);
@@ -178,13 +219,29 @@ TEST(MultiTenantStressTest, FreeRunningTenantsKeepPoolConsistent) {
 
   // Observer isolation: each engine's observer saw exactly its own
   // tenant's queries and mutations, nothing from the neighbours.
-  for (int t = 0; t < kTenants; ++t) {
-    EXPECT_EQ(observers[t]->queries(), kQueriesEach) << tenants[t];
+  for (int t = 0; t < num_tenants; ++t) {
+    EXPECT_EQ(observers[t]->queries(), queries_each) << tenants[t];
     for (const auto& [tenant, stats] : observers[t]->tenants()) {
       (void)stats;
       EXPECT_EQ(tenant, tenants[t]);
     }
+    // Every replan has exactly one recorded cause.
+    const EngineTotals& totals = engines[t]->totals();
+    EXPECT_EQ(totals.replans,
+              totals.replans_conflict + totals.replans_spurious)
+        << tenants[t];
   }
+}
+
+TEST(MultiTenantStressTest, FreeRunningTenantsKeepPoolConsistent) {
+  RunFreeRunningStress(/*num_tenants=*/4, /*queries_each=*/500);
+}
+
+// The 8-engine variant: twice the thread count over the same tight
+// pool, so commit-shard contention, in-flight validation, and the
+// epoch ring all run hotter. Primarily a ThreadSanitizer target.
+TEST(MultiTenantStressTest, FreeRunningEightEnginesKeepPoolConsistent) {
+  RunFreeRunningStress(/*num_tenants=*/8, /*queries_each=*/250);
 }
 
 // --- single-tenant parity ---

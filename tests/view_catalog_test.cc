@@ -47,7 +47,13 @@ TEST(ViewCatalogTest, PoolBytesSumsAcrossViews) {
   FragmentStats* f1 = part->Track(Interval(0, 5), 40.0);
   f1->materialized = true;
   part->Track(Interval(5, 10), 60.0);  // tracked but not materialized
+  // PoolBytes sums the per-view cached counters (the pool primitives
+  // refresh them after every mutation; direct mutation must too).
+  EXPECT_DOUBLE_EQ(views.PoolBytes(), 0.0);
+  a->RefreshCachedBytes();
+  b->RefreshCachedBytes();
   EXPECT_DOUBLE_EQ(views.PoolBytes(), 140.0);
+  EXPECT_DOUBLE_EQ(views.PoolBytesExact(), 140.0);
 }
 
 TEST(PartitionStateTest, TrackIsIdempotent) {
