@@ -74,6 +74,30 @@ void MergeDecisionWrites(const SelectionDecision& decision,
   }
 }
 
+/// Estimated bytes the decision's materializations add to the pool —
+/// the budget-headroom claim validated at commit entry. A plan whose
+/// knapsack was uncontended drops its pool-sweep soft reads, so
+/// concurrent occupancy growth is invisible to read-set validation;
+/// without this claim two such plans could jointly materialize past
+/// pool_limit_bytes. Decisions that evict promote the sweep reads that
+/// already protect them (and net occupancy down), so they claim 0.
+double AdmittedDecisionBytes(const SelectionDecision& decision) {
+  double bytes = 0.0;
+  for (const SelectionAction& a : decision.actions) {
+    switch (a.kind) {
+      case SelectionAction::Kind::kEvictWholeView:
+      case SelectionAction::Kind::kEvictFragment:
+        return 0.0;
+      case SelectionAction::Kind::kMaterializeView:
+      case SelectionAction::Kind::kMaterializeViewFragment:
+      case SelectionAction::Kind::kMaterializeRefinement:
+        bytes += a.size_bytes;
+        break;
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 DeepSeaEngine::DeepSeaEngine(Catalog* catalog, EngineOptions options)
@@ -162,6 +186,8 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   std::unique_ptr<QueryContext> ctx;
   uint64_t read_epoch = 0;
   int64_t t_spec = 0;
+  CommitFootprint write_fp;
+  double admitted_bytes = 0.0;
 
   // Phase 1 — speculative planning under the shared lock. The stages
   // buffer every statistics/catalog write into the context's
@@ -179,6 +205,15 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     ctx->InitPlanning(*catalog_, stat_);
     if (observer_ != nullptr) observer_->OnQueryStart(t_spec, query, tenant_);
     DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
+    // Collect the plan's write footprint before the shared lock drops:
+    // outside it a foreign commit can mutate the shared partitions the
+    // shadows were copied from (the snapshot comparisons inside
+    // CollectWriteFootprint make this belt-and-braces, but the
+    // footprint should describe the plan the lock certified).
+    write_fp = ctx->delta()->CollectWriteFootprint();
+    MergeDecisionWrites(decision, &write_fp);
+    write_fp.Normalize();
+    admitted_bytes = AdmittedDecisionBytes(decision);
   }
 
   // Phase 2 — commit. Pool-structural work (view creation, evictions,
@@ -205,22 +240,22 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   bool replan = false;
   bool sharded = false;
   if (!needs_exclusive) {
-    CommitFootprint write_fp = ctx->delta()->CollectWriteFootprint();
-    MergeDecisionWrites(decision, &write_fp);
-    write_fp.Normalize();
     commit = pool_->TryBeginShardedCommit(
         observer_, tenant_, tenant_ord_, std::move(write_fp),
-        ctx->delta()->read_footprint(), read_epoch, &conflict_genuine);
+        ctx->delta()->read_footprint(), read_epoch, &conflict_genuine,
+        admitted_bytes);
     sharded = commit.held();
     replan = !sharded;
   }
   if (!commit.held()) {
     commit = pool_->BeginCommit(observer_, tenant_, tenant_ord_);
     if (!replan) {
-      // Structural path: same read-set validation, under the exclusive
-      // lock (no in-flight sharded commits can exist here).
+      // Structural path: same read-set + budget-headroom validation,
+      // under the exclusive lock (no in-flight sharded commits can
+      // exist here).
       replan = !pool_->ValidateReadSet(commit, ctx->delta()->read_footprint(),
-                                       read_epoch, &conflict_genuine);
+                                       read_epoch, &conflict_genuine,
+                                       admitted_bytes);
     }
   }
 

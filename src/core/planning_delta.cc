@@ -150,8 +150,14 @@ PlanningDelta::ShadowPartition& PlanningDelta::MakeShadow(
     sp.base_exists = true;
     sp.state.domain = base->domain;
     sp.state.pending = base->pending;
+    // Snapshot the fields ShadowDirty/CollectWriteFootprint compare
+    // against while the shared lock still keeps the base stable; those
+    // checks run at commit time, possibly concurrent with foreign
+    // sharded commits mutating (and reallocating) the base.
+    sp.base_pending = base->pending;
     sp.state.fragments.reserve(base->fragments.size());
     sp.bases.reserve(base->fragments.size());
+    sp.base_snap.reserve(base->fragments.size());
     for (const FragmentStats& f : base->fragments) {
       // Copy everything except the hit history (O(#fragments), never
       // O(#hits)); readers go through the base pointer for history.
@@ -161,6 +167,7 @@ PlanningDelta::ShadowPartition& PlanningDelta::MakeShadow(
       copy.materialized = f.materialized;
       sp.state.fragments.push_back(std::move(copy));
       sp.bases.push_back(&f);
+      sp.base_snap.push_back({f.size_bytes, f.materialized});
     }
   } else {
     sp.state.domain = domain;
@@ -434,13 +441,15 @@ void PlanningDelta::Fold(ViewCatalog* views, Catalog* catalog,
     if (sp.base_exists && !ShadowDirty(sp)) {
       // Read-only shadow (created to evaluate a pool view, never
       // written). Skipping it keeps the index-based fold below from
-      // asserting against a base a foreign commit legitimately changed
+      // folding into a base a foreign commit legitimately changed
       // after this plan's soft reads were dropped. The remap entry is
       // still needed: decision actions may have captured the shadow
       // pointer (they only do when the reads were promoted, so the
-      // base is epoch-protected and still present).
-      fold_remap_.emplace_back(&sp.state,
-                               sp.view->GetPartition(sp.state.attr));
+      // base is epoch-protected and still present). Remap to the
+      // recorded base pointer — walking sp.view->partitions here would
+      // race with a foreign sharded commit inserting partitions into a
+      // view whose shard this commit does not hold.
+      fold_remap_.emplace_back(&sp.state, const_cast<PartitionState*>(sp.base));
       continue;
     }
     PartitionState* real = sp.view->EnsurePartition(sp.state.attr,
@@ -497,16 +506,20 @@ void PlanningDelta::PromoteSoftReads() {
 }
 
 bool PlanningDelta::ShadowDirty(const ShadowPartition& sp) {
+  // Judged entirely against the creation-time snapshot: dirtiness means
+  // "this plan wrote to the shadow", never "the base moved on" (a
+  // foreign commit may be mutating the base concurrently — comparing
+  // against it would be a data race, and folding because of a foreign
+  // change would overwrite it with this plan's stale copy).
   if (!sp.base_exists) return true;  // created here: a structure write
-  if (sp.state.pending != sp.base->pending) return true;
-  if (sp.state.fragments.size() != sp.base->fragments.size()) return true;
+  if (sp.state.pending != sp.base_pending) return true;
+  if (sp.state.fragments.size() != sp.base_snap.size()) return true;
   for (size_t i = 0; i < sp.state.fragments.size(); ++i) {
     const FragmentStats& sf = sp.state.fragments[i];
-    const FragmentStats* base = sp.bases[i];
-    if (base == nullptr) return true;  // planner-added fragment
+    if (sp.bases[i] == nullptr) return true;  // planner-added fragment
     if (!sf.hits().empty()) return true;
-    if (sf.size_bytes != base->size_bytes) return true;
-    if (sf.materialized != base->materialized) return true;
+    if (sf.size_bytes != sp.base_snap[i].size_bytes) return true;
+    if (sf.materialized != sp.base_snap[i].materialized) return true;
   }
   return false;
 }
@@ -536,19 +549,22 @@ CommitFootprint PlanningDelta::CollectWriteFootprint() const {
     const std::string& attr = sp.state.attr;
     if (!sp.base_exists) {
       fp.AddPartition(vid, attr);  // EnsurePartition created it
-    } else if (sp.state.pending != sp.base->pending) {
+    } else if (sp.state.pending != sp.base_pending) {
       fp.AddPartition(vid, attr);
     }
+    // Same snapshot comparisons as ShadowDirty (the two must agree:
+    // every dirty shadow's view has to be in the write footprint, so
+    // Fold only ever touches views whose commit shards are held).
     for (size_t i = 0; i < sp.state.fragments.size(); ++i) {
       const FragmentStats& sf = sp.state.fragments[i];
-      const FragmentStats* base = sp.bases[i];
-      if (base == nullptr) {
+      if (sp.bases[i] == nullptr) {
         // Planner-tracked fragment: the fragment list changed and the
         // new range carries its own hits and size.
         fp.AddPartition(vid, attr);
         fp.AddFragment(vid, attr, sf.interval);
-      } else if (!sf.hits().empty() || sf.size_bytes != base->size_bytes ||
-                 sf.materialized != base->materialized) {
+      } else if (!sf.hits().empty() ||
+                 sf.size_bytes != sp.base_snap[i].size_bytes ||
+                 sf.materialized != sp.base_snap[i].materialized) {
         fp.AddFragment(vid, attr, sf.interval);
       }
     }

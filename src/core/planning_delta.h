@@ -246,10 +246,27 @@ class PlanningDelta {
     /// folds into it); false when EnsurePartition created it here.
     bool base_exists = false;
     /// The shared partition this shadow copies (nullptr when created
-    /// here). Used to detect read-only shadows at fold time.
+    /// here). Fold uses the pointer VALUE only (the read-only remap
+    /// target); its fields must never be dereferenced outside the
+    /// shared lock — a foreign sharded commit may mutate the partition,
+    /// and a foreign Track() reallocates its fragment vector.
     const PartitionState* base = nullptr;
     /// Parallel to state.fragments; nullptr for planner-added entries.
+    /// Same rule as `base`: safe to compare against nullptr anywhere,
+    /// safe to dereference only under the shared lock.
     std::vector<const FragmentStats*> bases;
+    /// Creation-time snapshot of the base fields the dirty/footprint
+    /// checks compare against (taken under the shared lock, where the
+    /// base is stable). ShadowDirty / CollectWriteFootprint run at
+    /// commit time, when foreign sharded commits may be mutating the
+    /// base concurrently — they read these snapshots instead.
+    std::vector<Interval> base_pending;
+    struct BaseFragSnap {
+      double size_bytes = 0.0;
+      bool materialized = false;
+    };
+    /// Parallel to the base-backed prefix of state.fragments.
+    std::vector<BaseFragSnap> base_snap;
   };
 
   struct AttachOp {
@@ -267,9 +284,11 @@ class PlanningDelta {
   const std::vector<BenefitEvent>* PatchOf(const ViewInfo* v) const;
 
   /// True when the shadow buffered any write (local hits, added or
-  /// resized fragments, changed pending list). Read-only shadows are
-  /// skipped by Fold, so a plan whose soft reads were dropped never
-  /// asserts against a base a foreign commit legitimately changed.
+  /// resized fragments, changed pending list), judged against the
+  /// creation-time base snapshot — never the live base, which a
+  /// foreign commit may be mutating. Read-only shadows are skipped by
+  /// Fold, so a plan whose soft reads were dropped never folds into
+  /// (or asserts against) a base a foreign commit legitimately changed.
   static bool ShadowDirty(const ShadowPartition& sp);
 
   // Read-footprint recording (const readers record through these;

@@ -46,8 +46,12 @@ std::vector<int> ShardSetOf(const CommitFootprint& fp) {
 
 void PoolLock::LockShared() {
   std::unique_lock<std::mutex> lock(mu_);
+  // A waiting commit (X or IX) bars new shared entrants: without this a
+  // steady stream of planners across many tenants could hold shared_ >
+  // 0 forever and starve commits indefinitely.
   cv_.wait(lock, [this] {
-    return intent_ == 0 && !exclusive_ && exclusive_waiting_ == 0;
+    return intent_ == 0 && intent_waiting_ == 0 && !exclusive_ &&
+           exclusive_waiting_ == 0;
   });
   ++shared_;
 }
@@ -60,9 +64,14 @@ void PoolLock::UnlockShared() {
 
 void PoolLock::LockIntent() {
   std::unique_lock<std::mutex> lock(mu_);
+  // Registered as waiting so new shared entrants hold back (see
+  // LockShared); existing shared holders drain, then we enter. A
+  // waiting X still has priority over us.
+  ++intent_waiting_;
   cv_.wait(lock, [this] {
     return shared_ == 0 && !exclusive_ && exclusive_waiting_ == 0;
   });
+  --intent_waiting_;
   ++intent_;
 }
 
@@ -148,9 +157,16 @@ CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
 CommitGuard PoolManager::TryBeginShardedCommit(
     EngineObserver* observer, std::string tenant, int32_t tenant_ord,
     CommitFootprint write_fp, const CommitFootprint& read_fp,
-    uint64_t read_epoch, bool* conflict_genuine) {
+    uint64_t read_epoch, bool* conflict_genuine, double admitted_bytes) {
   assert(!CommitHeldByThisThread() && "commit section is not re-entrant");
-  assert(!write_fp.all && "structural commits must take the BeginCommit path");
+  if (write_fp.all) {
+    // A structural (`all`) footprint has no shard set: entering under
+    // IX would publish `all` while holding no per-view serialization at
+    // all. Refuse (defined behavior in release builds, unlike the old
+    // debug-only assert) so the caller escalates to BeginCommit.
+    if (conflict_genuine != nullptr) *conflict_genuine = true;
+    return CommitGuard();
+  }
   lock_.LockIntent();
   std::vector<int> shards = ShardSetOf(write_fp);
   for (int s : shards) {
@@ -161,7 +177,14 @@ CommitGuard PoolManager::TryBeginShardedCommit(
   uint64_t inflight_id = 0;
   {
     std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
-    if (!ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine)) {
+    bool ok = ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine);
+    if (ok && !AdmittedBytesFitLocked(admitted_bytes)) {
+      ok = false;
+      // Lost headroom is a genuine conflict: the pool really did grow
+      // under this plan's feet.
+      if (conflict_genuine != nullptr) *conflict_genuine = true;
+    }
+    if (!ok) {
       // Conflict: undo the entry (shards in reverse order, then IX) and
       // let the caller escalate to the exclusive path.
       for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
@@ -174,7 +197,7 @@ CommitGuard PoolManager::TryBeginShardedCommit(
     // commit can validate in the window between our validation and our
     // registration.
     inflight_id = next_inflight_id_++;
-    inflight_.emplace_back(inflight_id, write_fp);
+    inflight_.push_back(InflightCommit{inflight_id, write_fp, admitted_bytes});
   }
   if (conflict_genuine != nullptr) *conflict_genuine = false;
   CommitGuard guard = EnterCommitLocked(/*exclusive=*/false, observer,
@@ -199,7 +222,7 @@ void PoolManager::ReleaseCommit() {
     std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
     if (ctx.inflight_id != 0) {
       for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
-        if (it->first == ctx.inflight_id) {
+        if (it->id == ctx.inflight_id) {
           inflight_.erase(it);
           break;
         }
@@ -249,9 +272,8 @@ bool PoolManager::ValidateReadSetLocked(const CommitFootprint& read_fp,
       }
     }
   }
-  for (const auto& [id, fp] : inflight_) {
-    (void)id;
-    if (FootprintsConflict(read_fp, fp)) {
+  for (const InflightCommit& c : inflight_) {
+    if (FootprintsConflict(read_fp, c.fp)) {
       if (conflict_genuine != nullptr) *conflict_genuine = true;
       return false;
     }
@@ -259,14 +281,31 @@ bool PoolManager::ValidateReadSetLocked(const CommitFootprint& read_fp,
   return true;
 }
 
+bool PoolManager::AdmittedBytesFitLocked(double admitted_bytes) const {
+  if (admitted_bytes <= 0.0) return true;
+  double claimed = 0.0;
+  for (const InflightCommit& c : inflight_) claimed += c.admitted_bytes;
+  // The tolerance absorbs float-summation-order differences between the
+  // knapsack's sequential budget subtraction and the per-view occupancy
+  // cache sum, so a solo tenant whose plan exactly fills the budget is
+  // never invalidated by rounding.
+  const double limit = options_->pool_limit_bytes;
+  return views_.PoolBytes() + claimed + admitted_bytes <=
+         limit + 1e-9 * limit;
+}
+
 bool PoolManager::ValidateReadSet(const CommitGuard& commit,
                                   const CommitFootprint& read_fp,
-                                  uint64_t read_epoch,
-                                  bool* conflict_genuine) const {
+                                  uint64_t read_epoch, bool* conflict_genuine,
+                                  double admitted_bytes) const {
   assert(commit.held() && CommitHeldByThisThread());
   (void)commit;
   std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
   if (!ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine)) {
+    return false;
+  }
+  if (!AdmittedBytesFitLocked(admitted_bytes)) {
+    if (conflict_genuine != nullptr) *conflict_genuine = true;
     return false;
   }
   if (conflict_genuine != nullptr) *conflict_genuine = false;

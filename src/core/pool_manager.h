@@ -45,7 +45,9 @@ class PoolManager;
 /// exactly the PR 4 invariant that lets planners read shared state
 /// without per-view read locks — while commits with disjoint footprints
 /// overlap with one another. A pending X blocks new S/IX entrants, so
-/// structural commits cannot starve.
+/// structural commits cannot starve; a pending IX likewise blocks new S
+/// entrants (but defers to a pending X), so sharded commits cannot be
+/// starved by continuous planning traffic.
 class PoolLock {
  public:
   void LockShared();
@@ -60,6 +62,7 @@ class PoolLock {
   std::condition_variable cv_;
   int shared_ = 0;
   int intent_ = 0;
+  int intent_waiting_ = 0;
   int exclusive_waiting_ = 0;
   bool exclusive_ = false;
 };
@@ -206,29 +209,40 @@ class PoolManager {
   /// whose writes are `write_fp`. Acquires IX plus the write set's
   /// commit shards, then validates the read set against every foreign
   /// write footprint published after `read_epoch` and every in-flight
-  /// sharded commit.
+  /// sharded commit, and checks that `admitted_bytes` (the estimated
+  /// pool growth of the plan's materializations) still fits the pool
+  /// budget alongside every in-flight commit's claim — pool occupancy
+  /// is not part of any read footprint, so concurrent growth would
+  /// otherwise be invisible to uncontended plans.
   ///
   /// On success returns a held guard; the commit owns exactly its
   /// shards, must confine mutation to its write footprint, and
   /// publishes `write_fp` on release. On conflict returns an empty
   /// guard with *conflict_genuine set: true when a footprint actually
-  /// intersected, false when the bounded epoch table could no longer
-  /// cover `read_epoch` (a spurious, conservative invalidation). The
-  /// caller escalates to BeginCommit and replans there.
+  /// intersected (or the budget headroom is gone), false when the
+  /// bounded epoch table could no longer cover `read_epoch` (a
+  /// spurious, conservative invalidation). The caller escalates to
+  /// BeginCommit and replans there.
+  ///
+  /// A structural (`all`) write footprint has no shard set and is
+  /// rejected outright (empty guard, genuine): such commits must take
+  /// the BeginCommit path.
   CommitGuard TryBeginShardedCommit(EngineObserver* observer,
                                     std::string tenant, int32_t tenant_ord,
                                     CommitFootprint write_fp,
                                     const CommitFootprint& read_fp,
                                     uint64_t read_epoch,
-                                    bool* conflict_genuine);
+                                    bool* conflict_genuine,
+                                    double admitted_bytes = 0.0);
 
   /// Re-validates a read set from inside an exclusive commit (no
-  /// in-flight sharded commits can exist there). Same conflict
-  /// semantics as TryBeginShardedCommit; used by the engine's X path
-  /// and by the conflict tests.
+  /// in-flight sharded commits can exist there). Same conflict and
+  /// budget-headroom semantics as TryBeginShardedCommit; used by the
+  /// engine's X path and by the conflict tests.
   bool ValidateReadSet(const CommitGuard& commit,
                        const CommitFootprint& read_fp, uint64_t read_epoch,
-                       bool* conflict_genuine) const;
+                       bool* conflict_genuine,
+                       double admitted_bytes = 0.0) const;
 
   /// Overrides the write footprint this commit publishes on release
   /// (BeginCommit's default is `all`; a validated engine commit knows
@@ -442,6 +456,11 @@ class PoolManager {
   bool ValidateReadSetLocked(const CommitFootprint& read_fp,
                              uint64_t read_epoch,
                              bool* conflict_genuine) const;
+  /// True when `admitted_bytes` of new materializations still fit the
+  /// pool budget next to current occupancy plus every in-flight
+  /// commit's claim. Caller holds epoch_mu_ (the in-flight registry);
+  /// occupancy itself is a race-free atomic-cache sum.
+  bool AdmittedBytesFitLocked(double admitted_bytes) const;
 
   /// Advances timed-out-prefix cursors after a delta fold so
   /// evaluations under the shared lock stay O(in-window suffix) even
@@ -560,10 +579,17 @@ class PoolManager {
   /// (counted as spurious by the engine).
   std::deque<PublishedWrite> published_;
   static constexpr size_t kEpochRingCapacity = 128;
-  /// Write footprints of in-flight sharded commits (registered at
-  /// validation, removed at publish). Validation checks them so a plan
-  /// never validates against a half-applied foreign commit.
-  std::vector<std::pair<uint64_t, CommitFootprint>> inflight_;
+  /// Write footprints (and budget claims) of in-flight sharded commits
+  /// (registered at validation, removed at publish). Validation checks
+  /// them so a plan never validates against a half-applied foreign
+  /// commit, and so concurrent materializations cannot jointly
+  /// overshoot the pool budget.
+  struct InflightCommit {
+    uint64_t id = 0;
+    CommitFootprint fp;
+    double admitted_bytes = 0.0;
+  };
+  std::vector<InflightCommit> inflight_;
   uint64_t next_inflight_id_ = 1;
 
   /// Guards the tenant registry alone — never held together with the

@@ -11,6 +11,7 @@
 //    multi-tenant runs never replan (determinism contract).
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -25,8 +26,10 @@
 
 #include "core/commit_footprint.h"
 #include "core/engine.h"
+#include "core/planning_delta.h"
 #include "core/pool_manager.h"
 #include "core/shared_pool.h"
+#include "rewrite/filter_tree.h"
 #include "workload/bigbench.h"
 
 namespace deepsea {
@@ -293,6 +296,202 @@ TEST_F(CommitValidationTest, ShardStatsCountAcquisitions) {
   ASSERT_LT(shard, PoolManager::kCommitShards);
   EXPECT_GE(stats[static_cast<size_t>(shard)].acquisitions, 1u);
   EXPECT_GE(stats[static_cast<size_t>(shard)].held_seconds, 0.0);
+}
+
+TEST_F(CommitValidationTest, StructuralAllFootprintEscalatesToExclusive) {
+  // An `all` write footprint has no shard set; running it under IX
+  // would publish `all` with no serialization at all. The sharded
+  // entry must refuse it (in release builds too, not via a debug-only
+  // assert) so the caller escalates to BeginCommit.
+  CommitFootprint all;
+  all.all = true;
+  bool genuine = false;
+  CommitGuard guard = pool()->TryBeginShardedCommit(
+      nullptr, "", 0, all, CommitFootprint{}, pool()->read_epoch(), &genuine);
+  EXPECT_FALSE(guard.held());
+  EXPECT_TRUE(genuine);
+  // The refusal left no lock state behind: the exclusive path enters.
+  CommitGuard x = pool()->BeginCommit();
+  EXPECT_TRUE(x.held());
+  pool()->SetCommitFootprint(x, CommitFootprint{});
+}
+
+// --- budget headroom: concurrent materializations vs pool_limit ------
+
+class BudgetValidationTest : public ::testing::Test {
+ protected:
+  static EngineOptions Limited() {
+    EngineOptions o;
+    o.pool_limit_bytes = 1000.0;
+    return o;
+  }
+  BudgetValidationTest() : shared_(&catalog_, Limited()) {}
+
+  PoolManager* pool() { return shared_.pool(); }
+
+  Catalog catalog_;
+  SharedPool shared_;
+};
+
+TEST_F(BudgetValidationTest, ConcurrentClaimsCannotOvershootBudget) {
+  // Pool occupancy is not part of any read footprint, so two plans with
+  // disjoint footprints and uncontended knapsacks would each validate
+  // against the old occupancy and jointly materialize past the budget.
+  // The admitted-bytes claim closes that: a sharded commit only enters
+  // when its claim fits next to every in-flight commit's claim.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  std::thread holder([&] {
+    bool genuine = true;
+    CommitGuard commit = pool()->TryBeginShardedCommit(
+        nullptr, "a", 0, ViewRead("v1"), CommitFootprint{},
+        pool()->read_epoch(), &genuine, /*admitted_bytes=*/600.0);
+    ASSERT_TRUE(commit.held());
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  // 600 in flight + 600 claimed > 1000: rejected as a genuine conflict
+  // even though the footprints are disjoint and nothing was published.
+  bool genuine = false;
+  CommitGuard over = pool()->TryBeginShardedCommit(
+      nullptr, "b", 0, ViewRead("v2"), CommitFootprint{},
+      pool()->read_epoch(), &genuine, /*admitted_bytes=*/600.0);
+  EXPECT_FALSE(over.held());
+  EXPECT_TRUE(genuine);
+
+  // 600 + 300 <= 1000: fits alongside the in-flight claim.
+  CommitGuard fits = pool()->TryBeginShardedCommit(
+      nullptr, "b", 0, ViewRead("v2"), CommitFootprint{},
+      pool()->read_epoch(), &genuine, /*admitted_bytes=*/300.0);
+  EXPECT_TRUE(fits.held());
+  fits.Release();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+
+  // With the claim retired (and nothing actually materialized) the
+  // 600-byte claim fits again.
+  CommitGuard after = pool()->TryBeginShardedCommit(
+      nullptr, "b", 0, ViewRead("v2"), CommitFootprint{},
+      pool()->read_epoch(), &genuine, /*admitted_bytes=*/600.0);
+  EXPECT_TRUE(after.held());
+}
+
+TEST_F(BudgetValidationTest, ExclusiveValidationChecksHeadroomToo) {
+  // The structural path revalidates with the same budget rule (a
+  // non-replanned X commit also planned against possibly-stale
+  // occupancy).
+  CommitGuard x = pool()->BeginCommit();
+  bool genuine = false;
+  EXPECT_FALSE(pool()->ValidateReadSet(x, CommitFootprint{},
+                                       pool()->read_epoch(), &genuine,
+                                       /*admitted_bytes=*/2000.0));
+  EXPECT_TRUE(genuine);
+  EXPECT_TRUE(pool()->ValidateReadSet(x, CommitFootprint{},
+                                      pool()->read_epoch(), &genuine,
+                                      /*admitted_bytes=*/500.0));
+  pool()->SetCommitFootprint(x, CommitFootprint{});
+}
+
+// --- fold safety: read-only shadows of foreign-mutated bases ---------
+
+PlanSignature SigNamed(const std::string& relation) {
+  PlanSignature sig;
+  sig.relations = {relation};
+  return sig;
+}
+
+TEST(PlanningDeltaFoldTest, ReadOnlyShadowSurvivesForeignBaseGrowth) {
+  // A sharded commit folds its delta while foreign commits may already
+  // have changed views the plan only soft-read (those reads were
+  // dropped, so validation let the plan through). The fold must judge
+  // shadow dirtiness against the creation-time snapshot — never the
+  // live base: comparing against the base would (a) race, (b) dangle
+  // once the base's fragment vector reallocated, and (c) classify the
+  // read-only shadow dirty and overwrite the foreign commit's values
+  // with the plan's stale copy.
+  ViewCatalog views;
+  Catalog catalog;
+  FilterTree index;
+  ViewInfo* v = views.Track(Scan("a"), SigNamed("a"));
+  PartitionState* part = v->EnsurePartition("a.x", Interval(0, 1000));
+  part->Track(Interval(0, 50), 10.0);
+  part->Track(Interval(50, 100), 20.0);
+
+  PlanningDelta delta(catalog, &views, /*t_now=*/1.0);
+  PartitionState* shadow = delta.Partition(v, "a.x");
+  ASSERT_NE(shadow, nullptr);
+  ASSERT_NE(shadow, part);  // shared view: reads go through a shadow
+
+  // Foreign commit: grow the base far past its capacity (reallocating
+  // the fragment vector, so every base pointer the shadow captured
+  // dangles) and resize a fragment the shadow copied.
+  for (int i = 0; i < 64; ++i) {
+    part->Track(Interval(100 + 10 * i, 100 + 10 * (i + 1)), 1.0);
+  }
+  part->Find(Interval(0, 50))->size_bytes = 777.0;
+
+  delta.Fold(&views, &catalog, &index);
+
+  // The read-only shadow was skipped: foreign growth and the foreign
+  // resize survive the fold untouched.
+  EXPECT_EQ(part->fragments.size(), 66u);
+  EXPECT_DOUBLE_EQ(part->Find(Interval(0, 50))->size_bytes, 777.0);
+  // The remap still resolves the shadow to its real partition (without
+  // walking the foreign view's partition map).
+  EXPECT_EQ(delta.RealPartition(shadow), part);
+}
+
+// --- pool lock: waiting IX bars new shared entrants ------------------
+
+TEST(PoolLockTest, WaitingIntentBlocksNewSharedEntrants) {
+  // A sharded commit waiting for shared planners to drain must not be
+  // starved by a continuous stream of NEW planners: once an IX waiter
+  // is registered, fresh S entrants hold back until it got through.
+  PoolLock lock;
+  lock.LockShared();
+
+  std::atomic<bool> intent_acquired{false};
+  std::thread ix([&] {
+    lock.LockIntent();
+    intent_acquired.store(true);
+    lock.UnlockIntent();
+  });
+  // Let the IX waiter park on the held S lock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(intent_acquired.load());
+
+  std::atomic<bool> shared_acquired{false};
+  std::thread s([&] {
+    lock.LockShared();
+    shared_acquired.store(true);
+    lock.UnlockShared();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Pre-fix, the new S entrant would have been admitted alongside the
+  // original holder while the IX waiter kept waiting.
+  EXPECT_FALSE(shared_acquired.load());
+
+  lock.UnlockShared();
+  ix.join();
+  s.join();
+  EXPECT_TRUE(intent_acquired.load());
+  EXPECT_TRUE(shared_acquired.load());
 }
 
 // --- lock order: overlapping shard sets, opposite arrival order ------
