@@ -1,0 +1,41 @@
+#include "common/backoff.h"
+
+namespace deepsea {
+
+namespace {
+
+/// SplitMix64 finalizer: a high-quality 64 -> 64 bit mixer (the same
+/// construction rng.cc uses for seeding). Pure, so the jitter of retry
+/// k is a function of (seed, k) alone.
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double DeterministicBackoff::DelaySeconds(int retry) const {
+  if (retry < 0) retry = 0;
+  double delay = config_.base_seconds;
+  // Repeated multiplication instead of pow(): bit-identical across
+  // libm implementations, and retry counts are small. multiplier == 1
+  // short-circuits so the default config charges base_seconds exactly.
+  if (config_.multiplier != 1.0) {
+    for (int k = 0; k < retry && delay < config_.cap_seconds; ++k) {
+      delay *= config_.multiplier;
+    }
+  }
+  if (delay > config_.cap_seconds) delay = config_.cap_seconds;
+  if (config_.jitter_fraction > 0.0) {
+    const uint64_t bits = Mix(seed_ ^ (static_cast<uint64_t>(retry) + 1));
+    // 53-bit mantissa draw in [0, 1), mapped to [-1, 1).
+    const double u =
+        static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+    delay *= 1.0 + config_.jitter_fraction * (2.0 * u - 1.0);
+  }
+  return delay;
+}
+
+}  // namespace deepsea

@@ -3,9 +3,21 @@
 #include <chrono>
 #include <utility>
 
+#include "common/backoff.h"
+#include "core/materialization_service.h"
+
 namespace deepsea {
 
 namespace {
+
+/// Seed of the retry-backoff jitter stream: a pure function of the
+/// commit clock and the tenant ordinal, so replays (and the background
+/// worker retrying the same decision) draw identical jitter regardless
+/// of thread interleaving.
+uint64_t BackoffSeed(int64_t t_now, int32_t tenant_ord) {
+  return static_cast<uint64_t>(t_now) * 0x9e3779b97f4a7c15ull +
+         static_cast<uint64_t>(tenant_ord);
+}
 
 /// Brackets one pipeline stage with observer notifications.
 ///
@@ -129,6 +141,14 @@ DeepSeaEngine::DeepSeaEngine(Catalog* catalog, SharedPool* pool,
   InitStages();
 }
 
+DeepSeaEngine::~DeepSeaEngine() {
+  // Background jobs hold this engine's observer and QueryContext;
+  // drain them while both are still alive. With a shared pool this
+  // also drains other tenants' queued intents (their engines are still
+  // alive — they quiesce again on their own destruction).
+  if (pool_ != nullptr) pool_->QuiesceMaterialization();
+}
+
 void DeepSeaEngine::InitStages() {
   // The planners hold pointers into the pool's catalog / index; a brief
   // commit section proves exclusive access while we take them.
@@ -189,6 +209,19 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   CommitFootprint write_fp;
   double admitted_bytes = 0.0;
 
+  // Async eligibility: the merge pass and physical execution are
+  // commit-coupled to the query (the merge mutates partition structure
+  // the deferred decision was planned against; physical execution
+  // reads the materialized views the decision creates), and Hive never
+  // has a decision — those configurations execute inline regardless of
+  // the configured mode.
+  MaterializationService* mat_service = pool_->materialization_service();
+  const bool async_mode =
+      mat_service != nullptr &&
+      options_.materialization.mode == MaterializationConfig::Mode::kAsync &&
+      options_.strategy != StrategyKind::kHive && !options_.merge.enabled &&
+      !options_.physical_execution;
+
   // Phase 1 — speculative planning under the shared lock. The stages
   // buffer every statistics/catalog write into the context's
   // PlanningDelta — recording the plan's read footprint as they go —
@@ -211,9 +244,15 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     // CollectWriteFootprint make this belt-and-braces, but the
     // footprint should describe the plan the lock certified).
     write_fp = ctx->delta()->CollectWriteFootprint();
-    MergeDecisionWrites(decision, &write_fp);
+    if (!async_mode) {
+      // Inline/drain: the commit both folds the statistics and executes
+      // the decision, so its footprint and budget claim cover both. In
+      // async mode the commit is stats-only — the decision's writes and
+      // byte claim travel with the background job instead.
+      MergeDecisionWrites(decision, &write_fp);
+      admitted_bytes = AdmittedDecisionBytes(decision);
+    }
     write_fp.Normalize();
-    admitted_bytes = AdmittedDecisionBytes(decision);
   }
 
   // Phase 2 — commit. Pool-structural work (view creation, evictions,
@@ -226,14 +265,18 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   // time, OnQueryStart is not re-fired).
   bool needs_exclusive =
       options_.merge.enabled || ctx->delta()->RequiresStructuralCommit();
+  bool decision_evicts = false;
   for (const SelectionAction& a : decision.actions) {
     if (a.kind == SelectionAction::Kind::kEvictWholeView ||
         a.kind == SelectionAction::Kind::kEvictFragment) {
       // Evictions change the pool occupancy every tenant's knapsack
-      // budgets against; route them through the exclusive lock.
-      needs_exclusive = true;
+      // budgets against; route them through the exclusive lock. In
+      // async mode the eviction is deferred with the decision, so the
+      // exclusivity requirement travels with the job, not this commit.
+      decision_evicts = true;
     }
   }
+  if (!async_mode && decision_evicts) needs_exclusive = true;
 
   CommitGuard commit;
   bool conflict_genuine = false;
@@ -267,6 +310,10 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     report.replan_conflict = conflict_genuine;
     report.replan_spurious = !conflict_genuine;
     decision = SelectionDecision();
+    // The replan reads current state under the exclusive lock; a
+    // deferred decision built from it revalidates against publishes
+    // after this point (nothing can publish while we hold X).
+    read_epoch = pool_->read_epoch();
     ctx = std::make_unique<QueryContext>(query, t, tenant_, tenant_ord_);
     ctx->InitPlanning(*catalog_, stat_);
     DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
@@ -282,17 +329,69 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     // replanned) plan knows its precise writes — publish those instead
     // so disjoint in-flight plans of other tenants survive this commit.
     // (With the merge pass enabled the commit may touch any view, so
-    // `all` stands. Collect before Apply folds the delta.)
+    // `all` stands. Collect before Apply folds the delta. In async mode
+    // only the statistics fold happens in this commit — the decision's
+    // writes publish with the background job's own commit.)
     CommitFootprint write_fp = ctx->delta()->CollectWriteFootprint();
-    MergeDecisionWrites(decision, &write_fp);
+    if (!async_mode) MergeDecisionWrites(decision, &write_fp);
     write_fp.Normalize();
     pool_->SetCommitFootprint(commit, std::move(write_fp));
   }
 
-  if (options_.strategy != StrategyKind::kHive) {
+  if (options_.strategy != StrategyKind::kHive && async_mode) {
+    // Asynchronous handoff: this commit folds the statistics, publishes
+    // its footprint early (so the job can carry the publish's seq as
+    // its own-write exemption), and hands the decision to the
+    // background service as a declarative intent. The query answers
+    // now, from the current pool; the materialization work leaves the
+    // query's critical path entirely.
+    pool_->FoldPlanningDelta(commit, *ctx);
+    const uint64_t own_seq = pool_->PublishCommitEarly(commit);
+    if (!decision.empty()) {
+      MaterializationJob job;
+      CommitFootprint job_fp;
+      MergeDecisionWrites(decision, &job_fp);
+      job_fp.Normalize();
+      job.write_fp = std::move(job_fp);
+      job.reval_fp = MaterializationService::RevalidationFootprint(decision);
+      job.read_epoch = read_epoch;
+      job.skip_seq = own_seq;
+      job.admitted_bytes = AdmittedDecisionBytes(decision);
+      job.benefit_score = decision.benefit_score;
+      job.needs_exclusive = decision_evicts;
+      job.observer = observer_;
+      job.tenant = tenant_;
+      job.tenant_ord = tenant_ord_;
+      job.t_now = t;
+      job.coalesce_key = MaterializationService::CoalesceKey(decision);
+      job.decision = std::move(decision);
+      job.ctx = std::move(ctx);
+      mat_service->Submit(std::move(job));
+    }
+  } else if (options_.strategy != StrategyKind::kHive) {
+    bool execute_decision = true;
+    if (mat_service != nullptr &&
+        options_.materialization.mode == MaterializationConfig::Mode::kDrain &&
+        !decision.empty()) {
+      // Drain mode: the decision routes through the service's admission
+      // accounting but executes synchronously inside this same commit.
+      // At the default bounds admission is unconditional, which keeps
+      // drain-mode traces bit-identical to inline execution.
+      execute_decision = mat_service->AdmitInline(
+          AdmittedDecisionBytes(decision), decision.benefit_score);
+    }
     {
       StageScope stage(observer_, EngineStage::kApply, *ctx);
-      ExecuteDecision(decision, *ctx, &report, t);
+      if (execute_decision) {
+        ExecuteDecision(decision, *ctx, &report, t);
+      } else {
+        // Shed under a forced-tight drain bound: the statistics still
+        // land (they back the plan the query answered with); only the
+        // decision is dropped. The commit's registered footprint
+        // over-covers the never-executed decision — conservative and
+        // sound.
+        pool_->FoldPlanningDelta(commit, *ctx);
+      }
       stage.Finish(report.materialize_seconds);
     }
 
@@ -365,6 +464,8 @@ void DeepSeaEngine::ExecuteDecision(const SelectionDecision& decision,
                                     const QueryContext& ctx,
                                     QueryReport* report, int64_t t_now) {
   const FaultHandlingConfig& fault = options_.fault;
+  const DeterministicBackoff backoff(fault.Backoff(),
+                                     BackoffSeed(t_now, tenant_ord_));
   // Apply restores *report to its pre-attempt image on failure, so the
   // running fault/retry tallies and the backoff charge live outside the
   // report until the loop resolves.
@@ -386,7 +487,7 @@ void DeepSeaEngine::ExecuteDecision(const SelectionDecision& decision,
     }
     if (st.IsTransient() && attempt < fault.max_retries) {
       ++retries;
-      backoff_seconds += fault.retry_backoff_seconds;
+      backoff_seconds += backoff.DelaySeconds(attempt);
       if (observer_ != nullptr) {
         observer_->OnRetry(EngineStage::kApply, attempt + 1, tenant_);
       }
@@ -413,6 +514,8 @@ void DeepSeaEngine::ExecuteDecision(const SelectionDecision& decision,
 double DeepSeaEngine::ExecuteMergePass(const QueryContext& ctx,
                                        QueryReport* report) {
   const FaultHandlingConfig& fault = options_.fault;
+  const DeterministicBackoff backoff(
+      fault.Backoff(), BackoffSeed(ctx.clock(), tenant_ord_));
   int faults = report->fault_count;
   int retries = report->retry_count;
   double backoff_seconds = 0.0;
@@ -430,7 +533,7 @@ double DeepSeaEngine::ExecuteMergePass(const QueryContext& ctx,
     }
     if (seconds.status().IsTransient() && attempt < fault.max_retries) {
       ++retries;
-      backoff_seconds += fault.retry_backoff_seconds;
+      backoff_seconds += backoff.DelaySeconds(attempt);
       if (observer_ != nullptr) {
         observer_->OnRetry(EngineStage::kMerge, attempt + 1, tenant_);
       }

@@ -135,6 +135,12 @@ struct ParsedState {
 }  // namespace
 
 Result<std::string> DeepSeaEngine::SaveState() const {
+  // Quiesce the materialization service first: queued intents execute
+  // (or drop as stale) before the snapshot, so the saved blob reflects
+  // a drained pool — a queue is never silently forgotten by a
+  // save/restore cycle. Must happen before the lock below (draining
+  // takes commits of its own).
+  pool_->QuiesceMaterialization();
   // Shared-mode lock: a consistent snapshot that doesn't block other
   // readers (and waits for any in-flight commit to finish).
   auto lock = pool_->SharedLock();
@@ -185,6 +191,11 @@ Result<std::string> DeepSeaEngine::SaveState() const {
 }
 
 Status DeepSeaEngine::LoadState(const std::string& state) {
+  // Quiesce before restoring: a queued intent was planned against the
+  // pre-load pool and must not fold into the restored one. (Its
+  // revalidation would catch the structural `all` publish of the load
+  // commit anyway — draining first keeps the ordering deterministic.)
+  pool_->QuiesceMaterialization();
   // --- phase 1: parse and validate the whole blob into ParsedState.
   // Mutates nothing, so a truncated, version-skewed, or field-mangled
   // blob returns an error with the engine exactly as it was — no

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "core/materialization_service.h"
 #include "core/merge.h"
 #include "core/view_sizing.h"
 
@@ -96,6 +97,37 @@ void PoolLock::UnlockExclusive() {
   cv_.notify_all();
 }
 
+// --- construction / teardown ---
+
+PoolManager::PoolManager(Catalog* catalog, const EngineOptions* options,
+                         const ClusterModel* cluster,
+                         const PlanCostEstimator* estimator)
+    : catalog_(catalog),
+      options_(options),
+      cluster_(cluster),
+      estimator_(estimator),
+      fs_(options->cluster.block_bytes),
+      decay_(options->decay) {
+  if (options->materialization.mode != MaterializationConfig::Mode::kInline) {
+    service_ =
+        std::make_unique<MaterializationService>(this, options->materialization);
+  }
+}
+
+PoolManager::~PoolManager() {
+  // Join the workers and drain leftover jobs while the pool is still
+  // fully alive — jobs take commits on this pool.
+  if (service_ != nullptr) service_->Shutdown();
+}
+
+MaterializationService* PoolManager::materialization_service() const {
+  return service_.get();
+}
+
+void PoolManager::QuiesceMaterialization() const {
+  if (service_ != nullptr) service_->Quiesce();
+}
+
 // --- commit context ---
 
 struct PoolManager::CommitCtx {
@@ -157,7 +189,8 @@ CommitGuard PoolManager::BeginCommit(EngineObserver* observer,
 CommitGuard PoolManager::TryBeginShardedCommit(
     EngineObserver* observer, std::string tenant, int32_t tenant_ord,
     CommitFootprint write_fp, const CommitFootprint& read_fp,
-    uint64_t read_epoch, bool* conflict_genuine, double admitted_bytes) {
+    uint64_t read_epoch, bool* conflict_genuine, double admitted_bytes,
+    uint64_t ignore_seq) {
   assert(!CommitHeldByThisThread() && "commit section is not re-entrant");
   if (write_fp.all) {
     // A structural (`all`) footprint has no shard set: entering under
@@ -177,7 +210,8 @@ CommitGuard PoolManager::TryBeginShardedCommit(
   uint64_t inflight_id = 0;
   {
     std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
-    bool ok = ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine);
+    bool ok =
+        ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine, ignore_seq);
     if (ok && !AdmittedBytesFitLocked(admitted_bytes)) {
       ok = false;
       // Lost headroom is a genuine conflict: the pool really did grow
@@ -251,7 +285,8 @@ void PoolManager::ReleaseCommit() {
 
 bool PoolManager::ValidateReadSetLocked(const CommitFootprint& read_fp,
                                         uint64_t read_epoch,
-                                        bool* conflict_genuine) const {
+                                        bool* conflict_genuine,
+                                        uint64_t ignore_seq) const {
   const uint64_t seq_now = commit_seq_.load(std::memory_order_relaxed);
   if (seq_now > read_epoch) {
     // Can the bounded ring still cover everything published after the
@@ -266,6 +301,9 @@ bool PoolManager::ValidateReadSetLocked(const CommitFootprint& read_fp,
     }
     for (const PublishedWrite& p : published_) {
       if (p.seq <= read_epoch) continue;
+      // A background job skips its own query's statistics publish: the
+      // job's plan already accounts for those writes.
+      if (ignore_seq != 0 && p.seq == ignore_seq) continue;
       if (FootprintsConflict(read_fp, p.fp)) {
         if (conflict_genuine != nullptr) *conflict_genuine = true;
         return false;
@@ -297,11 +335,13 @@ bool PoolManager::AdmittedBytesFitLocked(double admitted_bytes) const {
 bool PoolManager::ValidateReadSet(const CommitGuard& commit,
                                   const CommitFootprint& read_fp,
                                   uint64_t read_epoch, bool* conflict_genuine,
-                                  double admitted_bytes) const {
+                                  double admitted_bytes,
+                                  uint64_t ignore_seq) const {
   assert(commit.held() && CommitHeldByThisThread());
   (void)commit;
   std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
-  if (!ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine)) {
+  if (!ValidateReadSetLocked(read_fp, read_epoch, conflict_genuine,
+                             ignore_seq)) {
     return false;
   }
   if (!AdmittedBytesFitLocked(admitted_bytes)) {
@@ -321,6 +361,36 @@ void PoolManager::SetCommitFootprint(const CommitGuard& commit,
   // table; only the exclusive path may narrow what it publishes.
   assert(ctx.exclusive && "SetCommitFootprint is for exclusive commits");
   ctx.publish_fp = std::move(fp);
+}
+
+uint64_t PoolManager::PublishCommitEarly(const CommitGuard& commit) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  CommitCtx& ctx = Ctx();
+  assert(ctx.pool == this);
+  // Sound only because the commit's pool writes are complete by the
+  // time the engine calls this (the async stats commit folds the delta
+  // first, then publishes): a plan validating against the published
+  // entry sees state that already reflects it. Sharded commits keep
+  // their shard locks until release — a later same-shard commit simply
+  // waits there.
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  if (ctx.inflight_id != 0) {
+    for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+      if (it->id == ctx.inflight_id) {
+        inflight_.erase(it);
+        break;
+      }
+    }
+    ctx.inflight_id = 0;
+  }
+  if (ctx.publish_fp.Empty()) return 0;
+  const uint64_t seq = commit_seq_.load(std::memory_order_relaxed) + 1;
+  published_.push_back(PublishedWrite{seq, std::move(ctx.publish_fp)});
+  if (published_.size() > kEpochRingCapacity) published_.pop_front();
+  commit_seq_.store(seq, std::memory_order_release);
+  ctx.publish_fp = CommitFootprint();
+  return seq;
 }
 
 bool PoolManager::CommitHeldByThisThread() const {
@@ -1008,6 +1078,16 @@ Status PoolManager::ApplyStaged(const SelectionDecision& decision,
     NotifyMaterializeView(view, extra);
   }
   return Status::OK();
+}
+
+void PoolManager::FoldPlanningDelta(const CommitGuard& commit,
+                                    const QueryContext& ctx) {
+  assert(commit.held() && CommitHeldByThisThread());
+  (void)commit;
+  PlanningDelta* delta = ctx.delta();
+  if (delta == nullptr || delta->folded()) return;
+  delta->Fold(&views_, catalog_, &rewrite_index_);
+  AdvanceWindowsAfterFold(ctx.t_now());
 }
 
 Status PoolManager::Apply(const SelectionDecision& decision,

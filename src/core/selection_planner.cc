@@ -292,6 +292,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
       default:
         continue;  // pool content that stays: nothing to do
     }
+    decision.benefit_score += it->value;
     decision.actions.push_back(a);
   }
   return decision;

@@ -44,6 +44,11 @@ struct SelectionAction {
 struct SelectionDecision {
   std::vector<SelectionAction> actions;
 
+  /// Summed knapsack value (the Φ benefit estimate) of the admitted
+  /// materialization actions. The materialization service's admission
+  /// control sheds the lowest-score intents first under overload.
+  double benefit_score = 0.0;
+
   bool empty() const { return actions.empty(); }
 };
 

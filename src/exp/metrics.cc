@@ -11,6 +11,7 @@
 
 #include "common/str_util.h"
 #include "core/engine_options.h"
+#include "core/materialization_service.h"
 
 namespace deepsea {
 
@@ -342,6 +343,34 @@ MetricsObserver::MetricsSnapshot MetricsObserver::TakeSnapshot() const {
         wall > 0.0
             ? (lock_stats.held_seconds - attach_held_seconds_) / wall
             : 0.0;
+    if (const MaterializationService* mat =
+            pool_->materialization_service()) {
+      // Queue gauges take the service's internal lock; the commit
+      // shared lock held here and the queue lock nest in the same
+      // order everywhere (commit -> queue), so this cannot deadlock
+      // against Submit (which enqueues from inside a commit).
+      MetricsSnapshot::PoolGauges::Materialization& m = g.materialization;
+      m.configured = true;
+      m.queue_depth = static_cast<int64_t>(mat->QueueDepth());
+      m.queue_bytes = mat->QueueBytes();
+      m.oldest_age_seconds = mat->OldestAgeSeconds();
+      const MaterializationService::StatsSnapshot s = mat->stats();
+      m.submitted = s.submitted;
+      m.executed = s.executed;
+      m.failed = s.failed;
+      m.shed = s.shed;
+      m.coalesced = s.coalesced;
+      m.stale_dropped = s.stale_dropped;
+      m.background_sim_seconds = s.background_sim_seconds;
+      m.enqueue_to_fold.count = s.latency_count;
+      m.enqueue_to_fold.sum = s.latency_sum_seconds;
+      static_assert(MaterializationService::kLatencyBuckets ==
+                        MetricsObserver::kFiniteBuckets,
+                    "service and exporter histograms must share bounds");
+      for (size_t b = 0; b < kBucketCount; ++b) {
+        m.enqueue_to_fold.buckets[b] = s.latency_buckets[b];
+      }
+    }
   }
   return snap;
 }
@@ -470,6 +499,49 @@ const std::vector<MetricInfo>& MetricsObserver::Registry() {
       {"deepsea_commit_lock_hold_fraction", "gauge",
        "Commit-lock hold time over wall time since the pool was "
        "attached to this observer.",
+       "", true, true},
+      {"deepsea_mat_queue_depth", "gauge",
+       "Decision intents queued in the background materialization "
+       "service (0 in inline/drain modes).",
+       "", false, true},
+      {"deepsea_mat_queue_bytes", "gauge",
+       "Summed admitted (estimated materialization) bytes of queued "
+       "intents, the byte side of the admission bound.",
+       "", false, true},
+      {"deepsea_mat_queue_oldest_age_seconds", "gauge",
+       "Host age of the oldest queued intent; a growing value means the "
+       "workers cannot keep up with submission.",
+       "", true, true},
+      {"deepsea_mat_enqueued_total", "counter",
+       "Decision intents submitted to the materialization service "
+       "(async enqueues and drain-mode admissions).",
+       "", false, true},
+      {"deepsea_mat_executed_total", "counter",
+       "Intents whose decision was folded into the pool.", "", false,
+       true},
+      {"deepsea_mat_shed_total", "counter",
+       "Intents dropped by admission control (queue depth or byte "
+       "bound exceeded; lowest knapsack benefit shed first).",
+       "", false, true},
+      {"deepsea_mat_coalesced_total", "counter",
+       "Queued intents superseded in place by a newer intent targeting "
+       "the same view/range set.",
+       "", false, true},
+      {"deepsea_mat_stale_dropped_total", "counter",
+       "Intents dropped by staleness revalidation: a foreign commit "
+       "changed a target partition after the intent was planned.",
+       "", false, true},
+      {"deepsea_mat_failed_total", "counter",
+       "Intents abandoned after a permanent background fault or "
+       "exhausted retries (the target view takes the quarantine hit).",
+       "", false, true},
+      {"deepsea_mat_background_seconds_total", "counter",
+       "Simulated materialization seconds folded by background workers "
+       "(time the issuing queries were NOT charged).",
+       "", false, true},
+      {"deepsea_mat_enqueue_to_fold_seconds", "histogram",
+       "Host wall-clock latency from intent enqueue to completed "
+       "background fold (executed intents only).",
        "", true, true},
   };
   return kRegistry;
@@ -623,6 +695,48 @@ std::string MetricsObserver::RenderPrometheusText(
     }
     gauge("deepsea_commit_lock_hold_fraction",
           FormatValue(g.commit_lock_hold_fraction));
+
+    // Materialization-service series render whenever a pool is
+    // attached — zeros in inline mode — so the scrape schema is
+    // independent of MaterializationConfig::Mode.
+    const MetricsSnapshot::PoolGauges::Materialization& m =
+        g.materialization;
+    gauge("deepsea_mat_queue_depth",
+          StrFormat("%lld", static_cast<long long>(m.queue_depth)));
+    gauge("deepsea_mat_queue_bytes", FormatValue(m.queue_bytes));
+    gauge("deepsea_mat_queue_oldest_age_seconds",
+          FormatValue(m.oldest_age_seconds));
+    gauge("deepsea_mat_enqueued_total",
+          StrFormat("%lld", static_cast<long long>(m.submitted)));
+    gauge("deepsea_mat_executed_total",
+          StrFormat("%lld", static_cast<long long>(m.executed)));
+    gauge("deepsea_mat_shed_total",
+          StrFormat("%lld", static_cast<long long>(m.shed)));
+    gauge("deepsea_mat_coalesced_total",
+          StrFormat("%lld", static_cast<long long>(m.coalesced)));
+    gauge("deepsea_mat_stale_dropped_total",
+          StrFormat("%lld", static_cast<long long>(m.stale_dropped)));
+    gauge("deepsea_mat_failed_total",
+          StrFormat("%lld", static_cast<long long>(m.failed)));
+    gauge("deepsea_mat_background_seconds_total",
+          FormatValue(m.background_sim_seconds));
+    if (header("deepsea_mat_enqueue_to_fold_seconds") != nullptr) {
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < kFiniteBuckets; ++b) {
+        cumulative += m.enqueue_to_fold.buckets[b];
+        out += StrFormat(
+            "deepsea_mat_enqueue_to_fold_seconds_bucket{le=\"%s\"} %llu\n",
+            kBucketLabels[b], static_cast<unsigned long long>(cumulative));
+      }
+      cumulative += m.enqueue_to_fold.buckets[kFiniteBuckets];
+      out += StrFormat(
+          "deepsea_mat_enqueue_to_fold_seconds_bucket{le=\"+Inf\"} %llu\n",
+          static_cast<unsigned long long>(cumulative));
+      out += StrFormat("deepsea_mat_enqueue_to_fold_seconds_sum %s\n",
+                       FormatValue(m.enqueue_to_fold.sum).c_str());
+      out += StrFormat("deepsea_mat_enqueue_to_fold_seconds_count %lld\n",
+                       static_cast<long long>(m.enqueue_to_fold.count));
+    }
   }
   return out;
 }

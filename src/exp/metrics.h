@@ -170,6 +170,29 @@ class MetricsObserver : public EngineObserver {
       /// Per commit shard: acquisitions and cumulative hold seconds
       /// (index = shard id; see PoolManager::commit_shard_stats()).
       std::vector<PoolManager::CommitShardStats> commit_shards;
+
+      /// Background materialization service gauges/counters, read from
+      /// the pool's MaterializationService at scrape time. All zero
+      /// (with `configured` false) when the pool runs inline — the
+      /// series are still rendered so the scrape schema does not change
+      /// with the mode.
+      struct Materialization {
+        bool configured = false;  ///< pool has a service (kDrain/kAsync)
+        int64_t queue_depth = 0;
+        double queue_bytes = 0.0;
+        /// Host age of the oldest queued intent (0 when empty).
+        double oldest_age_seconds = 0.0;
+        int64_t submitted = 0;
+        int64_t executed = 0;
+        int64_t failed = 0;
+        int64_t shed = 0;
+        int64_t coalesced = 0;
+        int64_t stale_dropped = 0;
+        double background_sim_seconds = 0.0;
+        /// Host-clock enqueue-to-fold latency of executed jobs.
+        Histogram enqueue_to_fold;
+      };
+      Materialization materialization;
     };
 
     std::map<std::string, Tenant> tenants;  ///< keyed by tenant id

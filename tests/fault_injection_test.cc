@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "core/engine.h"
+#include "core/materialization_service.h"
 #include "core/view_sizing.h"
 #include "exp/trace.h"
 #include "storage/fault_policy.h"
@@ -383,6 +384,112 @@ TEST(FaultRecoveryTest, QuarantineThenCooldownReadmission) {
             report->created_views.end())
       << "re-admitted view was not re-proposed";
   EXPECT_TRUE(quarantined->InPool());
+}
+
+// ---------------------------------------------------------------------
+// Background-scoped faults: a permanent fault that only fires inside
+// materialization-service jobs fails the fold and quarantines the view
+// entirely in the background. The query that planned the decision was
+// already answered undegraded, and no later foreground query ever
+// surfaces the fault either — the blast radius is one background job.
+TEST(FaultRecoveryTest, BackgroundFaultQuarantinesWithoutDegradingQueries) {
+  Catalog catalog = MakeCatalog();
+  EngineOptions opts;
+  opts.benefit_cost_threshold = 0.0;
+  opts.fault.max_retries = 0;
+  opts.fault.quarantine_threshold = 1;
+  opts.materialization.mode = MaterializationConfig::Mode::kAsync;
+  opts.materialization.workers = 0;
+  DeepSeaEngine engine(&catalog, opts);
+
+  ScheduledFaultPolicy policy(/*seed=*/9);
+  FaultRule rule;
+  rule.ops = {FsOp::kPut};
+  rule.path_substring = "pool/v2/";  // only v2's writes fail...
+  rule.scope = FaultScope::kBackground;  // ...and only in background jobs
+  rule.every_nth = 1;
+  rule.permanent_code = StatusCode::kInternal;
+  policy.AddRule(rule);
+  engine.mutable_pool()->SetFaultPolicy(&policy);
+
+  MaterializationService* mat = engine.pool().materialization_service();
+  ASSERT_NE(mat, nullptr);
+
+  auto plan = BigBenchTemplates::Build("Q30", 100000, 180000);
+  ASSERT_TRUE(plan.ok());
+  auto report = engine.ProcessQuery(*plan);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->degraded);
+  EXPECT_EQ(report->fault_count, 0);
+  ASSERT_EQ(mat->QueueDepth(), 1u);
+
+  // The fold fails permanently in the background: the decision rolls
+  // back as a whole (nothing half-applied) and v2 is quarantined.
+  mat->DrainAll();
+  const auto s = mat->stats();
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_GE(s.faults, 1);
+  EXPECT_EQ(s.executed, 0);
+  EXPECT_EQ(engine.PoolBytes(), 0.0);
+  EXPECT_TRUE(engine.fs().List("pool/").empty());
+  const ViewInfo* v2 = engine.views().Get("v2");
+  ASSERT_NE(v2, nullptr);
+  EXPECT_TRUE(v2->Quarantined(engine.now()));
+
+  // Later queries skip the quarantined view; their decisions fold
+  // healthy views in the background. Still zero degraded queries.
+  for (int q = 0; q < 3; ++q) {
+    auto r = engine.ProcessQuery(*plan);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->degraded) << "query " << q;
+    EXPECT_EQ(r->fault_count, 0) << "query " << q;
+  }
+  mat->DrainAll();
+  const auto after = mat->stats();
+  EXPECT_GT(after.executed, 0);
+  EXPECT_EQ(after.failed, 1);  // no further faults: v2 was never retried
+  EXPECT_GT(engine.PoolBytes(), 0.0);
+  EXPECT_EQ(engine.totals().queries_degraded, 0);
+}
+
+// ---------------------------------------------------------------------
+// Scope isolation, the other direction: a foreground-scoped rule never
+// fires on background storage traffic. In kAsync mode all pool writes
+// happen inside service jobs, so the rule stays silent and every fold
+// lands.
+TEST(FaultRecoveryTest, ForegroundScopedRuleDoesNotFireInBackground) {
+  Catalog catalog = MakeCatalog();
+  EngineOptions opts;
+  opts.benefit_cost_threshold = 0.0;
+  opts.materialization.mode = MaterializationConfig::Mode::kAsync;
+  opts.materialization.workers = 0;
+  DeepSeaEngine engine(&catalog, opts);
+
+  ScheduledFaultPolicy policy(/*seed=*/9);
+  FaultRule rule;
+  rule.ops = {FsOp::kPut};
+  rule.path_substring = "pool/";
+  rule.scope = FaultScope::kForeground;
+  rule.every_nth = 1;
+  rule.permanent_code = StatusCode::kInternal;
+  policy.AddRule(rule);
+  engine.mutable_pool()->SetFaultPolicy(&policy);
+
+  MaterializationService* mat = engine.pool().materialization_service();
+  ASSERT_NE(mat, nullptr);
+
+  auto plan = BigBenchTemplates::Build("Q30", 100000, 180000);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.ProcessQuery(*plan).ok());
+  mat->DrainAll();
+
+  const auto s = mat->stats();
+  EXPECT_GT(s.executed, 0);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.faults, 0);
+  EXPECT_EQ(policy.faults_injected(), 0);
+  EXPECT_GT(engine.PoolBytes(), 0.0);
+  EXPECT_EQ(engine.totals().queries_degraded, 0);
 }
 
 // ---------------------------------------------------------------------
