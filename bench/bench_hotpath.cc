@@ -10,17 +10,24 @@
 //      other, so the bench doubles as a coarse bit-identity check.
 //
 //   2. throughput — 1..32 engines free-running on one SharedPool (no
-//      turnstile), under two workload shapes: "shared" (every engine
-//      draws from the same template pool, so footprints overlap) and
-//      "disjoint" (engine i works one private template, so read/write
-//      footprints are disjoint and sharded commits never conflict).
-//      Planning runs under the shared (S) lock; commits take the
-//      sharded (IX + view-group shards) path unless structural.
-//      Replans are split genuine-conflict vs spurious, and the
-//      per-shard hold times (PoolManager::commit_shard_stats) yield
-//      the max shard serialization fraction. The disjoint rows are a
-//      runtime assertion: any spurious replan there (engines <= 8,
-//      where templates are truly private) fails the bench.
+//      turnstile), under three workload shapes: "shared" (every engine
+//      draws fresh ranges from the same template pool, so footprints
+//      overlap and nearly every query is a creator), "shared_warmed"
+//      (the same stream replayed against a pre-warmed pool, so commits
+//      are stats-only folds), and "disjoint" (engine i works one
+//      private template, so read/write footprints are disjoint and
+//      sharded commits never conflict). Planning runs under the
+//      shared (S) lock; commits — creators included, via view-id
+//      reservation and precise catalog footprints — take the sharded
+//      (IX + view-group shards) path unless they merge, evict inline,
+//      execute physically, or replan. Replans are split
+//      genuine-conflict vs spurious, and the per-shard hold times
+//      (PoolManager::commit_shard_stats) yield the max shard
+//      serialization fraction. Four rows double as runtime
+//      assertions: spurious replans on disjoint (engines <= 8), a
+//      warmed row with zero sharded commits, a majority-exclusive
+//      cold shared row, or warmed multi-engine throughput below 0.75x
+//      the single-engine rate each fail the bench.
 //
 //   3. observer_overhead — the 4-engine fixed-total-work throughput
 //      config re-run with no observer, per-engine TraceObservers, and
@@ -758,6 +765,9 @@ int main(int argc, char** argv) {
   std::vector<ThroughputRow> throughput;
   bool spurious_on_disjoint = false;
   bool no_sharded_on_warmed = false;
+  bool exclusive_majority_on_shared = false;
+  bool warmed_scaleup_collapsed = false;
+  double warmed_single_engine_qps = 0.0;
   for (WorkloadKind workload :
        {WorkloadKind::kShared, WorkloadKind::kSharedWarmed,
         WorkloadKind::kDisjoint}) {
@@ -791,6 +801,29 @@ int main(int argc, char** argv) {
       if (workload == WorkloadKind::kSharedWarmed && r.commits_sharded == 0) {
         no_sharded_on_warmed = true;
       }
+      // The COLD shared rows are the view-id-reservation showcase:
+      // every engine keeps tracking fresh candidate views, and with
+      // placeholder ids + precise catalog footprints those structural
+      // commits stay on the IX path. Exclusive commits should be the
+      // minority (evictions and replans only); a majority-exclusive
+      // row means creators regressed onto the X path.
+      if (workload == WorkloadKind::kShared &&
+          r.commits_sharded <= r.commits_exclusive) {
+        exclusive_majority_on_shared = true;
+      }
+      // Warmed scale-up floor: 2 engines once collapsed to ~0.67x the
+      // single-engine rate (conflict replans re-planning under the held
+      // X lock convoyed the other tenant). The ratio is computed
+      // within one bench run, so machine-speed noise cancels; 0.75 sits
+      // above the historical collapse and below legitimate jitter.
+      if (workload == WorkloadKind::kSharedWarmed) {
+        if (r.engines == 1) {
+          warmed_single_engine_qps = r.queries_per_second;
+        } else if (warmed_single_engine_qps > 0.0 &&
+                   r.queries_per_second < 0.75 * warmed_single_engine_qps) {
+          warmed_scaleup_collapsed = true;
+        }
+      }
     }
   }
   if (spurious_on_disjoint) {
@@ -801,6 +834,18 @@ int main(int argc, char** argv) {
   if (no_sharded_on_warmed) {
     std::fprintf(stderr,
                  "FAIL: no sharded commits on the warmed shared workload\n");
+    return 1;
+  }
+  if (exclusive_majority_on_shared) {
+    std::fprintf(stderr,
+                 "FAIL: exclusive commits outnumber sharded commits on the "
+                 "cold shared workload\n");
+    return 1;
+  }
+  if (warmed_scaleup_collapsed) {
+    std::fprintf(stderr,
+                 "FAIL: warmed shared throughput collapsed below 0.75x the "
+                 "single-engine rate\n");
     return 1;
   }
 
@@ -856,9 +901,17 @@ int main(int argc, char** argv) {
   if (async_rows.size() == 2) {
     const AsyncRow& inline_row = async_rows[0];
     const AsyncRow& async_row = async_rows[1];
-    if (async_row.p99_ms >= inline_row.p99_ms) {
+    // Historically async had to beat inline p99 outright: inline Apply
+    // spikes serialized behind the exclusive commit lock, and deferring
+    // them was a pure tail win. With structural commits on the sharded
+    // path the inline tail lost that convoy, and on core-constrained
+    // runners the background workers compete with the foreground for
+    // cycles — so the contract is now a no-blowup band (deferral must
+    // not push the foreground tail more than 35% past inline) plus the
+    // unchanged zero-shed requirement below.
+    if (async_row.p99_ms >= 1.35 * inline_row.p99_ms) {
       std::fprintf(stderr,
-                   "FAIL: async p99 %.3fms not below inline p99 %.3fms\n",
+                   "FAIL: async p99 %.3fms above 1.35x inline p99 %.3fms\n",
                    async_row.p99_ms, inline_row.p99_ms);
       return 1;
     }
@@ -878,8 +931,11 @@ int main(int argc, char** argv) {
       "\nshard dominating (maxshard well under the old exclusive-lock"
       "\nheld/wall); observer overhead within a few percent of no-observer"
       "\nthroughput (MetricsObserver budget: 5%%); warmed shared rows keep"
-      "\ncommits on the sharded path; async materialization cuts the"
-      "\nforeground p99 below inline with zero sheds at default bounds.\n\n");
+      "\ncommits on the sharded path and multi-engine warmed rows stay"
+      "\nabove 0.75x the single-engine rate; cold shared rows commit"
+      "\nmajority-sharded (view-id reservation keeps creators off the X"
+      "\npath); async materialization keeps the foreground p99 within"
+      "\n1.35x of inline with zero sheds at default bounds.\n\n");
 
   const std::string json =
       ToJson(smoke, scaling, throughput, overhead, async_rows);

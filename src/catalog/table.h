@@ -32,6 +32,13 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
+  /// Renames the table in place. Only for tables not yet registered in
+  /// a shared Catalog (the map key would go stale): PlanningDelta::Fold
+  /// uses it to replace a reserved placeholder view id with the final
+  /// catalog-assigned id on deferred view tables, immediately before
+  /// the deferred Catalog::Put.
+  void Rename(std::string name) { name_ = std::move(name); }
+
   // --- physical sample ---
   const std::vector<Row>& rows() const { return rows_; }
   size_t num_rows() const { return rows_.size(); }

@@ -31,6 +31,10 @@ void CommitFootprint::Merge(const CommitFootprint& other) {
   catalog_counter = catalog_counter || other.catalog_counter;
   catalog_sigs.insert(catalog_sigs.end(), other.catalog_sigs.begin(),
                       other.catalog_sigs.end());
+  index_probes.insert(index_probes.end(), other.index_probes.begin(),
+                      other.index_probes.end());
+  index_inserts.insert(index_inserts.end(), other.index_inserts.begin(),
+                       other.index_inserts.end());
   views.insert(views.end(), other.views.begin(), other.views.end());
   partitions.insert(partitions.end(), other.partitions.begin(),
                     other.partitions.end());
@@ -38,10 +42,42 @@ void CommitFootprint::Merge(const CommitFootprint& other) {
                    other.fragments.end());
 }
 
+void CommitFootprint::RemapViewIds(
+    const std::vector<std::pair<std::string, std::string>>& remap) {
+  if (remap.empty()) return;
+  auto rename = [&](std::string* id) {
+    for (const auto& [from, to] : remap) {
+      if (*id == from) {
+        *id = to;
+        return;
+      }
+    }
+  };
+  for (std::string& v : views) rename(&v);
+  for (auto& [v, a] : partitions) {
+    (void)a;
+    rename(&v);
+  }
+  for (FragRange& f : fragments) rename(&f.view);
+}
+
 void CommitFootprint::Normalize() {
   std::sort(catalog_sigs.begin(), catalog_sigs.end());
   catalog_sigs.erase(std::unique(catalog_sigs.begin(), catalog_sigs.end()),
                      catalog_sigs.end());
+  auto normalize_sigs = [](std::vector<SigEntry>* entries) {
+    std::sort(entries->begin(), entries->end(),
+              [](const SigEntry& a, const SigEntry& b) {
+                return a.canonical < b.canonical;
+              });
+    entries->erase(std::unique(entries->begin(), entries->end(),
+                               [](const SigEntry& a, const SigEntry& b) {
+                                 return a.canonical == b.canonical;
+                               }),
+                   entries->end());
+  };
+  normalize_sigs(&index_probes);
+  normalize_sigs(&index_inserts);
   std::sort(views.begin(), views.end());
   views.erase(std::unique(views.begin(), views.end()), views.end());
   std::sort(partitions.begin(), partitions.end());
@@ -73,6 +109,19 @@ bool FootprintsConflict(const CommitFootprint& read,
   if (read.catalog_counter && write.catalog_counter) return true;
   for (const std::string& sig : read.catalog_sigs) {
     if (Contains(write.catalog_sigs, sig)) return true;
+  }
+  // Rewrite-index probes vs inserts: an inserted view invalidates a
+  // probing plan only when it could have answered one of the probed
+  // subplans — exact signature match, or a strictly wider view whose
+  // signature subsumes the probe.
+  for (const CommitFootprint::SigEntry& probe : read.index_probes) {
+    for (const CommitFootprint::SigEntry& insert : write.index_inserts) {
+      if (probe.canonical == insert.canonical) return true;
+      if (probe.sig != nullptr && insert.sig != nullptr &&
+          SignatureSubsumes(*insert.sig, *probe.sig).matches) {
+        return true;
+      }
+    }
   }
   for (const std::string& v : read.views) {
     if (Contains(write.views, v)) return true;

@@ -1,11 +1,13 @@
 #ifndef DEEPSEA_CORE_COMMIT_FOOTPRINT_H_
 #define DEEPSEA_CORE_COMMIT_FOOTPRINT_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/interval.h"
+#include "plan/signature.h"
 
 namespace deepsea {
 
@@ -34,6 +36,16 @@ namespace deepsea {
 ///    (FindView) or created (TrackView). A foreign commit creating a
 ///    signature this plan probed invalidates the plan; creations with
 ///    signatures the plan never probed do not.
+///  * `index_probes` / `index_inserts` — rewrite-index lookups at
+///    *subsumption* granularity. The matcher probes the FilterTree with
+///    each query-subplan signature; a foreign commit inserting a view
+///    whose signature SUBSUMES a probed one could have changed the
+///    rewriting choice, so it invalidates the plan. Inserting a view
+///    that subsumes nothing the plan probed commutes — which is what
+///    lets signature-disjoint candidate registrations commit sharded.
+///    (Exact-signature collisions are additionally caught by
+///    `catalog_sigs`; this granularity exists for the strictly-wider
+///    view case.)
 ///  * `views` — per-view statistics and materialization state (benefit
 ///    events, whole-view flags, quarantine, eviction).
 ///  * `partitions` — the *structure* of one (view, attr) partition:
@@ -58,16 +70,31 @@ struct CommitFootprint {
     Interval range;
   };
 
+  /// One rewrite-index entry: the canonical rendering (identity, used
+  /// for dedup and the exact-match fast path) plus the structured
+  /// signature behind it (shared, so footprint copies into the epoch
+  /// table and the in-flight registry stay cheap). The structured form
+  /// is what SignatureSubsumes evaluates during conflict checks.
+  struct SigEntry {
+    std::string canonical;
+    std::shared_ptr<const PlanSignature> sig;
+  };
+
   bool all = false;
   bool catalog_counter = false;
   std::vector<std::string> catalog_sigs;
+  /// Read side: query-subplan signatures probed against the rewrite
+  /// index. Write side: view signatures inserted into it.
+  std::vector<SigEntry> index_probes;
+  std::vector<SigEntry> index_inserts;
   std::vector<std::string> views;
   /// (view, attr); attr "" = every partition of the view.
   std::vector<std::pair<std::string, std::string>> partitions;
   std::vector<FragRange> fragments;
 
   bool Empty() const {
-    return !all && !catalog_counter && catalog_sigs.empty() && views.empty() &&
+    return !all && !catalog_counter && catalog_sigs.empty() &&
+           index_probes.empty() && index_inserts.empty() && views.empty() &&
            partitions.empty() && fragments.empty();
   }
 
@@ -82,9 +109,23 @@ struct CommitFootprint {
   void AddCatalogSig(const std::string& canonical) {
     catalog_sigs.push_back(canonical);
   }
+  void AddIndexProbe(std::shared_ptr<const PlanSignature> sig) {
+    index_probes.push_back(SigEntry{sig->ToString(), std::move(sig)});
+  }
+  void AddIndexInsert(std::shared_ptr<const PlanSignature> sig) {
+    index_inserts.push_back(SigEntry{sig->ToString(), std::move(sig)});
+  }
 
   /// Merge `other` into this footprint.
   void Merge(const CommitFootprint& other);
+
+  /// Rewrites every view id appearing in `views` / `partitions` /
+  /// `fragments` through `remap` (ids absent from the map pass through).
+  /// Used at fold time to replace reserved placeholder ids with the
+  /// final catalog-assigned "v<N>" ids before the footprint is
+  /// published to the commit-epoch table.
+  void RemapViewIds(
+      const std::vector<std::pair<std::string, std::string>>& remap);
 
   /// Sort + dedup every entry list (conflict checks are scans, but a
   /// plan can record the same key many times over; normalizing keeps

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -110,6 +111,35 @@ double AdmittedDecisionBytes(const SelectionDecision& decision) {
   return bytes;
 }
 
+/// Upper bound on the decision's *net* pool-occupancy delta, claimed by
+/// background jobs at commit entry. A job's revalidation footprint is
+/// partition-structure only — unlike the inline exclusive path it does
+/// NOT carry the plan's promoted pool-sweep reads, so a foreign commit
+/// growing the occupancy between planning and execution is invisible to
+/// it; the byte claim is what keeps two such jobs from jointly
+/// materializing past pool_limit_bytes. Apply executes evictions before
+/// materializations, so materialize-minus-evict bounds the commit's
+/// occupancy delta; a net-negative (turnover) decision claims 0 and
+/// always fits.
+double NetDecisionBytes(const SelectionDecision& decision) {
+  double materialized = 0.0;
+  double evicted = 0.0;
+  for (const SelectionAction& a : decision.actions) {
+    switch (a.kind) {
+      case SelectionAction::Kind::kEvictWholeView:
+      case SelectionAction::Kind::kEvictFragment:
+        evicted += a.size_bytes;
+        break;
+      case SelectionAction::Kind::kMaterializeView:
+      case SelectionAction::Kind::kMaterializeViewFragment:
+      case SelectionAction::Kind::kMaterializeRefinement:
+        materialized += a.size_bytes;
+        break;
+    }
+  }
+  return std::max(0.0, materialized - evicted);
+}
+
 }  // namespace
 
 DeepSeaEngine::DeepSeaEngine(Catalog* catalog, EngineOptions options)
@@ -162,6 +192,8 @@ void DeepSeaEngine::InitStages() {
       catalog_, &options_, &cluster_, stat, index, pool_);
   selection_planner_ = std::make_unique<SelectionPlanner>(
       catalog_, &options_, &cluster_, &decay_, &mle_, stat);
+  reservation_ =
+      std::make_unique<ViewIdReservation>(pool_->placeholder_counter());
 }
 
 Status DeepSeaEngine::RunPlanningStages(QueryContext* ctx, QueryReport* report,
@@ -235,7 +267,7 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     read_epoch = pool_->read_epoch();
     t_spec = pool_->clock() + 1;
     ctx = std::make_unique<QueryContext>(query, t_spec, tenant_, tenant_ord_);
-    ctx->InitPlanning(*catalog_, stat_);
+    ctx->InitPlanning(*catalog_, stat_, reservation_.get());
     if (observer_ != nullptr) observer_->OnQueryStart(t_spec, query, tenant_);
     DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
     // Collect the plan's write footprint before the shared lock drops:
@@ -255,16 +287,21 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     write_fp.Normalize();
   }
 
-  // Phase 2 — commit. Pool-structural work (view creation, evictions,
-  // merge passes) takes the exclusive lock; everything else tries the
-  // sharded path: IX on the pool lock plus the commit shards of the
-  // write footprint, validated by read-set conflict detection. A plan
-  // whose reads no foreign commit touched commits as-is — concurrently
-  // with other disjoint-footprint tenants; a conflicting plan replans
-  // under the exclusive lock (stage observers see the stages a second
-  // time, OnQueryStart is not re-fired).
-  bool needs_exclusive =
-      options_.merge.enabled || ctx->delta()->RequiresStructuralCommit();
+  // Phase 2 — commit. Only work whose effects cannot be expressed as a
+  // precise footprint takes the exclusive lock: the merge pass (may
+  // touch any view), inline evictions (change the pool occupancy every
+  // tenant's knapsack budgets against), and physical execution (writes
+  // the relational catalog outside the pool's catalog mutex).
+  // Everything else — *including view creation*, whose catalog/index
+  // writes publish as precise signature sets and whose ids come from
+  // the engine's placeholder reservation — tries the sharded path: IX
+  // on the pool lock plus the commit shards of the write footprint,
+  // validated by read-set conflict detection. A plan whose reads no
+  // foreign commit touched commits as-is — concurrently with other
+  // disjoint-footprint tenants; a conflicting plan replans under the
+  // exclusive lock (stage observers see the stages a second time,
+  // OnQueryStart is not re-fired).
+  bool needs_exclusive = options_.merge.enabled || options_.physical_execution;
   bool decision_evicts = false;
   for (const SelectionAction& a : decision.actions) {
     if (a.kind == SelectionAction::Kind::kEvictWholeView ||
@@ -315,14 +352,38 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
     // after this point (nothing can publish while we hold X).
     read_epoch = pool_->read_epoch();
     ctx = std::make_unique<QueryContext>(query, t, tenant_, tenant_ord_);
-    ctx->InitPlanning(*catalog_, stat_);
+    ctx->InitPlanning(*catalog_, stat_, reservation_.get());
     DEEPSEA_RETURN_IF_ERROR(RunPlanningStages(ctx.get(), &report, &decision));
+    decision_evicts = false;
+    for (const SelectionAction& a : decision.actions) {
+      if (a.kind == SelectionAction::Kind::kEvictWholeView ||
+          a.kind == SelectionAction::Kind::kEvictFragment) {
+        decision_evicts = true;
+      }
+    }
   }
   // Under the sharded path a concurrent commit may have won a smaller
   // clock value; events planned at t_spec keep their timestamp (commit-
   // order independence is what lets disjoint commits run concurrently),
   // while the report records the actual commit position.
   report.query_index = t;
+
+  if (!sharded) {
+    // Attribute the exclusive commit (see QueryReport::exclusive_reason)
+    // while the delta is still unfolded — Fold clears the structural
+    // buffers the has_* probes read.
+    const PlanningDelta& d = *ctx->delta();
+    report.exclusive_reason =
+        options_.merge.enabled                 ? "merge"
+        : (!async_mode && decision_evicts)     ? "eviction"
+        : options_.physical_execution          ? "physical"
+        : d.has_new_views()                    ? "new_view"
+        : d.has_deferred_puts()                ? "catalog_put"
+        : d.has_deferred_index()               ? "index_insert"
+        : d.has_attach_ops()                   ? "attach"
+        : report.replanned                     ? "replan"
+                                               : "other";
+  }
 
   if (!sharded && !options_.merge.enabled) {
     // The exclusive commit publishes `all` by default; a validated (or
@@ -356,7 +417,7 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
       job.reval_fp = MaterializationService::RevalidationFootprint(decision);
       job.read_epoch = read_epoch;
       job.skip_seq = own_seq;
-      job.admitted_bytes = AdmittedDecisionBytes(decision);
+      job.admitted_bytes = NetDecisionBytes(decision);
       job.benefit_score = decision.benefit_score;
       job.needs_exclusive = decision_evicts;
       job.observer = observer_;
@@ -416,6 +477,10 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
       }
     }
     if (unpushed) {
+      // Under a sharded commit a foreign fold can grow the relational
+      // catalog concurrently; the estimator walks it, so read it under
+      // the pool's catalog mutex (free of contention under X).
+      auto catalog_lock = pool_->CatalogSharedLock();
       auto est = estimator_.Estimate(ctx->query);
       if (est.ok()) {
         report.best_seconds = est->seconds;

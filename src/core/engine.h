@@ -59,11 +59,18 @@ namespace deepsea {
 ///    validated by read-set conflict detection — it commits as planned
 ///    unless a foreign commit published after its read epoch (or still
 ///    in flight) wrote something it read. Disjoint-footprint tenants
-///    commit truly concurrently.
+///    commit truly concurrently — including tenants that CREATE views:
+///    new views are named from a per-engine placeholder-id reservation
+///    (no shared-counter read), their catalog/index writes publish as
+///    precise signature sets, and the catalog fold runs under the
+///    pool's internal catalog mutex, so signature-disjoint creations
+///    commute.
 ///
-///  * Exclusive: pool-structural work (view creation, evictions, merge
-///    passes) and replans after a failed validation. QueryReport's
-///    replan_conflict / replan_spurious record why a replan happened.
+///  * Exclusive: the merge pass, inline evictions (pool occupancy every
+///    knapsack budgets against), physical execution, and replans after
+///    a failed validation. QueryReport's replan_conflict /
+///    replan_spurious record why a replan happened; exclusive_reason
+///    attributes each exclusive commit.
 ///
 /// Either way the resulting pool state is a function of the commit
 /// order alone: conflicting plans are rebuilt, and commuting (disjoint)
@@ -215,6 +222,11 @@ class DeepSeaEngine {
   /// each query's PlanningDelta (which only reads it under the shared
   /// lock; mutation stays behind the commit protocol).
   ViewCatalog* stat_ = nullptr;
+  /// This engine's lease on the pool's placeholder-id counter: new
+  /// candidate views get placeholder ids during planning (no shared
+  /// view-id-counter read), folded to final "v<N>" ids in commit order.
+  /// Single-threaded per engine, like ProcessQuery itself.
+  std::unique_ptr<ViewIdReservation> reservation_;
 
   EngineTotals totals_;
 };

@@ -207,6 +207,17 @@ struct QueryReport {
   /// plan's read epoch and the engine invalidated conservatively.
   /// Exactly one of the two is set when `replanned` is.
   bool replan_spurious = false;
+  /// Why this commit took the exclusive (X) path ("" = it committed
+  /// sharded). One of: "merge" (merge pass enabled), "eviction"
+  /// (decision evicts inline), "physical" (physical execution mutates
+  /// the relational catalog), "new_view" / "catalog_put" /
+  /// "index_insert" / "attach" (a replanned commit carrying that
+  /// structural content — precedence in that order), "replan"
+  /// (replanned, no structural content), "other". Since structural
+  /// planning writes commit sharded by default, the structural reasons
+  /// identify replan-forced exclusive commits that also create views —
+  /// they should stay near zero on a healthy workload.
+  std::string exclusive_reason;
 
   std::string used_view;             ///< view answering the query ("" = none)
   int fragments_read = 0;

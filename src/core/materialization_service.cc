@@ -59,12 +59,14 @@ MaterializationService::~MaterializationService() { Shutdown(); }
 CommitFootprint MaterializationService::RevalidationFootprint(
     const SelectionDecision& d) {
   // Partition-structure reads only. By the conflict matrix
-  // (commit_footprint.h) these catch every foreign structural commit
-  // (`all`), every foreign materialization/eviction on a target
-  // partition (decision writes always publish partition entries), and
-  // every foreign re-tracking of a target partition — while plain
-  // fragment writes (hit appends) and view-level statistics patches
-  // pass through. A dropped job is therefore exactly one whose target
+  // (commit_footprint.h) these catch every foreign merge/load commit
+  // (which still publish `all`), every foreign materialization/eviction
+  // on a target partition (decision writes always publish partition
+  // entries), every foreign re-tracking of a target partition, and —
+  // since structural commits now publish precise per-view footprints
+  // with a partition entry per created view — every foreign creation
+  // touching a target view; while plain fragment writes (hit appends)
+  // and view-level statistics patches pass through. A dropped job is therefore exactly one whose target
   // structure moved under it; repeated-template statistics traffic
   // never invalidates the queue.
   CommitFootprint fp;

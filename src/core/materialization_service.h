@@ -50,8 +50,9 @@ struct MaterializationJob {
   /// its own query's statistics.
   uint64_t read_epoch = 0;
   uint64_t skip_seq = 0;
-  /// Estimated pool growth (budget headroom claim at the job's commit)
-  /// and the decision's knapsack benefit (shed priority: lowest first).
+  /// Upper bound on the decision's net pool growth (budget headroom
+  /// claim at the job's commit; see NetDecisionBytes in engine.cc) and
+  /// the decision's knapsack benefit (shed priority: lowest first).
   double admitted_bytes = 0.0;
   double benefit_score = 0.0;
   /// Decisions containing evictions commit exclusively (they change the

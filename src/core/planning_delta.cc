@@ -8,10 +8,20 @@
 
 namespace deepsea {
 
+std::string ViewIdReservation::NextPlaceholder() {
+  if (next_ == end_) {
+    next_ = counter_->fetch_add(kBlockSize, std::memory_order_relaxed);
+    end_ = next_ + kBlockSize;
+  }
+  return StrFormat("c%lld", static_cast<long long>(next_++));
+}
+
 PlanningDelta::PlanningDelta(const Catalog& shared_catalog,
-                             ViewCatalog* shared_views, double t_now)
+                             ViewCatalog* shared_views, double t_now,
+                             ViewIdReservation* reservation)
     : t_now_(t_now),
       shared_views_(shared_views),
+      reservation_(reservation),
       planning_catalog_(shared_catalog) {}
 
 // --- view overlay ---------------------------------------------------
@@ -31,15 +41,25 @@ ViewInfo* PlanningDelta::TrackView(const PlanPtr& plan,
                                    const PlanSignature& signature) {
   const std::string canonical = signature.ToString();
   if (ViewInfo* existing = FindView(canonical)) return existing;
-  // The id prediction below reads the shared view-id counter: any
-  // foreign commit that creates views moves it, so two concurrent
-  // creators must always conflict (one replans and re-predicts).
-  read_target().catalog_counter = true;
   auto view = std::make_unique<ViewInfo>();
-  // The id ViewCatalog::Track would assign; Adopt() asserts it still
-  // holds at fold time (guaranteed by epoch validation).
-  view->id = StrFormat(
-      "v%d", shared_views_->peek_next_id() + static_cast<int>(new_views_.size()));
+  if (reservation_ != nullptr) {
+    // Reserved placeholder: no shared-counter read, so two concurrent
+    // creators conflict only through the signature catalog (FindView
+    // recorded the probe above) and the rewrite index — creations with
+    // disjoint signatures commute and commit sharded. Fold assigns the
+    // final "v<N>" id in commit order.
+    view->id = reservation_->NextPlaceholder();
+  } else {
+    // Legacy prediction (no reservation): reads the shared view-id
+    // counter, so any foreign commit that creates views moves it and
+    // the two creators always conflict (one replans and re-predicts).
+    // Adopt() asserts the prediction still holds at fold time
+    // (guaranteed by epoch validation).
+    read_target().catalog_counter = true;
+    view->id = StrFormat(
+        "v%d",
+        shared_views_->peek_next_id() + static_cast<int>(new_views_.size()));
+  }
   view->plan = plan;
   view->signature = signature;
   ViewInfo* raw = view.get();
@@ -410,9 +430,53 @@ void PlanningDelta::Fold(ViewCatalog* views, Catalog* catalog,
   if (folded_) return;
   folded_ = true;
 
-  // 1. Adopt delta-owned views. Adopt() asserts the predicted ids still
-  //    hold; ViewInfo addresses are preserved, so pointers captured in
-  //    candidate lists and the decision stay valid.
+  // 1. Adopt delta-owned views. ViewInfo addresses are preserved, so
+  //    pointers captured in candidate lists and the decision stay valid.
+  //
+  //    Reservation-tracked views enter with placeholder ids ("c<M>");
+  //    assign each the final catalog id here, in track order — which is
+  //    fold/commit order, so a deterministic run produces the same
+  //    "v1, v2, ..." sequence the legacy counter prediction did — and
+  //    rename the deferred view tables and index inserts to match.
+  //    Legacy counter-predicted ids pass through; Adopt() asserts they
+  //    still hold (guaranteed by epoch validation).
+  if (reservation_ != nullptr && !new_views_.empty()) {
+    int next_id = views->peek_next_id();
+    for (auto& owned : new_views_) {
+      if (!ViewIdReservation::IsPlaceholder(owned->id)) continue;
+      std::string final_id = StrFormat("v%d", next_id++);
+      id_remap_.emplace_back(owned->id, final_id);
+      owned->id = std::move(final_id);
+    }
+    if (!id_remap_.empty()) {
+      auto final_of = [this](const std::string& id) -> const std::string* {
+        for (const auto& [from, to] : id_remap_) {
+          if (id == from) return &to;
+        }
+        return nullptr;
+      };
+      for (TablePtr& table : deferred_puts_) {
+        if (const std::string* to = final_of(table->name())) {
+          table->Rename(*to);
+        }
+      }
+      for (auto& [sig, id] : deferred_index_) {
+        if (const std::string* to = final_of(id)) id = *to;
+      }
+      // Re-key the planning catalog (it shares the Table objects with
+      // deferred_puts_, so they are already renamed — only the map key
+      // is stale). Post-fold consumers (the async materialization path,
+      // staged estimators) resolve view tables by final id.
+      for (const auto& [from, to] : id_remap_) {
+        (void)to;
+        auto table = planning_catalog_.Get(from);
+        if (table.ok()) {
+          (void)planning_catalog_.Drop(from);
+          planning_catalog_.Put(*table);
+        }
+      }
+    }
+  }
   for (auto& owned : new_views_) views->Adopt(std::move(owned));
   new_views_.clear();
 
@@ -500,6 +564,10 @@ void PlanningDelta::NotePartitionRead(const ViewInfo* v,
   read_target().AddPartition(v->id, attr);
 }
 
+void PlanningDelta::RecordIndexProbe(const PlanSignature& sig) {
+  read_target().AddIndexProbe(std::make_shared<PlanSignature>(sig));
+}
+
 void PlanningDelta::PromoteSoftReads() {
   reads_.Merge(soft_reads_);
   soft_reads_ = CommitFootprint{};
@@ -533,15 +601,33 @@ CommitFootprint PlanningDelta::CollectWriteFootprint() const {
   assert(!folded_ && "write footprint must be collected before Fold");
   CommitFootprint fp;
   if (RequiresStructuralCommit()) {
-    // New views, catalog tables, histogram attaches and rewrite-index
-    // inserts change what *any* concurrent plan could have rewritten
-    // against (the FilterTree lookup and the cost model observe them),
-    // so the only write set that keeps threaded runs bit-identical to
-    // sequential replay is everything. These commits take the global
-    // exclusive path anyway; at steady state (pool warmed up) commits
-    // stop being structural and publish the precise sets below.
-    fp.all = true;
-    return fp;
+    // Structural writes, decomposed precisely (never `all`): the view-id
+    // counter advances (invalidating legacy id predictions and
+    // budget-bound knapsacks), the signature catalog gains the new
+    // canonicals (FindView records every probe, so a plan that looked
+    // one of them up conflicts), the rewrite index gains entries at
+    // subsumption granularity, and the new views' own state appears.
+    // A plan that never probed these signatures, never probed a
+    // subsumed subplan, and did not depend on pool membership commutes
+    // — which is what lets cold-range candidate registration commit
+    // sharded. Reserved views are listed under their placeholder ids
+    // here; RemapFoldedIds rewrites the published footprint to the
+    // final ids after the fold.
+    fp.catalog_counter = true;
+    for (const auto& owned : new_views_) {
+      fp.AddCatalogSig(owned->signature.ToString());
+      fp.AddView(owned->id);
+      fp.AddPartition(owned->id, "");
+    }
+    for (const auto& [sig, id] : deferred_index_) {
+      (void)id;
+      fp.AddIndexInsert(std::make_shared<PlanSignature>(sig));
+    }
+    for (const TablePtr& table : deferred_puts_) fp.AddView(table->name());
+    for (const AttachOp& op : attach_ops_) {
+      fp.AddView(op.table);
+      fp.AddPartition(op.table, op.attr);
+    }
   }
   for (const auto& [view, events] : view_patches_) fp.AddView(view->id);
   for (const ShadowPartition& sp : shadows_) {

@@ -1,6 +1,8 @@
 #ifndef DEEPSEA_CORE_PLANNING_DELTA_H_
 #define DEEPSEA_CORE_PLANNING_DELTA_H_
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -19,6 +21,50 @@
 namespace deepsea {
 
 class FilterTree;
+
+/// A per-engine lease of placeholder view ids, drawn in blocks from the
+/// pool's shared atomic counter (PoolManager::placeholder_counter()).
+///
+/// Historically TrackView *predicted* the final "v<N>" id from the
+/// shared counter, which made every candidate-tracking plan read — and
+/// every creating commit write — the global `catalog_counter`, so two
+/// concurrent creators always conflicted and structural commits had to
+/// serialize. A reservation removes the counter from the planning read
+/// set: TrackView names the candidate with a process-unique placeholder
+/// ("c<M>") instead, and Fold assigns the real catalog id in commit
+/// order — so the golden "v1, v2, ..." sequence of a deterministic run
+/// is untouched, while concurrent creators with disjoint signatures
+/// commute.
+///
+/// Not thread-safe: one reservation belongs to one engine, and engines
+/// process one query at a time. The block lease (kBlockSize ids per
+/// fetch_add) just keeps the shared counter off the per-candidate hot
+/// path; exhausting a block transparently leases the next one.
+class ViewIdReservation {
+ public:
+  static constexpr int64_t kBlockSize = 8;
+
+  explicit ViewIdReservation(std::atomic<int64_t>* counter)
+      : counter_(counter) {}
+
+  /// The next unused placeholder id ("c<M>"; the namespace is disjoint
+  /// from the catalog's "v<N>" ids by construction).
+  std::string NextPlaceholder();
+
+  /// True for ids produced by any ViewIdReservation (fold uses this to
+  /// tell reserved candidates from legacy predicted ids).
+  static bool IsPlaceholder(const std::string& id) {
+    return !id.empty() && id[0] == 'c';
+  }
+
+  /// Unleased ids remaining in the current block (exhaustion tests).
+  int64_t remaining() const { return end_ - next_; }
+
+ private:
+  std::atomic<int64_t>* const counter_;
+  int64_t next_ = 0;
+  int64_t end_ = 0;  ///< one past the leased block
+};
 
 /// Per-query write buffer for the planning stages (see DESIGN.md,
 /// "Statistics hot path and locking discipline").
@@ -71,9 +117,13 @@ class FilterTree;
 class PlanningDelta {
  public:
   /// Snapshots the planning catalog. `shared_views` is only read during
-  /// planning; Fold mutates it.
+  /// planning; Fold mutates it. With a `reservation`, TrackView names
+  /// new candidates with placeholder ids (no counter read) and Fold
+  /// assigns the final catalog ids in commit order; without one it
+  /// falls back to the legacy counter-predicted ids (direct-use tests
+  /// and single-threaded callers).
   PlanningDelta(const Catalog& shared_catalog, ViewCatalog* shared_views,
-                double t_now);
+                double t_now, ViewIdReservation* reservation = nullptr);
 
   PlanningDelta(const PlanningDelta&) = delete;
   PlanningDelta& operator=(const PlanningDelta&) = delete;
@@ -202,6 +252,21 @@ class PlanningDelta {
   /// Everything recorded so far (soft reads excluded until promoted).
   const CommitFootprint& read_footprint() const { return reads_; }
 
+  /// Records a rewrite-index probe: the matcher looked the query
+  /// subplan signature up in the FilterTree. A foreign commit inserting
+  /// a view whose signature subsumes `sig` invalidates this plan (the
+  /// rewriting choice could have differed); signature-disjoint inserts
+  /// commute. Honors the soft-read window.
+  void RecordIndexProbe(const PlanSignature& sig);
+
+  /// Records a dependency on the pool's view membership (the
+  /// `catalog_counter` token): the knapsack's admit/reject outcome
+  /// depends on which views occupy the pool, so when the budget binds,
+  /// a foreign commit creating views must invalidate the plan. Creating
+  /// commits write the counter; see CollectWriteFootprint. Honors the
+  /// soft-read window.
+  void NotePoolMembershipRead() { read_target().catalog_counter = true; }
+
   /// Brackets a read window whose reads only matter when the pool
   /// budget is binding: SelectionPlanner evaluates *every* pool view in
   /// its knapsack, but when nothing is rejected the foreign values it
@@ -213,15 +278,26 @@ class PlanningDelta {
   void PromoteSoftReads();
 
   /// The write footprint of this plan's buffered writes (benefit
-  /// patches, shadow-partition changes, created views/catalog entries).
+  /// patches, shadow-partition changes, created views / catalog entries
+  /// / rewrite-index inserts). Structural work is decomposed into
+  /// precise {catalog_counter, catalog_sigs, index_inserts, view,
+  /// partition} entries — never `all` — so candidate-registering
+  /// commits with disjoint signatures commute and commit sharded.
   /// Decision actions are merged in by the engine. Pre-fold only.
   CommitFootprint CollectWriteFootprint() const;
 
   /// True when folding this delta mutates pool-structural state (new
-  /// views, catalog puts, histogram attaches, rewrite-index inserts) —
-  /// such commits must take the global exclusive path, never a
-  /// view-group sharded one.
+  /// views, catalog puts, histogram attaches, rewrite-index inserts).
+  /// Such commits now take the *sharded* path like any other — their
+  /// write footprints are precise — but the flag still drives the
+  /// exclusive-reason attribution and a few structural-only asserts.
   bool RequiresStructuralCommit() const;
+
+  // Per-category structural probes (exclusive-commit reason metric).
+  bool has_new_views() const { return !new_views_.empty(); }
+  bool has_deferred_puts() const { return !deferred_puts_.empty(); }
+  bool has_deferred_index() const { return !deferred_index_.empty(); }
+  bool has_attach_ops() const { return !attach_ops_.empty(); }
 
   // --- fold -----------------------------------------------------------
 
@@ -230,8 +306,25 @@ class PlanningDelta {
   /// Applies every buffered write to the shared state, in a fixed
   /// order (views, catalog puts, histogram attaches, index inserts,
   /// shadow partitions in creation order, benefit patches). Idempotent.
-  /// Must be called inside the exclusive commit section.
+  /// Must be called inside a commit section, with the pool's catalog
+  /// structure lock held exclusively when the commit is sharded
+  /// (PoolManager::FoldPlanningDelta handles this).
+  ///
+  /// Reservation-tracked views enter with placeholder ids; Fold assigns
+  /// each its final "v<N>" id (in track order, which equals fold/commit
+  /// order) immediately before adopting it, and renames the deferred
+  /// view tables and index inserts to match. The placeholder -> final
+  /// map is exposed through RemapFoldedIds for the commit's published
+  /// footprint.
   void Fold(ViewCatalog* views, Catalog* catalog, FilterTree* index);
+
+  /// Rewrites placeholder view ids in `fp` to the final ids Fold
+  /// assigned. No-op before Fold or when nothing was reserved. The
+  /// commit's publish footprint must be remapped before it reaches the
+  /// epoch table: later plans read views under their final ids.
+  void RemapFoldedIds(CommitFootprint* fp) const {
+    fp->RemapViewIds(id_remap_);
+  }
 
   /// After the fold: the real PartitionState a shadow folded into
   /// (identity for non-shadow pointers). Decision actions captured
@@ -301,6 +394,7 @@ class PlanningDelta {
 
   const double t_now_;
   ViewCatalog* const shared_views_;
+  ViewIdReservation* const reservation_;
   Catalog planning_catalog_;
 
   // Delta-owned views, in track order. unique_ptr keeps addresses
@@ -324,6 +418,8 @@ class PlanningDelta {
 
   // Filled by Fold: shadow state -> real partition.
   std::vector<std::pair<const PartitionState*, PartitionState*>> fold_remap_;
+  // Filled by Fold: placeholder id -> final catalog id.
+  std::vector<std::pair<std::string, std::string>> id_remap_;
 
   // Read footprint (mutable: recorded from const readers).
   mutable CommitFootprint reads_;

@@ -323,13 +323,21 @@ bool PoolManager::AdmittedBytesFitLocked(double admitted_bytes) const {
   if (admitted_bytes <= 0.0) return true;
   double claimed = 0.0;
   for (const InflightCommit& c : inflight_) claimed += c.admitted_bytes;
+  // Occupancy under the shared catalog-structure lock: a foreign
+  // sharded commit's fold may be adopting views into the catalog's
+  // list concurrently. (epoch_mu_ -> catalog_mu_ is the sanctioned
+  // order; folds never touch epoch_mu_.)
+  double occupancy;
+  {
+    std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    occupancy = views_.PoolBytes();
+  }
   // The tolerance absorbs float-summation-order differences between the
   // knapsack's sequential budget subtraction and the per-view occupancy
   // cache sum, so a solo tenant whose plan exactly fills the budget is
   // never invalidated by rounding.
   const double limit = options_->pool_limit_bytes;
-  return views_.PoolBytes() + claimed + admitted_bytes <=
-         limit + 1e-9 * limit;
+  return occupancy + claimed + admitted_bytes <= limit + 1e-9 * limit;
 }
 
 bool PoolManager::ValidateReadSet(const CommitGuard& commit,
@@ -560,6 +568,9 @@ void PoolManager::AdvanceWindowsAfterFold(double t_now) {
   for (const CommitFootprint::FragRange& f : fp.fragments) ids.push_back(f.view);
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  // Shared hold on the structure lock: the id lookups walk ViewCatalog
+  // maps a concurrent foreign fold may be growing.
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
   for (const std::string& id : ids) {
     ViewInfo* v = views_.Get(id);
     if (v != nullptr) advance(v);
@@ -970,7 +981,13 @@ Result<int> PoolManager::EvictWholeView(ViewInfo* view) {
 
 void PoolManager::RecordViewFault(const std::string& view_id, int64_t now) {
   assert(CommitHeldByThisThread());
-  ViewInfo* view = views_.Get(view_id);
+  ViewInfo* view;
+  {
+    // The id lookup reads ViewCatalog structure a concurrent foreign
+    // fold may be growing; the view's own fields are shard-protected.
+    std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    view = views_.Get(view_id);
+  }
   if (view == nullptr) return;
   ++view->fault_count;
   const FaultHandlingConfig& fault = options_->fault;
@@ -1080,14 +1097,32 @@ Status PoolManager::ApplyStaged(const SelectionDecision& decision,
   return Status::OK();
 }
 
+void PoolManager::FoldDeltaAndRemap(PlanningDelta* delta, double t_now) {
+  {
+    // Exclusive on the structure lock: the fold adopts views, puts
+    // catalog tables, and inserts rewrite-index entries — all visible
+    // to concurrent foreign sharded commits. Released before the shared
+    // sections below (std::shared_mutex is non-reentrant).
+    std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    delta->Fold(&views_, catalog_, &rewrite_index_);
+  }
+  // Reserved views were registered (shard set, in-flight entry, pending
+  // publish footprint) under placeholder ids; rewrite the publish
+  // footprint to the final ids Fold just assigned. Sound because no
+  // foreign plan can hold a read on either id: planning never overlaps
+  // any commit, so placeholders are unobservable, and the final id did
+  // not exist in the catalog before this fold.
+  delta->RemapFoldedIds(&Ctx().publish_fp);
+  AdvanceWindowsAfterFold(t_now);
+}
+
 void PoolManager::FoldPlanningDelta(const CommitGuard& commit,
                                     const QueryContext& ctx) {
   assert(commit.held() && CommitHeldByThisThread());
   (void)commit;
   PlanningDelta* delta = ctx.delta();
   if (delta == nullptr || delta->folded()) return;
-  delta->Fold(&views_, catalog_, &rewrite_index_);
-  AdvanceWindowsAfterFold(ctx.t_now());
+  FoldDeltaAndRemap(delta, ctx.t_now());
 }
 
 Status PoolManager::Apply(const SelectionDecision& decision,
@@ -1102,10 +1137,7 @@ Status PoolManager::Apply(const SelectionDecision& decision,
   SelectionDecision remapped;
   const SelectionDecision* to_apply = &decision;
   if (delta != nullptr) {
-    if (!delta->folded()) {
-      delta->Fold(&views_, catalog_, &rewrite_index_);
-      AdvanceWindowsAfterFold(ctx.t_now());
-    }
+    if (!delta->folded()) FoldDeltaAndRemap(delta, ctx.t_now());
     // Planning captured shadow PartitionState pointers; execute against
     // the real ones they folded into.
     remapped = decision;
@@ -1117,7 +1149,14 @@ Status PoolManager::Apply(const SelectionDecision& decision,
   const QueryReport report_backup = *report;
   std::string fault_view;
   TxnBegin();
-  Status st = ApplyStaged(*to_apply, ctx, report, &fault_view);
+  Status st;
+  {
+    // Shared hold across the staged apply: estimators, fragment sizing
+    // and schema resolution read the relational catalog, which a
+    // foreign sharded commit's fold may be growing concurrently.
+    std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    st = ApplyStaged(*to_apply, ctx, report, &fault_view);
+  }
   if (st.ok()) {
     TxnCommit();
     return st;

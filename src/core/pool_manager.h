@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -162,10 +163,15 @@ class CommitGuard {
 ///    in-flight sharded commit — intersects the plan's read footprint.
 ///    Disjoint-footprint tenants therefore commit truly concurrently.
 ///
-///  * Exclusive (BeginCommit): the global X path for pool-structural
-///    work — view creation, eviction, merge passes, state loads — and
-///    for replans after a failed sharded validation. Publishes `all` by
-///    default; engines narrow it via SetCommitFootprint.
+///  * Exclusive (BeginCommit): the global X path for work whose write
+///    set cannot be bounded up front — merge passes, inline evictions,
+///    physical execution, state loads — and for replans after a failed
+///    sharded validation. View creation is NOT on this list anymore:
+///    structural deltas publish precise footprints (see
+///    PlanningDelta::CollectWriteFootprint) and fold under the sharded
+///    path, serialized against each other and against mid-commit
+///    catalog readers by catalog_mu_. Publishes `all` by default;
+///    engines narrow it via SetCommitFootprint.
 ///
 /// The commit section carries the committing tenant's observer in
 /// thread-local commit context: pool mutation events are routed to it,
@@ -308,8 +314,13 @@ class PoolManager {
   const EngineOptions& options() const { return *options_; }
 
   /// Current pool occupancy in bytes (S(C)). Sums the per-view atomic
-  /// byte caches — safe inside a sharded commit; see class doc.
-  double PoolBytes() const { return views_.PoolBytes(); }
+  /// byte caches under the shared catalog-structure lock (a foreign
+  /// sharded commit's fold may be growing the view list concurrently);
+  /// the per-view values themselves are race-free atomics.
+  double PoolBytes() const {
+    std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    return views_.PoolBytes();
+  }
 
   // --- shared-mode snapshots (safe from any thread) ---
 
@@ -317,6 +328,21 @@ class PoolManager {
   /// Shared-mode (S) lock for multi-read consistency (SaveState, and
   /// the speculative planning phase of ProcessQuery).
   PoolSharedLock SharedLock() const { return PoolSharedLock(&lock_); }
+
+  /// The shared placeholder-id counter ViewIdReservation leases blocks
+  /// from (one reservation per engine; see planning_delta.h). Lock-free.
+  std::atomic<int64_t>* placeholder_counter() { return &placeholder_counter_; }
+
+  /// Shared (read) hold on the catalog-structure lock, for code inside
+  /// a *sharded* commit that reads catalog-level structure — the
+  /// relational Catalog's table map, the ViewCatalog's view list/maps —
+  /// which a concurrent foreign sharded commit's delta fold may be
+  /// growing. Exclusive commits and planners (S mode) never need it:
+  /// they exclude folds wholesale through the pool lock. Do not nest,
+  /// and never acquire epoch_mu_ / shard locks while holding it.
+  std::shared_lock<std::shared_mutex> CatalogSharedLock() const {
+    return std::shared_lock<std::shared_mutex>(catalog_mu_);
+  }
 
   /// Number of commit sections entered so far (exclusive and sharded).
   /// Monitoring only — plan validation uses read_epoch().
@@ -506,8 +532,16 @@ class PoolManager {
   /// True when `admitted_bytes` of new materializations still fit the
   /// pool budget next to current occupancy plus every in-flight
   /// commit's claim. Caller holds epoch_mu_ (the in-flight registry);
-  /// occupancy itself is a race-free atomic-cache sum.
+  /// occupancy itself is a race-free atomic-cache sum (read under the
+  /// shared catalog-structure lock — the epoch_mu_ -> catalog_mu_
+  /// acquisition here fixes the one-way order between the two).
   bool AdmittedBytesFitLocked(double admitted_bytes) const;
+
+  /// Folds `delta` into the pool under the catalog-structure lock
+  /// (exclusive), remaps the pending publish footprint from placeholder
+  /// to final view ids, and advances the decay windows. The shared fold
+  /// path of FoldPlanningDelta and Apply.
+  void FoldDeltaAndRemap(PlanningDelta* delta, double t_now);
 
   /// Advances timed-out-prefix cursors after a delta fold so
   /// evaluations under the shared lock stay O(in-window suffix) even
@@ -599,6 +633,21 @@ class PoolManager {
   /// The pool lock (S planning / IX sharded commit / X exclusive
   /// commit).
   mutable PoolLock lock_;
+
+  /// Catalog-*structure* lock. Sharded commits now fold structural
+  /// deltas (ViewCatalog::Adopt, Catalog::Put, FilterTree::Insert) —
+  /// and IX admits IX, so two folds, or a fold and a foreign commit
+  /// reading catalog structure (estimators resolving tables, occupancy
+  /// sums, AdvanceWindowsAfterFold id lookups), can overlap. Folds hold
+  /// this exclusively (short: metadata only); mid-commit readers hold
+  /// it shared. Per-view statistics and fragment state are NOT under
+  /// it — the commit shards own those. Leaf-ish: may be acquired while
+  /// holding epoch_mu_ or shard locks, never the other way around;
+  /// non-reentrant (release exclusive before any shared section).
+  mutable std::shared_mutex catalog_mu_;
+
+  /// Placeholder-id source for ViewIdReservation block leases.
+  std::atomic<int64_t> placeholder_counter_{0};
 
   /// Per-view-group commit shard locks and their accounting. Plain
   /// mutexes: holders are IX commits, which the pool lock already

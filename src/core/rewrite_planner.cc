@@ -19,9 +19,11 @@ Status RewritePlanner::PlanBase(QueryContext* ctx, QueryReport* report) {
 }
 
 Status RewritePlanner::PlanBest(QueryContext* ctx, QueryReport* report) {
-  // 1. Rewritings over all tracked views (Alg. 1 line 1).
+  // 1. Rewritings over all tracked views (Alg. 1 line 1). The delta
+  //    records every filter-tree probe so foreign view creations that
+  //    could have changed the rewriting choice invalidate this plan.
   DEEPSEA_ASSIGN_OR_RETURN(std::vector<Rewriting> rewritings,
-                           matcher_->ComputeRewritings(ctx->query));
+                           matcher_->ComputeRewritings(ctx->query, ctx->delta()));
   // 2. Statistics update (line 2), buffered in the planning delta.
   UpdateStatsFromRewritings(rewritings, report->base_seconds, ctx->t_now(),
                             ctx->tenant_ord(), ctx->delta());

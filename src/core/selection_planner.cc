@@ -205,6 +205,13 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
   // admits everything regardless of the swept values, and the plan's
   // decision is insensitive to them.
   delta->BeginSoftReads();
+  // The sweep's extent — which views occupy the pool at all — is itself
+  // a (soft) read: when the budget binds, a foreign commit creating
+  // views changes what this knapsack should have weighed. Creating
+  // commits write the membership token (see
+  // PlanningDelta::CollectWriteFootprint), so promoted plans conflict
+  // with them; uncontended plans drop the read with the window.
+  delta->NotePoolMembershipRead();
   for (ViewInfo* v : delta->AllViews()) {
     if (v->whole_materialized) {
       Item it;
@@ -263,6 +270,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
       SelectionAction a;
       a.kind = SelectionAction::Kind::kEvictWholeView;
       a.view = it->view;
+      a.size_bytes = it->size;
       decision.actions.push_back(a);
     } else if (it->kind == Item::kPoolFragment) {
       SelectionAction a;
@@ -270,6 +278,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
       a.view = it->view;
       a.part = it->part;
       a.interval = it->interval;
+      a.size_bytes = it->size;
       decision.actions.push_back(a);
     }
   }

@@ -33,7 +33,9 @@ struct SelectionAction {
   ViewInfo* view = nullptr;
   PartitionState* part = nullptr;  ///< null for whole-view actions
   Interval interval;               ///< unused for whole-view actions
-  double size_bytes = 0.0;         ///< estimated bytes (new content only)
+  /// Estimated bytes: the pool growth of a materialize action, or the
+  /// pool bytes an evict action releases (its tracked size).
+  double size_bytes = 0.0;
 };
 
 /// The declarative outcome of one selection round (Section 7.3): the

@@ -19,6 +19,10 @@ constexpr double MetricsObserver::kBucketBounds[];
 const char* const MetricsObserver::kBucketLabels[kFiniteBuckets] = {
     "1e-06", "1e-05", "0.0001", "0.001", "0.01", "0.1",
     "1",     "10",    "100",    "1000",  "10000", "100000"};
+const char* const
+    MetricsObserver::kExclusiveReasonNames[kExclusiveReasonCount] = {
+        "merge",        "eviction", "physical", "new_view", "catalog_put",
+        "index_insert", "attach",   "replan",   "other"};
 
 namespace {
 
@@ -200,6 +204,19 @@ void MetricsObserver::OnQueryEnd(const QueryReport& report) {
       t->replans_spurious.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  if (report.exclusive_reason.empty()) {
+    t->commits_sharded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    size_t reason = kExclusiveReasonCount - 1;  // "other"
+    for (size_t r = 0; r < kExclusiveReasonCount; ++r) {
+      if (report.exclusive_reason == kExclusiveReasonNames[r]) {
+        reason = r;
+        break;
+      }
+    }
+    t->commits_exclusive_reason[reason].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
   if (!report.used_view.empty()) {
     t->queries_from_views.fetch_add(1, std::memory_order_relaxed);
   }
@@ -249,6 +266,10 @@ MetricsObserver::MetricsSnapshot::Totals() const {
     total.replanned_queries += t.replanned_queries;
     total.replans_conflict += t.replans_conflict;
     total.replans_spurious += t.replans_spurious;
+    total.commits_sharded += t.commits_sharded;
+    for (size_t r = 0; r < kExclusiveReasonCount; ++r) {
+      total.commits_exclusive_reason[r] += t.commits_exclusive_reason[r];
+    }
     total.queries_from_views += t.queries_from_views;
     total.degraded_queries += t.degraded_queries;
     total.fragments_read += t.fragments_read;
@@ -283,6 +304,11 @@ MetricsObserver::MetricsSnapshot MetricsObserver::TakeSnapshot() const {
           t->replans_conflict.load(std::memory_order_relaxed);
       out.replans_spurious =
           t->replans_spurious.load(std::memory_order_relaxed);
+      out.commits_sharded = t->commits_sharded.load(std::memory_order_relaxed);
+      for (size_t r = 0; r < kExclusiveReasonCount; ++r) {
+        out.commits_exclusive_reason[r] =
+            t->commits_exclusive_reason[r].load(std::memory_order_relaxed);
+      }
       out.queries_from_views =
           t->queries_from_views.load(std::memory_order_relaxed);
       out.degraded_queries =
@@ -406,6 +432,18 @@ const std::vector<MetricInfo>& MetricsObserver::Registry() {
        "Replans forced without a proven conflict because the bounded "
        "epoch table no longer covered the plan's read epoch.",
        "tenant", false, false},
+      {"deepsea_commits_sharded_total", "counter",
+       "Queries that committed on the sharded (IX + per-view shard "
+       "locks) path after read-set validation.",
+       "tenant", false, false},
+      {"deepsea_commits_exclusive_reason_total", "counter",
+       "Queries that committed on the exclusive (X) path, by reason: "
+       "merge (merge pass enabled), eviction (decision evicts inline), "
+       "physical (physical execution), new_view / catalog_put / "
+       "index_insert / attach (replanned commit carrying that "
+       "structural content), replan (replanned, no structural "
+       "content), other. Only nonzero cells are exported.",
+       "reason,tenant", false, false},
       {"deepsea_queries_from_views_total", "counter",
        "Queries answered from a materialized view.", "tenant", false, false},
       {"deepsea_degraded_queries_total", "counter",
@@ -605,6 +643,20 @@ std::string MetricsObserver::RenderPrometheusText(
                  [](const auto& t) { return double(t.replans_conflict); });
   tenant_counter("deepsea_replans_spurious_total",
                  [](const auto& t) { return double(t.replans_spurious); });
+  tenant_counter("deepsea_commits_sharded_total",
+                 [](const auto& t) { return double(t.commits_sharded); });
+  if (header("deepsea_commits_exclusive_reason_total") != nullptr) {
+    for (const auto& [tenant, t] : snap.tenants) {
+      for (size_t r = 0; r < kExclusiveReasonCount; ++r) {
+        if (t.commits_exclusive_reason[r] == 0) continue;
+        out += StrFormat(
+            "deepsea_commits_exclusive_reason_total{reason=\"%s\","
+            "tenant=\"%s\"} %lld\n",
+            kExclusiveReasonNames[r], EscapeLabelValue(tenant).c_str(),
+            static_cast<long long>(t.commits_exclusive_reason[r]));
+      }
+    }
+  }
   tenant_counter("deepsea_queries_from_views_total",
                  [](const auto& t) { return double(t.queries_from_views); });
   tenant_counter("deepsea_degraded_queries_total",

@@ -78,6 +78,12 @@ class MetricsObserver : public EngineObserver {
   static constexpr size_t kStageCount =
       static_cast<size_t>(EngineStage::kPhysical) + 1;
 
+  /// Fixed label set of deepsea_commits_exclusive_reason_total, in
+  /// render order. Matches the QueryReport::exclusive_reason values;
+  /// an unrecognized non-empty reason lands in "other".
+  static constexpr size_t kExclusiveReasonCount = 9;
+  static const char* const kExclusiveReasonNames[kExclusiveReasonCount];
+
   MetricsObserver() = default;
   MetricsObserver(const MetricsObserver&) = delete;
   MetricsObserver& operator=(const MetricsObserver&) = delete;
@@ -138,6 +144,10 @@ class MetricsObserver : public EngineObserver {
       int64_t replanned_queries = 0;
       int64_t replans_conflict = 0;  ///< genuine read-set conflicts
       int64_t replans_spurious = 0;  ///< epoch-table coverage loss
+      int64_t commits_sharded = 0;   ///< queries committed on the IX path
+      /// Exclusive (X-path) commits by reason; index into
+      /// kExclusiveReasonNames. Sums to the tenant's exclusive commits.
+      std::array<int64_t, kExclusiveReasonCount> commits_exclusive_reason{};
       int64_t queries_from_views = 0;
       int64_t degraded_queries = 0;
       int64_t fragments_read = 0;
@@ -251,6 +261,9 @@ class MetricsObserver : public EngineObserver {
     std::atomic<int64_t> replanned_queries{0};
     std::atomic<int64_t> replans_conflict{0};
     std::atomic<int64_t> replans_spurious{0};
+    std::atomic<int64_t> commits_sharded{0};
+    std::array<std::atomic<int64_t>, kExclusiveReasonCount>
+        commits_exclusive_reason{};
     std::atomic<int64_t> queries_from_views{0};
     std::atomic<int64_t> degraded_queries{0};
     std::atomic<int64_t> fragments_read{0};

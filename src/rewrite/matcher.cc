@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "core/partition_match.h"
+#include "core/planning_delta.h"
 
 namespace deepsea {
 
@@ -67,7 +68,7 @@ ExprPtr ViewMatcher::BuildCompensation(const PlanSignature& view_sig,
 }
 
 Result<std::vector<Rewriting>> ViewMatcher::ComputeRewritings(
-    const PlanPtr& query) {
+    const PlanPtr& query, PlanningDelta* delta) {
   std::vector<Rewriting> out;
   std::vector<PlanPtr> subplans;
   CollectSubplans(query, &subplans);
@@ -78,6 +79,9 @@ Result<std::vector<Rewriting>> ViewMatcher::ComputeRewritings(
     auto sig_result = ComputeSignature(sp, *catalog_);
     if (!sig_result.ok()) continue;  // unsupported shapes are skipped
     const PlanSignature& qsig = *sig_result;
+    // The lookup itself is a read — recorded whether or not it hits:
+    // an empty result is as much a fact the plan depends on as a hit.
+    if (delta != nullptr) delta->RecordIndexProbe(qsig);
     for (const std::string& view_id : index_->Lookup(qsig)) {
       ViewInfo* view = views_->Get(view_id);
       if (view == nullptr) continue;

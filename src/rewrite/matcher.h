@@ -15,6 +15,8 @@
 
 namespace deepsea {
 
+class PlanningDelta;
+
 /// One possible rewriting of a query using a (tracked) view: the
 /// subplan `replaced` is substituted by a compensated read of the view,
 /// restricted to `fragments` of the partition on `partition_attr` when
@@ -50,7 +52,14 @@ class ViewMatcher {
   /// All rewritings of `query`, sorted by estimated cost ascending.
   /// Views not in the pool yield non-executable rewritings, kept so the
   /// engine can update "could have been used" statistics.
-  Result<std::vector<Rewriting>> ComputeRewritings(const PlanPtr& query);
+  ///
+  /// When `delta` is non-null, every filter-tree lookup is recorded as
+  /// an index-probe read on the delta (RecordIndexProbe): a foreign
+  /// commit inserting a view whose signature subsumes a probed subplan
+  /// could have changed the rewriting choice, so the plan must be
+  /// invalidated — while signature-disjoint inserts commute.
+  Result<std::vector<Rewriting>> ComputeRewritings(
+      const PlanPtr& query, PlanningDelta* delta = nullptr);
 
   /// Builds the compensation predicate a rewriting must apply on top of
   /// the view read so the result equals the replaced subplan: all range

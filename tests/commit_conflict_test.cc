@@ -96,6 +96,90 @@ TEST(FootprintsConflictTest, CatalogEntryOverlap) {
   EXPECT_FALSE(FootprintsConflict(counter, create_b));
 }
 
+PlanSignature RangeSig(const std::string& relation, double lo, double hi) {
+  PlanSignature sig;
+  sig.relations = {relation};
+  ColumnRange range;
+  range.column = relation + ".k";
+  range.lo = lo;
+  range.hi = hi;
+  sig.ranges[range.column] = range;
+  // The range column is exported: a wider view can compensate a
+  // narrower probe with a selection on it (subsumption condition 6).
+  sig.output_columns.insert(range.column);
+  return sig;
+}
+
+std::shared_ptr<const PlanSignature> Shared(PlanSignature sig) {
+  return std::make_shared<const PlanSignature>(std::move(sig));
+}
+
+TEST(FootprintsConflictTest, IndexInsertConflictsAtSubsumptionGranularity) {
+  // The matcher probed the rewrite index with a [10,20] subplan.
+  CommitFootprint probe;
+  probe.AddIndexProbe(Shared(RangeSig("fact", 10, 20)));
+
+  // A foreign commit inserting the SAME signature invalidates the
+  // plan (the probe missed a view that now exists)...
+  CommitFootprint same;
+  same.AddIndexInsert(Shared(RangeSig("fact", 10, 20)));
+  EXPECT_TRUE(FootprintsConflict(probe, same));
+
+  // ...and so does a strictly WIDER view: [0,100] subsumes [10,20],
+  // so the new view could have answered the probed subplan.
+  CommitFootprint wider;
+  wider.AddIndexInsert(Shared(RangeSig("fact", 0, 100)));
+  EXPECT_TRUE(FootprintsConflict(probe, wider));
+
+  // A NARROWER view cannot answer the probe: it commutes. This is the
+  // case that lets signature-disjoint creators commit sharded.
+  CommitFootprint narrower;
+  narrower.AddIndexInsert(Shared(RangeSig("fact", 12, 15)));
+  EXPECT_FALSE(FootprintsConflict(probe, narrower));
+
+  // Different relation class: no subsumption, commutes.
+  CommitFootprint elsewhere;
+  elsewhere.AddIndexInsert(Shared(RangeSig("dim", 0, 100)));
+  EXPECT_FALSE(FootprintsConflict(probe, elsewhere));
+
+  // An insert invalidates nobody who never probed the index.
+  EXPECT_FALSE(FootprintsConflict(ViewRead("v1"), wider));
+}
+
+TEST(FootprintsConflictTest, IndexProbesVsStructuralAll) {
+  // A state load / merge pass still publishes `all`: it must invalidate
+  // index-probing plans (the index may have been rebuilt wholesale),
+  // and an `all` reader must see an insert-only write.
+  CommitFootprint probe;
+  probe.AddIndexProbe(Shared(RangeSig("fact", 10, 20)));
+  CommitFootprint all;
+  all.all = true;
+  EXPECT_TRUE(FootprintsConflict(probe, all));
+
+  CommitFootprint insert_only;
+  insert_only.AddIndexInsert(Shared(RangeSig("fact", 10, 20)));
+  EXPECT_TRUE(FootprintsConflict(all, insert_only));
+}
+
+TEST(FootprintsConflictTest, ReservedCreatorsCommuteOnTheCounter) {
+  // A creator that leased its ids from a ViewIdReservation WRITES the
+  // shared counter (the fold advances it) but never READS it — its
+  // read set carries only the signatures it probed. Two such creators
+  // with disjoint signatures therefore commute...
+  CommitFootprint creator_write;
+  creator_write.catalog_counter = true;
+  creator_write.AddCatalogSig("sig-a");
+  CommitFootprint other_creator_read;
+  other_creator_read.AddCatalogSig("sig-b");
+  EXPECT_FALSE(FootprintsConflict(other_creator_read, creator_write));
+
+  // ...while a legacy id-predicting plan (or a knapsack that read pool
+  // membership) DID read the counter and conflicts with any creator.
+  CommitFootprint legacy_read;
+  legacy_read.catalog_counter = true;
+  EXPECT_TRUE(FootprintsConflict(legacy_read, creator_write));
+}
+
 TEST(FootprintsConflictTest, StructuralAllConflictsWithEveryRead) {
   CommitFootprint all;
   all.all = true;
@@ -314,6 +398,100 @@ TEST_F(CommitValidationTest, StructuralAllFootprintEscalatesToExclusive) {
   CommitGuard x = pool()->BeginCommit();
   EXPECT_TRUE(x.held());
   pool()->SetCommitFootprint(x, CommitFootprint{});
+}
+
+TEST_F(CommitValidationTest, ConcurrentReservedCreatorsBothEnterSharded) {
+  // Two creators whose ids came from ViewIdReservations: both WRITE
+  // the counter and their own signature, neither READS the counter.
+  // The second must enter while the first is still in flight — this is
+  // the property that lets cold-range traffic commit sharded.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  std::thread holder([&] {
+    CommitFootprint write_a;
+    write_a.catalog_counter = true;
+    write_a.AddCatalogSig("sig-a");
+    write_a.AddView("va");
+    bool genuine = true;
+    CommitGuard commit = pool()->TryBeginShardedCommit(
+        nullptr, "a", 0, std::move(write_a), ViewRead("sig-a-probe"),
+        pool()->read_epoch(), &genuine);
+    ASSERT_TRUE(commit.held());
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  CommitFootprint write_b;
+  write_b.catalog_counter = true;
+  write_b.AddCatalogSig("sig-b");
+  write_b.AddView("vb");
+  CommitFootprint read_b;
+  read_b.AddCatalogSig("sig-b");
+  bool genuine = false;
+  CommitGuard second = pool()->TryBeginShardedCommit(
+      nullptr, "b", 0, std::move(write_b), std::move(read_b),
+      pool()->read_epoch(), &genuine);
+  EXPECT_TRUE(second.held());
+  second.Release();
+
+  // A legacy plan that READ the counter is rejected while creator A's
+  // counter write is in flight — a genuine conflict, not coverage loss.
+  CommitFootprint legacy_read;
+  legacy_read.catalog_counter = true;
+  CommitGuard legacy = pool()->TryBeginShardedCommit(
+      nullptr, "c", 0, ViewRead("vc"), std::move(legacy_read),
+      pool()->read_epoch(), &genuine);
+  EXPECT_FALSE(legacy.held());
+  EXPECT_TRUE(genuine);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+}
+
+// --- view-id reservation: block leasing --------------------------------
+
+TEST(ViewIdReservationTest, ExhaustedBlockLeasesAFreshDisjointBlock) {
+  std::atomic<int64_t> counter{0};
+  ViewIdReservation a(&counter);
+  ViewIdReservation b(&counter);
+
+  // a drains its first block; b leases the next one concurrently.
+  std::set<std::string> ids;
+  for (int64_t i = 0; i < ViewIdReservation::kBlockSize; ++i) {
+    ids.insert(a.NextPlaceholder());
+  }
+  EXPECT_EQ(a.remaining(), 0);
+  for (int64_t i = 0; i < ViewIdReservation::kBlockSize; ++i) {
+    ids.insert(b.NextPlaceholder());
+  }
+
+  // Exhaustion: a's next lease skips b's block entirely.
+  ids.insert(a.NextPlaceholder());
+  EXPECT_EQ(a.remaining(), ViewIdReservation::kBlockSize - 1);
+
+  // Every id is distinct, every id is in the placeholder namespace
+  // (disjoint from the catalog's "v<N>" ids), and the shared counter
+  // advanced exactly one block per lease.
+  EXPECT_EQ(ids.size(), static_cast<size_t>(2 * ViewIdReservation::kBlockSize + 1));
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(ViewIdReservation::IsPlaceholder(id)) << id;
+  }
+  EXPECT_FALSE(ViewIdReservation::IsPlaceholder("v7"));
+  EXPECT_EQ(counter.load(), 3 * ViewIdReservation::kBlockSize);
 }
 
 // --- budget headroom: concurrent materializations vs pool_limit ------
@@ -587,6 +765,64 @@ TEST(EngineReplanTest, SequentialInterleavingNeverReplans) {
   }
   EXPECT_EQ(alice.totals().replans, 0);
   EXPECT_EQ(bob.totals().replans, 0);
+}
+
+// --- schedule fuzz: every query a creator ----------------------------
+
+/// Tenant t's i-th query carries a range no other query in the run
+/// ever uses, so every query tracks fresh candidate views and every
+/// commit is structural. This is the worst case for view-id
+/// reservation: placeholder blocks are leased concurrently across
+/// engines, and the fold must assign the final "v<N>" ids in commit
+/// order — the fingerprint/report comparison against the sequential
+/// replay pins exactly that (created_views is part of every report).
+std::vector<PlanPtr> FreshRangePlans(int tenant, int queries) {
+  const auto names = BigBenchTemplates::Names();
+  std::vector<PlanPtr> out;
+  out.reserve(static_cast<size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    const double lo = 50000.0 * tenant + 700.0 * i;
+    const std::string& name =
+        names[static_cast<size_t>(tenant + i) % names.size()];
+    auto plan = BigBenchTemplates::Build(name, lo, lo + 450.0);
+    EXPECT_TRUE(plan.ok()) << name;
+    out.push_back(*plan);
+  }
+  return out;
+}
+
+TEST(CreatorScheduleFuzzTest, SeededSchedulesOfFreshCreatorsMatchReplay) {
+  const std::vector<std::string> tenants = {"c0", "c1", "c2"};
+  constexpr int kQueriesEach = 12;
+  std::vector<std::vector<PlanPtr>> plans;
+  for (int t = 0; t < 3; ++t) plans.push_back(FreshRangePlans(t, kQueriesEach));
+  const std::vector<int> per_tenant(3, kQueriesEach);
+
+  for (uint64_t seed : {5u, 23u}) {
+    const std::vector<int> schedule = mt::RandomSchedule(per_tenant, seed);
+
+    Catalog seq_catalog;
+    ASSERT_TRUE(BigBenchDataset::Generate(SmallData(), &seq_catalog).ok());
+    const mt::ScheduledRunResult seq = mt::RunScheduled(
+        &seq_catalog, TestOptions(), tenants, plans, schedule,
+        /*threaded=*/false);
+
+    Catalog thr_catalog;
+    ASSERT_TRUE(BigBenchDataset::Generate(SmallData(), &thr_catalog).ok());
+    const mt::ScheduledRunResult thr = mt::RunScheduled(
+        &thr_catalog, TestOptions(), tenants, plans, schedule,
+        /*threaded=*/true);
+
+    EXPECT_EQ(seq.fingerprint, thr.fingerprint) << "seed " << seed;
+    ASSERT_EQ(seq.reports.size(), thr.reports.size());
+    for (size_t t = 0; t < seq.reports.size(); ++t) {
+      ASSERT_EQ(seq.reports[t].size(), thr.reports[t].size()) << tenants[t];
+      for (size_t i = 0; i < seq.reports[t].size(); ++i) {
+        EXPECT_EQ(seq.reports[t][i], thr.reports[t][i])
+            << tenants[t] << " query " << i << " seed " << seed;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -513,7 +513,7 @@ TEST(MaterializationStateTest, CorruptLoadDrainsQueueButLeavesPoolIntact) {
 TEST(MaterializationSoakTest, FreeRunningOverloadSoak) {
   Catalog catalog;
   ASSERT_TRUE(BigBenchDataset::Generate(DataOptions(), &catalog).ok());
-  EngineOptions opts = Options(Mode::kAsync, /*workers=*/2);
+  EngineOptions opts = Options(Mode::kAsync, /*workers=*/4);
   opts.materialization.max_queue_jobs = 8;
   opts.pool_limit_bytes = 6e9;
   opts.fault.retry_backoff_seconds = 1.0;
@@ -530,8 +530,13 @@ TEST(MaterializationSoakTest, FreeRunningOverloadSoak) {
   policy.AddRule(permanent);
   shared.pool()->SetFaultPolicy(&policy);
 
+  // Enough queries that >= 100 storage ops reach the fault policy even
+  // under heavy shedding: with sharded structural commits the
+  // foreground no longer serializes on the exclusive lock, so the
+  // 8-job queue overflows (and sheds) much more aggressively than the
+  // original 40-query sizing assumed.
   constexpr int kTenants = 8;
-  constexpr int kQueriesEach = 40;
+  constexpr int kQueriesEach = 80;
   std::vector<std::unique_ptr<DeepSeaEngine>> engines;
   std::vector<std::vector<PlanPtr>> plans;
   for (int t = 0; t < kTenants; ++t) {
