@@ -4,11 +4,21 @@
 // by side. A compact way to explore how the knobs in EngineOptions
 // shape behaviour on your own workload.
 //
-// Run:  ./examples/strategy_faceoff
+// Run:  ./examples/strategy_faceoff [--strategy=NAME]
+//
+// --strategy picks the pluggable selection strategy (the knapsack
+// resolver; see DESIGN.md, "Selection strategies") every selecting
+// engine runs with: greedy (default), local_search, cluster (alias
+// cluster_greedy), or cluster_local_search. The partitioning
+// strategies above are orthogonal — any selection strategy can resolve
+// any of them. bench_strategy_tournament runs the full head-to-head.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "core/selection_strategy.h"
 #include "exp/experiment.h"
 #include "workload/range_generator.h"
 
@@ -54,7 +64,22 @@ std::vector<WorkloadQuery> RoamingWorkload() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SelectionStrategyKind selection = SelectionStrategyKind::kGreedy;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--strategy=", 11) == 0) {
+      if (!ParseSelectionStrategy(argv[i] + 11, &selection)) {
+        std::fprintf(stderr,
+                     "unknown --strategy=%s (expected greedy, local_search, "
+                     "cluster, or cluster_local_search)\n",
+                     argv[i] + 11);
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--strategy=NAME]\n", argv[0]);
+      return 1;
+    }
+  }
 
   BigBenchDataset::Options data;
   data.total_bytes = 100e9;
@@ -62,11 +87,12 @@ int main() {
   data.sample_rows_per_dim = 64;
   ExperimentRunner runner(data);
 
-  auto strategy = [](const char* label, StrategyKind kind,
-                     ValueModel model = ValueModel::kDeepSea) {
+  auto strategy = [selection](const char* label, StrategyKind kind,
+                              ValueModel model = ValueModel::kDeepSea) {
     StrategySpec s;
     s.label = label;
     s.options.strategy = kind;
+    s.options.selection.kind = selection;
     s.options.value_model = model;
     s.options.use_mle_smoothing = model == ValueModel::kDeepSea;
     s.options.benefit_cost_threshold = 0.05;
@@ -93,6 +119,7 @@ int main() {
       {"focused session (one hot region, heavy skew)", FocusedWorkload()},
       {"roaming session (three regions)", RoamingWorkload()},
   };
+  std::printf("selection strategy: %s\n", SelectionStrategyName(selection));
   for (const Scenario& scenario : scenarios) {
     std::printf("\n== %s ==\n", scenario.title);
     std::printf("%-14s %12s %10s %8s %8s %8s %10s\n", "strategy", "total (s)",

@@ -225,7 +225,18 @@ Status DeepSeaEngine::RunPlanningStages(QueryContext* ctx, QueryReport* report,
   }
   {
     StageScope stage(observer_, EngineStage::kSelection, *ctx);
-    *decision = selection_planner_->PlanSelection(*ctx, report->base_seconds);
+    // Label the context before the stage closes so stage observers can
+    // attribute the selection latency to the strategy that ran.
+    ctx->selection_strategy =
+        SelectionStrategyName(options_.selection.kind);
+    SelectionResolution res =
+        selection_planner_->PlanSelection(*ctx, report->base_seconds);
+    *decision = std::move(res.decision);
+    report->selection_strategy = ctx->selection_strategy;
+    report->selection_benefit = res.objective_value;
+    report->selection_candidates = res.items_considered;
+    report->selection_swaps = res.swaps_applied;
+    report->selection_merged_candidates = res.candidates_merged;
     stage.Finish(0.0);
   }
   return Status::OK();
@@ -520,6 +531,9 @@ Result<QueryReport> DeepSeaEngine::ProcessQuery(const PlanPtr& query) {
   totals_.fragments_created += report.created_fragments;
   totals_.fragments_evicted += report.evicted_fragments;
   totals_.fragments_merged += report.merged_fragments;
+  totals_.selection_benefit += report.selection_benefit;
+  totals_.selection_swaps += report.selection_swaps;
+  totals_.selection_merged_candidates += report.selection_merged_candidates;
   if (!report.used_view.empty()) totals_.queries_answered_from_views += 1;
   if (observer_ != nullptr) observer_->OnQueryEnd(report);
   return report;

@@ -11,6 +11,7 @@
 #include "core/merge.h"
 #include "core/mle_model.h"
 #include "core/policy.h"
+#include "core/selection_strategy.h"
 #include "exec/executor.h"
 #include "sim/cluster.h"
 #include "sim/cost_model.h"
@@ -169,6 +170,12 @@ struct EngineOptions {
   /// Background materialization service (off — inline — by default).
   MaterializationConfig materialization;
 
+  /// Which SelectionStrategy resolves the knapsack over ALLCAND, plus
+  /// its tuning knobs (greedy by default — bit-identical to the
+  /// historical inline scan). See core/selection_strategy.h and
+  /// DESIGN.md, "Selection strategies".
+  SelectionConfig selection;
+
   /// Fragment boundaries are snapped outward to a grid of this fraction
   /// of the attribute domain before candidate generation, so queries
   /// whose ranges jitter around the same hot region converge on one
@@ -247,6 +254,24 @@ struct QueryReport {
 
   bool physically_executed = false;
   ExecResult physical;               ///< result rows (physical mode only)
+
+  // --- selection-strategy telemetry (zero when selection never ran,
+  //     e.g. Hive baseline; see core/selection_strategy.h) ---
+
+  /// SelectionStrategyName of the strategy that resolved this query's
+  /// knapsack ("" when the selection stage did not run).
+  std::string selection_strategy;
+  /// The resolved knapsack's objective value: summed Φ of every
+  /// admitted item, kept pool content included (the quantity the
+  /// never-worse local-search guarantee covers — not the decision's
+  /// benefit_score, which counts admitted new content only).
+  double selection_benefit = 0.0;
+  /// Knapsack items the resolver ranked (post-clustering).
+  int selection_candidates = 0;
+  /// Local search: improving swaps applied.
+  int selection_swaps = 0;
+  /// Clustering: candidates merged away by the pre-pass.
+  int selection_merged_candidates = 0;
 };
 
 /// Aggregate counters across a workload run.
@@ -269,6 +294,9 @@ struct EngineTotals {
   int64_t replans_spurious = 0;   ///< ... due to epoch-table coverage loss
   int64_t commits_sharded = 0;    ///< commits on the sharded (IX) path
   int64_t commits_exclusive = 0;  ///< commits on the exclusive (X) path
+  double selection_benefit = 0.0; ///< summed knapsack objective values
+  int64_t selection_swaps = 0;    ///< local-search swaps applied
+  int64_t selection_merged_candidates = 0;  ///< clustering merges
 };
 
 }  // namespace deepsea

@@ -10,8 +10,8 @@
 
 namespace deepsea {
 
-SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
-                                                  double base_seconds) {
+SelectionResolution SelectionPlanner::PlanSelection(const QueryContext& ctx,
+                                                    double base_seconds) {
   const double t_now = ctx.t_now();
   PlanningDelta* delta = ctx.delta();
   assert(delta != nullptr);
@@ -23,21 +23,21 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
   // the knapsack below: quarantine stops new writes, not reads.
   const int64_t clock_now = static_cast<int64_t>(t_now);
 
-  struct Item {
-    enum Kind {
-      kPoolFragment,
-      kPoolWhole,
-      kNewView,          // whole-view creation (unpartitioned)
-      kNewViewFragment,  // one fragment of a view's initial partitioning
-      kNewFragment,      // refinement of an existing partition
-    } kind;
-    double value = 0.0;
-    double size = 0.0;
-    ViewInfo* view = nullptr;
-    PartitionState* part = nullptr;
-    Interval interval;
-  };
+  using Item = SelectionCandidate;
   std::vector<Item> items;
+
+  // Dense partition ordinal in first-appearance order. Strategies that
+  // group items (the clustering pre-pass) key on this ordinal, never on
+  // the address-nondeterministic pointer; the map below is a lookup
+  // aid only — ordinal values follow item-construction order.
+  std::map<const PartitionState*, int> part_ords;
+  auto ord_of = [&part_ords](const PartitionState* p) {
+    auto it = part_ords.find(p);
+    if (it == part_ords.end()) {
+      it = part_ords.emplace(p, static_cast<int>(part_ords.size())).first;
+    }
+    return it->second;
+  };
 
   // --- V_sel: filter view candidates by benefit >= cost (Section 7.2).
   //     Partially materialized views stay eligible: their still-
@@ -65,7 +65,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
         options_->strategy == StrategyKind::kNoPartition) {
       if (v->whole_materialized) continue;
       Item it;
-      it.kind = Item::kNewView;
+      it.kind = Item::Kind::kNewView;
       it.view = v;
       it.size = v->stats.size_bytes;
       it.value = delta->ViewValue(options_->value_model, v, *decay_);
@@ -126,11 +126,17 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
           }
         }
         Item it;
-        it.kind = Item::kNewViewFragment;
+        it.kind = Item::Kind::kNewViewFragment;
         it.view = v;
         it.part = part;
         it.interval = iv;
         it.size = fstat->size_bytes;
+        it.part_ord = ord_of(part);
+        // Top-up fragments of an in-pool view apply per fragment, so
+        // the clustering pre-pass may merge near-duplicates; a not-yet-
+        // created view's planned set is admitted as a unit and must
+        // keep its exact planned intervals.
+        it.mergeable = v->InPool();
         it.value = delta->FragmentValue(options_->value_model, part, fstat,
                                         v->stats.size_bytes,
                                         v->stats.creation_cost, *decay_, hits);
@@ -178,11 +184,13 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
       continue;
     }
     Item it;
-    it.kind = Item::kNewFragment;
+    it.kind = Item::Kind::kNewFragment;
     it.view = fc.view;
     it.part = part;
     it.interval = fc.interval;
     it.size = fc.est_bytes;
+    it.part_ord = ord_of(part);
+    it.mergeable = true;
     // `hits` already folds the MLE adjustment (or the plain decayed
     // count when MLE is off); passing it as the override avoids a
     // second DecayedHits replay inside FragmentValue.
@@ -215,7 +223,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
   for (ViewInfo* v : delta->AllViews()) {
     if (v->whole_materialized) {
       Item it;
-      it.kind = Item::kPoolWhole;
+      it.kind = Item::Kind::kPoolWhole;
       it.view = v;
       it.size = v->stats.size_bytes;
       it.value = delta->ViewValue(options_->value_model, v, *decay_);
@@ -227,7 +235,7 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
       for (const FragmentStats& f : part->fragments) {
         if (!f.materialized) continue;
         Item it;
-        it.kind = Item::kPoolFragment;
+        it.kind = Item::Kind::kPoolFragment;
         it.view = v;
         it.part = part;
         it.interval = f.interval;
@@ -242,69 +250,56 @@ SelectionDecision SelectionPlanner::PlanSelection(const QueryContext& ctx,
   }
   delta->EndSoftReads();
 
-  // --- Greedy knapsack by value (Section 7.3).
-  std::stable_sort(items.begin(), items.end(),
-                   [](const Item& a, const Item& b) { return a.value > b.value; });
-  double budget = options_->pool_limit_bytes;
-  std::vector<const Item*> admit;
-  std::vector<const Item*> reject;
-  for (const Item& it : items) {
-    if (it.size <= budget) {
-      admit.push_back(&it);
-      budget -= it.size;
-    } else {
-      reject.push_back(&it);
-    }
-  }
+  // --- Knapsack by value (Section 7.3), delegated to the configured
+  //     SelectionStrategy. The default greedy strategy reproduces the
+  //     historical inline scan bit-identically (stable sort by value,
+  //     admit while it fits, evictions then materializations).
+  SelectionInput input;
+  input.items = std::move(items);
+  input.budget_bytes = options_->pool_limit_bytes;
+  input.config = options_->selection;
+  const SelectionStrategy* strategy =
+      SelectionStrategy::ForKind(options_->selection.kind);
+  SelectionResolution res = strategy->Resolve(input);
+
   // Contended knapsack: the pool sweep's values shaped the outcome, so
   // its reads become part of the plan's validated footprint.
-  if (!reject.empty()) delta->PromoteSoftReads();
+  if (res.contended) delta->PromoteSoftReads();
 
-  // Declarative decision: evict rejected pool content first (frees the
-  // simulated FS), then materialize admitted new content in greedy
-  // order. Admitted pool content and rejected new candidates need no
-  // action.
-  SelectionDecision decision;
-  for (const Item* it : reject) {
-    if (it->kind == Item::kPoolWhole) {
-      SelectionAction a;
-      a.kind = SelectionAction::Kind::kEvictWholeView;
-      a.view = it->view;
-      a.size_bytes = it->size;
-      decision.actions.push_back(a);
-    } else if (it->kind == Item::kPoolFragment) {
-      SelectionAction a;
-      a.kind = SelectionAction::Kind::kEvictFragment;
-      a.view = it->view;
-      a.part = it->part;
-      a.interval = it->interval;
-      a.size_bytes = it->size;
-      decision.actions.push_back(a);
+  // Post-pass guards for strategies that synthesize actions the item
+  // construction above did not vet (the clustering pre-pass emits hull
+  // refinements): drop refinements whose exact interval the partition
+  // already holds materialized (Apply's MaterializeFragment would
+  // double-write the same path), and duplicate materializations of the
+  // same (view, partition, interval). Both conditions are pre-filtered
+  // at construction for planner-built items, so the greedy and
+  // local-search decisions pass through untouched.
+  if (options_->selection.kind != SelectionStrategyKind::kGreedy) {
+    std::vector<SelectionAction> kept;
+    kept.reserve(res.decision.actions.size());
+    for (const SelectionAction& a : res.decision.actions) {
+      if (a.kind == SelectionAction::Kind::kMaterializeRefinement &&
+          a.part != nullptr) {
+        const FragmentStats* f = a.part->Find(a.interval);
+        if (f != nullptr && f->materialized) continue;
+      }
+      if (a.kind == SelectionAction::Kind::kMaterializeRefinement ||
+          a.kind == SelectionAction::Kind::kMaterializeViewFragment) {
+        bool dup = false;
+        for (const SelectionAction& k : kept) {
+          if (k.kind == a.kind && k.view == a.view && k.part == a.part &&
+              k.interval == a.interval) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+      }
+      kept.push_back(a);
     }
+    res.decision.actions = std::move(kept);
   }
-  for (const Item* it : admit) {
-    SelectionAction a;
-    a.view = it->view;
-    a.part = it->part;
-    a.interval = it->interval;
-    a.size_bytes = it->size;
-    switch (it->kind) {
-      case Item::kNewView:
-        a.kind = SelectionAction::Kind::kMaterializeView;
-        break;
-      case Item::kNewViewFragment:
-        a.kind = SelectionAction::Kind::kMaterializeViewFragment;
-        break;
-      case Item::kNewFragment:
-        a.kind = SelectionAction::Kind::kMaterializeRefinement;
-        break;
-      default:
-        continue;  // pool content that stays: nothing to do
-    }
-    decision.benefit_score += it->value;
-    decision.actions.push_back(a);
-  }
-  return decision;
+  return res;
 }
 
 }  // namespace deepsea

@@ -9,54 +9,18 @@
 #include "core/engine_options.h"
 #include "core/mle_model.h"
 #include "core/query_context.h"
+#include "core/selection_strategy.h"
 #include "core/view_catalog.h"
 #include "sim/cluster.h"
 
 namespace deepsea {
 
-/// One pool mutation chosen by the greedy selection. View pointers are
-/// stable (ViewCatalog stores views behind unique_ptr, and delta-owned
-/// views keep their address across the fold). Partition pointers may
-/// reference the query's PlanningDelta shadows — PoolManager::Apply
-/// remaps them onto the real partitions after folding the delta —
-/// and fragment entries are re-resolved by interval at apply time
-/// because applying earlier actions may grow the fragment vectors.
-struct SelectionAction {
-  enum class Kind {
-    kEvictWholeView,           ///< drop an NP-style whole view
-    kEvictFragment,            ///< drop one materialized fragment
-    kMaterializeView,          ///< whole-view creation (unpartitioned)
-    kMaterializeViewFragment,  ///< one fragment of a view's initial partitioning
-    kMaterializeRefinement,    ///< refinement of an existing partition
-  };
-  Kind kind;
-  ViewInfo* view = nullptr;
-  PartitionState* part = nullptr;  ///< null for whole-view actions
-  Interval interval;               ///< unused for whole-view actions
-  /// Estimated bytes: the pool growth of a materialize action, or the
-  /// pool bytes an evict action releases (its tracked size).
-  double size_bytes = 0.0;
-};
-
-/// The declarative outcome of one selection round (Section 7.3): the
-/// actions are ordered for application — evictions first (freeing the
-/// simulated FS), then materializations in greedy-value order.
-/// PoolManager::Apply executes them; nothing is mutated in the pool
-/// until then.
-struct SelectionDecision {
-  std::vector<SelectionAction> actions;
-
-  /// Summed knapsack value (the Φ benefit estimate) of the admitted
-  /// materialization actions. The materialization service's admission
-  /// control sheds the lowest-score intents first under overload.
-  double benefit_score = 0.0;
-
-  bool empty() const { return actions.empty(); }
-};
-
 /// Stage 3 of the pipeline: benefit/cost filtering of the candidates
-/// (Section 7.2) followed by the greedy knapsack over
+/// (Section 7.2) followed by the knapsack over
 /// ALLCAND = V_sel ∪ P_sel ∪ pool content under S_max (Section 7.3).
+/// The planner builds the candidate items and delegates the knapsack
+/// itself to the configured SelectionStrategy (options->selection.kind
+/// — greedy by default, bit-identical to the historical inline code).
 /// Planning updates candidate *statistics* tracking (fragments entering
 /// STAT, inherited hit histories) — that is the paper's bookkeeping —
 /// but all of it lands in the query's PlanningDelta: this stage runs
@@ -76,11 +40,12 @@ class SelectionPlanner {
         mle_(mle),
         views_(views) {}
 
-  /// Produces this query's reconfiguration decision. `base_seconds` is
-  /// the query's conventional-plan cost (drives the fragment top-up
-  /// filter).
-  SelectionDecision PlanSelection(const QueryContext& ctx,
-                                  double base_seconds);
+  /// Produces this query's reconfiguration decision plus the
+  /// strategy's telemetry (swaps, merges, items considered).
+  /// `base_seconds` is the query's conventional-plan cost (drives the
+  /// fragment top-up filter).
+  SelectionResolution PlanSelection(const QueryContext& ctx,
+                                    double base_seconds);
 
  private:
   const Catalog* catalog_;

@@ -23,8 +23,26 @@ const char* const
     MetricsObserver::kExclusiveReasonNames[kExclusiveReasonCount] = {
         "merge",        "eviction", "physical", "new_view", "catalog_put",
         "index_insert", "attach",   "replan",   "other"};
+// Must track SelectionStrategyName / SelectionStrategyKind order
+// (selection_strategy_test pins the correspondence).
+const char* const
+    MetricsObserver::kSelectionStrategyNames[kSelectionStrategyCount] = {
+        "greedy", "local_search", "cluster_greedy", "cluster_local_search"};
 
 namespace {
+
+/// Index into kSelectionStrategyNames, or kSelectionStrategyCount when
+/// the name is unknown/empty (the sample is then dropped rather than
+/// mislabeled).
+size_t SelectionStrategyIndex(const char* name) {
+  if (name == nullptr) return MetricsObserver::kSelectionStrategyCount;
+  for (size_t i = 0; i < MetricsObserver::kSelectionStrategyCount; ++i) {
+    if (std::strcmp(MetricsObserver::kSelectionStrategyNames[i], name) == 0) {
+      return i;
+    }
+  }
+  return MetricsObserver::kSelectionStrategyCount;
+}
 
 int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -105,7 +123,8 @@ MetricsObserver::TenantMetrics* MetricsObserver::Tenant(
 
 void MetricsObserver::OnStageEnd(EngineStage stage, const QueryContext& ctx,
                                  double sim_seconds, double wall_seconds) {
-  StageSeries& s = Tenant(ctx.tenant())->stages[static_cast<size_t>(stage)];
+  TenantMetrics* t = Tenant(ctx.tenant());
+  StageSeries& s = t->stages[static_cast<size_t>(stage)];
   s.calls.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&s.sim_sum, sim_seconds);
   AtomicAddDouble(&s.wall_sum, wall_seconds);
@@ -113,6 +132,18 @@ void MetricsObserver::OnStageEnd(EngineStage stage, const QueryContext& ctx,
                                                     std::memory_order_relaxed);
   s.wall_buckets[BucketIndex(wall_seconds)].fetch_add(
       1, std::memory_order_relaxed);
+  // Selection latency additionally lands in the per-strategy histogram
+  // (the engine stamps the context before the stage closes).
+  if (stage == EngineStage::kSelection) {
+    const size_t idx = SelectionStrategyIndex(ctx.selection_strategy);
+    if (idx < kSelectionStrategyCount) {
+      QuerySeries& w = t->selection_wall[idx];
+      w.count.fetch_add(1, std::memory_order_relaxed);
+      AtomicAddDouble(&w.sum, wall_seconds);
+      w.buckets[BucketIndex(wall_seconds)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
 }
 
 void MetricsObserver::OnMaterializeView(const ViewInfo& view,
@@ -225,6 +256,17 @@ void MetricsObserver::OnQueryEnd(const QueryReport& report) {
   }
   t->fragments_read.fetch_add(report.fragments_read,
                               std::memory_order_relaxed);
+  const size_t strat = SelectionStrategyIndex(
+      report.selection_strategy.empty() ? nullptr
+                                        : report.selection_strategy.c_str());
+  if (strat < kSelectionStrategyCount) {
+    t->selection_decisions[strat].fetch_add(1, std::memory_order_relaxed);
+    AtomicAddDouble(&t->selection_benefit[strat], report.selection_benefit);
+    t->selection_swaps[strat].fetch_add(report.selection_swaps,
+                                        std::memory_order_relaxed);
+    t->selection_merged[strat].fetch_add(report.selection_merged_candidates,
+                                         std::memory_order_relaxed);
+  }
   t->query_sim.count.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&t->query_sim.sum, report.total_seconds);
   t->query_sim.buckets[BucketIndex(report.total_seconds)].fetch_add(
@@ -282,6 +324,13 @@ MetricsObserver::MetricsSnapshot::Totals() const {
     total.degrades += t.degrades;
     total.materialized_bytes += t.materialized_bytes;
     total.evicted_bytes += t.evicted_bytes;
+    for (size_t i = 0; i < kSelectionStrategyCount; ++i) {
+      total.selection_decisions[i] += t.selection_decisions[i];
+      total.selection_benefit[i] += t.selection_benefit[i];
+      total.selection_swaps[i] += t.selection_swaps[i];
+      total.selection_merged[i] += t.selection_merged[i];
+      AddHistogram(t.selection_wall[i], &total.selection_wall[i]);
+    }
     for (size_t s = 0; s < kStageCount; ++s) {
       AddHistogram(t.stage_sim[s], &total.stage_sim[s]);
       AddHistogram(t.stage_wall[s], &total.stage_wall[s]);
@@ -326,6 +375,18 @@ MetricsObserver::MetricsSnapshot MetricsObserver::TakeSnapshot() const {
       out.materialized_bytes =
           t->materialized_bytes.load(std::memory_order_relaxed);
       out.evicted_bytes = t->evicted_bytes.load(std::memory_order_relaxed);
+      for (size_t i = 0; i < kSelectionStrategyCount; ++i) {
+        out.selection_decisions[i] =
+            t->selection_decisions[i].load(std::memory_order_relaxed);
+        out.selection_benefit[i] =
+            t->selection_benefit[i].load(std::memory_order_relaxed);
+        out.selection_swaps[i] =
+            t->selection_swaps[i].load(std::memory_order_relaxed);
+        out.selection_merged[i] =
+            t->selection_merged[i].load(std::memory_order_relaxed);
+        CopyHistogram(t->selection_wall[i].count, t->selection_wall[i].sum,
+                      t->selection_wall[i].buckets, &out.selection_wall[i]);
+      }
       for (size_t s = 0; s < kStageCount; ++s) {
         const StageSeries& series = t->stages[s];
         CopyHistogram(series.calls, series.sim_sum, series.sim_buckets,
@@ -486,6 +547,37 @@ const std::vector<MetricInfo>& MetricsObserver::Registry() {
        "Bytes evicted from the pool (the reconfiguration cost side of "
        "Def. 4).",
        "tenant", false, false},
+      {"deepsea_selection_strategy_info", "gauge",
+       "1 for every selection strategy that has resolved at least one "
+       "decision for the tenant (greedy, local_search, cluster_greedy, "
+       "cluster_local_search). Join target for the per-strategy "
+       "counters; a healthy single-strategy deployment exports exactly "
+       "one cell per tenant.",
+       "strategy,tenant", false, false},
+      {"deepsea_selection_decisions_total", "counter",
+       "Selection rounds resolved, by strategy. Only strategies with at "
+       "least one decision are exported.",
+       "strategy,tenant", false, false},
+      {"deepsea_selection_objective_total", "counter",
+       "Summed knapsack objective value (admitted benefit, kept pool "
+       "content included) of the decisions each strategy produced — "
+       "the decision-quality numerator: divide by "
+       "deepsea_selection_decisions_total for mean objective. This is "
+       "the quantity local search never lowers vs its greedy seed.",
+       "strategy,tenant", false, false},
+      {"deepsea_selection_swaps_total", "counter",
+       "Local-search improving swaps applied (0 for greedy and "
+       "cluster_greedy).",
+       "strategy,tenant", false, false},
+      {"deepsea_selection_merged_candidates_total", "counter",
+       "Candidates merged away by the clustering pre-pass (0 for "
+       "greedy and local_search).",
+       "strategy,tenant", false, false},
+      {"deepsea_selection_wall_seconds", "histogram",
+       "Host wall-clock seconds spent in the selection stage, by "
+       "strategy (the strategy-overhead side of the decision-quality "
+       "trade).",
+       "strategy,tenant", true, false},
       {"deepsea_stage_sim_seconds", "histogram",
        "Simulated seconds charged per pipeline stage invocation.",
        "stage,tenant", false, false},
@@ -682,6 +774,56 @@ std::string MetricsObserver::RenderPrometheusText(
                  [](const auto& t) { return t.materialized_bytes; });
   tenant_counter("deepsea_evicted_bytes_total",
                  [](const auto& t) { return t.evicted_bytes; });
+
+  // Per-strategy selection series: like the exclusive-reason counter,
+  // the headers always render but only strategies that resolved at
+  // least one decision export cells (the schema is label-sparse by
+  // design — a deployment normally runs one strategy).
+  auto strategy_counter = [&](const char* name, auto value_of) {
+    if (header(name) == nullptr) return;
+    for (const auto& [tenant, t] : snap.tenants) {
+      for (size_t i = 0; i < kSelectionStrategyCount; ++i) {
+        if (t.selection_decisions[i] == 0) continue;
+        out += StrFormat("%s{strategy=\"%s\",tenant=\"%s\"} %s\n", name,
+                         kSelectionStrategyNames[i],
+                         EscapeLabelValue(tenant).c_str(),
+                         FormatValue(value_of(t, i)).c_str());
+      }
+    }
+  };
+  strategy_counter("deepsea_selection_strategy_info",
+                   [](const auto& t, size_t i) {
+                     (void)t;
+                     (void)i;
+                     return 1.0;
+                   });
+  strategy_counter("deepsea_selection_decisions_total",
+                   [](const auto& t, size_t i) {
+                     return double(t.selection_decisions[i]);
+                   });
+  strategy_counter("deepsea_selection_objective_total",
+                   [](const auto& t, size_t i) {
+                     return t.selection_benefit[i];
+                   });
+  strategy_counter("deepsea_selection_swaps_total",
+                   [](const auto& t, size_t i) {
+                     return double(t.selection_swaps[i]);
+                   });
+  strategy_counter("deepsea_selection_merged_candidates_total",
+                   [](const auto& t, size_t i) {
+                     return double(t.selection_merged[i]);
+                   });
+  if (header("deepsea_selection_wall_seconds") != nullptr) {
+    for (const auto& [tenant, t] : snap.tenants) {
+      for (size_t i = 0; i < kSelectionStrategyCount; ++i) {
+        if (t.selection_wall[i].count == 0) continue;
+        histogram_series(
+            "deepsea_selection_wall_seconds",
+            StrFormat("strategy=\"%s\"", kSelectionStrategyNames[i]), tenant,
+            t.selection_wall[i]);
+      }
+    }
+  }
 
   // Stage histograms: unobserved (zero-call) stage/tenant series are
   // omitted, the standard client behaviour for unused series.

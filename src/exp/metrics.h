@@ -84,6 +84,13 @@ class MetricsObserver : public EngineObserver {
   static constexpr size_t kExclusiveReasonCount = 9;
   static const char* const kExclusiveReasonNames[kExclusiveReasonCount];
 
+  /// Fixed label set of the per-strategy selection series, in render
+  /// order; indices follow SelectionStrategyKind, names match
+  /// SelectionStrategyName. Only strategies that resolved at least one
+  /// decision are exported.
+  static constexpr size_t kSelectionStrategyCount = 4;
+  static const char* const kSelectionStrategyNames[kSelectionStrategyCount];
+
   MetricsObserver() = default;
   MetricsObserver(const MetricsObserver&) = delete;
   MetricsObserver& operator=(const MetricsObserver&) = delete;
@@ -160,6 +167,14 @@ class MetricsObserver : public EngineObserver {
       int64_t degrades = 0;
       double materialized_bytes = 0.0;
       double evicted_bytes = 0.0;
+      /// Per selection strategy (index into kSelectionStrategyNames):
+      /// decisions resolved, summed benefit scores, local-search swaps,
+      /// clustering merges, and the selection stage's wall latency.
+      std::array<int64_t, kSelectionStrategyCount> selection_decisions{};
+      std::array<double, kSelectionStrategyCount> selection_benefit{};
+      std::array<int64_t, kSelectionStrategyCount> selection_swaps{};
+      std::array<int64_t, kSelectionStrategyCount> selection_merged{};
+      std::array<Histogram, kSelectionStrategyCount> selection_wall{};
       std::array<Histogram, kStageCount> stage_sim{};
       std::array<Histogram, kStageCount> stage_wall{};
       Histogram query_sim;
@@ -276,6 +291,15 @@ class MetricsObserver : public EngineObserver {
     std::atomic<int64_t> degrades{0};
     std::atomic<double> materialized_bytes{0.0};
     std::atomic<double> evicted_bytes{0.0};
+    std::array<std::atomic<int64_t>, kSelectionStrategyCount>
+        selection_decisions{};
+    std::array<std::atomic<double>, kSelectionStrategyCount>
+        selection_benefit{};
+    std::array<std::atomic<int64_t>, kSelectionStrategyCount>
+        selection_swaps{};
+    std::array<std::atomic<int64_t>, kSelectionStrategyCount>
+        selection_merged{};
+    std::array<QuerySeries, kSelectionStrategyCount> selection_wall{};
     std::array<StageSeries, kStageCount> stages{};
     QuerySeries query_sim{};
   };

@@ -139,7 +139,8 @@ class PipelineStageTest : public ::testing::Test {
     generator_->RegisterViewCandidates(candidate_plan, report.base_seconds,
                                        &ctx);
     generator_->RegisterPartitionCandidates(&ctx);
-    SelectionDecision decision = selector_->PlanSelection(ctx, report.base_seconds);
+    SelectionDecision decision =
+        selector_->PlanSelection(ctx, report.base_seconds).decision;
     EXPECT_TRUE(pool_->Apply(decision, ctx, &report).ok());
     report.total_seconds = report.best_seconds + report.materialize_seconds;
     report.pool_bytes_after = pool_->PoolBytes();
@@ -259,7 +260,8 @@ TEST_F(PipelineStageTest, SelectionPlannerIsSideEffectFreeUntilApply) {
 
   const double pool_before = pool_->PoolBytes();
   const size_t files_before = pool_->fs().List().size();
-  SelectionDecision decision = selector_->PlanSelection(ctx, report.base_seconds);
+  SelectionDecision decision =
+      selector_->PlanSelection(ctx, report.base_seconds).decision;
   // Planning decides but does not touch the pool.
   EXPECT_EQ(pool_->PoolBytes(), pool_before);
   EXPECT_EQ(pool_->fs().List().size(), files_before);
